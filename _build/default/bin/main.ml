@@ -1,0 +1,412 @@
+(* dia — command-line interface to the client assignment library.
+
+   Subcommands:
+     dia experiment {fig7,fig8,fig9,fig10}   reproduce a paper figure
+     dia assign                              run one assignment end to end
+     dia dataset                             generate synthetic latency data
+     dia simulate                            protocol-level simulation
+     dia vivaldi                             coordinate embedding / completion
+     dia topology                            transit-stub topology generation
+     dia npc                                 NP-completeness reduction demo *)
+
+open Cmdliner
+
+module Algorithm = Dia_core.Algorithm
+module Problem = Dia_core.Problem
+module Assignment = Dia_core.Assignment
+module Objective = Dia_core.Objective
+module Lower_bound = Dia_core.Lower_bound
+module Clock = Dia_core.Clock
+module Placement = Dia_placement.Placement
+module Config = Dia_experiments.Config
+
+(* Shared argument converters. *)
+
+let dataset_conv =
+  let parse s =
+    match Config.dataset_of_string s with
+    | Some d -> Ok d
+    | None -> Error (`Msg (Printf.sprintf "unknown dataset %S (meridian|mit)" s))
+  in
+  Arg.conv (parse, fun ppf d -> Format.pp_print_string ppf (Config.dataset_name d))
+
+let profile_conv =
+  let parse s =
+    match Config.profile_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown profile %S (quick|default|full)" s))
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf p.Config.label)
+
+let algorithm_conv =
+  let parse s =
+    match Algorithm.of_key s with
+    | Some a -> Ok a
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown algorithm %S (nearest|lfb|greedy|dgreedy|single|random)" s))
+  in
+  Arg.conv (parse, fun ppf a -> Format.pp_print_string ppf (Algorithm.key a))
+
+let strategy_conv =
+  let parse s =
+    match Placement.strategy_of_string s with
+    | Some p -> Ok p
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown placement %S (random|kcenter-a|kcenter-b)" s))
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Placement.strategy_name s))
+
+let dataset_arg =
+  Arg.(value & opt dataset_conv Config.Meridian_like
+       & info [ "dataset" ] ~docv:"NAME" ~doc:"Data set: meridian or mit.")
+
+let profile_arg =
+  Arg.(value & opt profile_conv Config.default
+       & info [ "profile" ] ~docv:"PROFILE"
+           ~doc:"Experiment scale: quick, default, or full (paper scale).")
+
+let matrix_file_arg =
+  Arg.(value & opt (some string) None
+       & info [ "matrix" ] ~docv:"FILE"
+           ~doc:"Load the latency matrix from $(docv) instead of generating it.")
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let load_matrix ~matrix_file ~dataset ~profile ~seed =
+  match matrix_file with
+  | Some path -> Dia_latency.Loader.load path
+  | None -> Config.load_dataset ~seed dataset profile
+
+(* dia experiment *)
+
+let experiment_cmd =
+  let figure_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FIGURE" ~doc:"One of fig7, fig8, fig9, fig10, all.")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE"
+             ~doc:"Also write the figure's data series as CSV to $(docv).")
+  in
+  let run figure dataset profile csv_path =
+    let dispatch = function
+      | "fig7" ->
+          let r = Dia_experiments.Fig7.run ~dataset ~profile () in
+          Ok (Dia_experiments.Fig7.render r, Dia_experiments.Fig7.csv r)
+      | "fig8" ->
+          let r = Dia_experiments.Fig8.run ~dataset ~profile () in
+          Ok (Dia_experiments.Fig8.render r, Dia_experiments.Fig8.csv r)
+      | "fig9" ->
+          let r = Dia_experiments.Fig9.run ~dataset ~profile () in
+          Ok (Dia_experiments.Fig9.render r, Dia_experiments.Fig9.csv r)
+      | "fig10" ->
+          let r = Dia_experiments.Fig10.run ~dataset ~profile () in
+          Ok (Dia_experiments.Fig10.render r, Dia_experiments.Fig10.csv r)
+      | other -> Error (Printf.sprintf "unknown figure %S" other)
+    in
+    let figures =
+      if figure = "all" then [ "fig7"; "fig8"; "fig9"; "fig10" ] else [ figure ]
+    in
+    let rec render = function
+      | [] -> `Ok ()
+      | f :: rest -> (
+          match dispatch f with
+          | Ok (text, csv) ->
+              print_endline text;
+              (match csv_path with
+              | Some path when rest = [] && figure <> "all" ->
+                  let oc = open_out path in
+                  output_string oc csv;
+                  close_out oc;
+                  Printf.printf "(series written to %s)\n" path
+              | _ -> ());
+              render rest
+          | Error message -> `Error (false, message))
+    in
+    render figures
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Reproduce one of the paper's figures.")
+    Term.(ret (const run $ figure_arg $ dataset_arg $ profile_arg $ csv_arg))
+
+(* dia assign *)
+
+let assign_cmd =
+  let servers_arg =
+    Arg.(value & opt int 40 & info [ "k"; "servers" ] ~docv:"K" ~doc:"Number of servers.")
+  in
+  let placement_arg =
+    Arg.(value & opt strategy_conv Placement.Random_placement
+         & info [ "placement" ] ~docv:"STRATEGY" ~doc:"Server placement strategy.")
+  in
+  let algorithm_arg =
+    Arg.(value & opt (some algorithm_conv) None
+         & info [ "algorithm" ] ~docv:"ALGO"
+             ~doc:"Run only this algorithm (default: all four heuristics).")
+  in
+  let capacity_arg =
+    Arg.(value & opt (some int) None
+         & info [ "capacity" ] ~docv:"N" ~doc:"Per-server client capacity.")
+  in
+  let explain_arg =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"Also print the worst interaction paths and per-server contributions for each algorithm.")
+  in
+  let run dataset profile matrix_file seed k placement algorithm capacity explain =
+    let matrix = load_matrix ~matrix_file ~dataset ~profile ~seed in
+    let servers = Placement.place placement ~seed matrix ~k in
+    let p = Problem.all_nodes_clients ?capacity matrix ~servers in
+    let lb = Lower_bound.compute p in
+    let algorithms =
+      match algorithm with Some a -> [ a ] | None -> Algorithm.heuristics
+    in
+    let table =
+      Dia_stats.Table.make
+        ~columns:[ "algorithm"; "D (ms)"; "normalized"; "max load"; "used servers" ]
+    in
+    let explanations = Buffer.create 256 in
+    List.iter
+      (fun algorithm ->
+        let a = Algorithm.run ~seed algorithm p in
+        let d = Objective.max_interaction_path p a in
+        let loads = Assignment.loads p a in
+        Dia_stats.Table.add_row table
+          [
+            Algorithm.name algorithm;
+            Printf.sprintf "%.2f" d;
+            Printf.sprintf "%.3f" (d /. lb);
+            string_of_int (Array.fold_left max 0 loads);
+            string_of_int (Array.length (Assignment.used_servers p a));
+          ];
+        if explain then begin
+          Buffer.add_string explanations
+            (Printf.sprintf "\n%s — worst interaction paths:\n" (Algorithm.name algorithm));
+          List.iter
+            (fun (path : Dia_core.Interaction.path) ->
+              Buffer.add_string explanations
+                (Printf.sprintf
+                   "  client %d -[%.1f]-> server %d -[%.1f]-> server %d -[%.1f]-> client %d  (= %.1f ms)\n"
+                   path.Dia_core.Interaction.from_client
+                   path.Dia_core.Interaction.client_leg
+                   path.Dia_core.Interaction.from_server
+                   path.Dia_core.Interaction.server_leg
+                   path.Dia_core.Interaction.to_server
+                   path.Dia_core.Interaction.exit_leg
+                   path.Dia_core.Interaction.to_client
+                   path.Dia_core.Interaction.length))
+            (Dia_core.Interaction.worst_pairs ~count:3 p a);
+          let client_legs, server_leg = Dia_core.Interaction.breakdown p a in
+          Buffer.add_string explanations
+            (Printf.sprintf
+               "  worst path split: %.1f ms access legs + %.1f ms inter-server leg\n"
+               client_legs server_leg)
+        end)
+      algorithms;
+    Printf.printf
+      "instance: %d clients, %d servers (%s placement), capacity %s\nlower bound: %.2f ms\n"
+      (Problem.num_clients p) (Problem.num_servers p)
+      (Placement.strategy_name placement)
+      (match capacity with None -> "unlimited" | Some c -> string_of_int c)
+      lb;
+    Dia_stats.Table.print table;
+    print_string (Buffer.contents explanations)
+  in
+  Cmd.v
+    (Cmd.info "assign" ~doc:"Assign clients to servers on a data set and report interactivity.")
+    Term.(const run $ dataset_arg $ profile_arg $ matrix_file_arg $ seed_arg
+          $ servers_arg $ placement_arg $ algorithm_arg $ capacity_arg
+          $ explain_arg)
+
+(* dia dataset *)
+
+let dataset_cmd =
+  let out_arg =
+    Arg.(required & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"Output file (dense matrix format).")
+  in
+  let nodes_arg =
+    Arg.(value & opt (some int) None
+         & info [ "nodes" ] ~docv:"N" ~doc:"Generate an N-node matrix instead of full size.")
+  in
+  let run dataset seed nodes out =
+    let matrix =
+      match nodes with
+      | Some n -> Dia_latency.Synthetic.internet_like ~seed n
+      | None -> (
+          match dataset with
+          | Config.Meridian_like -> Dia_latency.Synthetic.meridian_like ~seed ()
+          | Config.Mit_like -> Dia_latency.Synthetic.mit_like ~seed ())
+    in
+    Dia_latency.Loader.save_matrix out matrix;
+    let stats = Dia_latency.Metric.triangle_violations matrix in
+    Printf.printf
+      "wrote %d-node matrix to %s (median-ish mean %.1f ms, max %.1f ms, triangle violations %.1f%%)\n"
+      (Dia_latency.Matrix.dim matrix) out
+      (Dia_latency.Matrix.mean_entry matrix)
+      (Dia_latency.Matrix.max_entry matrix)
+      (100. *. stats.Dia_latency.Metric.violation_fraction)
+  in
+  Cmd.v
+    (Cmd.info "dataset" ~doc:"Generate a synthetic Internet-like latency matrix.")
+    Term.(const run $ dataset_arg $ seed_arg $ nodes_arg $ out_arg)
+
+(* dia simulate *)
+
+let simulate_cmd =
+  let nodes_arg =
+    Arg.(value & opt int 60 & info [ "nodes" ] ~docv:"N" ~doc:"Network size.")
+  in
+  let servers_arg =
+    Arg.(value & opt int 6 & info [ "k"; "servers" ] ~docv:"K" ~doc:"Number of servers.")
+  in
+  let algorithm_arg =
+    Arg.(value & opt algorithm_conv Algorithm.Greedy
+         & info [ "algorithm" ] ~docv:"ALGO" ~doc:"Assignment algorithm.")
+  in
+  let rounds_arg =
+    Arg.(value & opt int 5 & info [ "rounds" ] ~docv:"R" ~doc:"Workload rounds.")
+  in
+  let delta_scale_arg =
+    Arg.(value & opt float 1.0
+         & info [ "delta-scale" ] ~docv:"X"
+             ~doc:"Scale the execution lag relative to the minimum D(A); below 1.0 breaches appear.")
+  in
+  let run nodes k algorithm rounds delta_scale seed =
+    let matrix = Dia_latency.Synthetic.internet_like ~seed nodes in
+    let servers = Placement.place Placement.K_center_b matrix ~k in
+    let p = Problem.all_nodes_clients matrix ~servers in
+    let a = Algorithm.run ~seed algorithm p in
+    let clock = Clock.synthesize p a in
+    let clock = { clock with Clock.delta = clock.Clock.delta *. delta_scale } in
+    let workload =
+      Dia_sim.Workload.rounds ~clients:(Problem.num_clients p) ~rounds ~period:200.
+    in
+    let report = Dia_sim.Protocol.run p a clock workload in
+    let verdict = Dia_sim.Checker.analyze report in
+    Printf.printf
+      "simulated %d ops x %d servers x %d clients (delta = %.2f ms, %d messages)\n"
+      (List.length report.Dia_sim.Protocol.operations)
+      (Problem.num_servers p) (Problem.num_clients p)
+      clock.Clock.delta report.Dia_sim.Protocol.messages;
+    Printf.printf "consistent: %b  fair: %b\n" verdict.Dia_sim.Checker.consistent
+      verdict.Dia_sim.Checker.fair;
+    Printf.printf "late executions: %d  late client updates: %d  breach rate: %.2f%%\n"
+      verdict.Dia_sim.Checker.late_executions
+      verdict.Dia_sim.Checker.late_visibilities
+      (100. *. Dia_sim.Checker.breach_rate report);
+    Printf.printf "interaction time: mean %.2f ms, max %.2f ms, uniform: %b\n"
+      verdict.Dia_sim.Checker.mean_interaction_time
+      verdict.Dia_sim.Checker.max_interaction_time
+      verdict.Dia_sim.Checker.uniform_interaction
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run the message-level DIA protocol simulation.")
+    Term.(const run $ nodes_arg $ servers_arg $ algorithm_arg $ rounds_arg
+          $ delta_scale_arg $ seed_arg)
+
+(* dia vivaldi *)
+
+let vivaldi_cmd =
+  let in_arg =
+    Arg.(required & opt (some string) None
+         & info [ "in" ] ~docv:"FILE" ~doc:"Input latency data (dense or triple format).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the completed matrix here (missing entries filled with coordinate predictions instead of discarding nodes).")
+  in
+  let rounds_arg =
+    Arg.(value & opt int 60 & info [ "rounds" ] ~docv:"N" ~doc:"Embedding iterations.")
+  in
+  let run input output rounds seed =
+    let raw =
+      try Dia_latency.Loader.parse_matrix input
+      with Failure _ -> Dia_latency.Loader.parse_triples input
+    in
+    let embedding = Dia_latency.Vivaldi.embed_raw ~seed ~rounds raw in
+    let survivors, discarded_matrix = Dia_latency.Loader.complete_subset raw in
+    Printf.printf "embedded %d nodes with Vivaldi (%d rounds)\n"
+      (Dia_latency.Vivaldi.nodes embedding) rounds;
+    Printf.printf
+      "discarding-based cleanup would keep %d/%d nodes; completion keeps all\n"
+      (Array.length survivors) raw.Dia_latency.Loader.nodes;
+    let err =
+      Dia_latency.Vivaldi.median_relative_error embedding discarded_matrix
+    in
+    Printf.printf "median relative prediction error on measured pairs: %.1f%%\n"
+      (100. *. err);
+    match output with
+    | None -> ()
+    | Some path ->
+        let completed = Dia_latency.Vivaldi.complete ~seed ~rounds raw in
+        Dia_latency.Loader.save_matrix path completed;
+        Printf.printf "wrote completed %d-node matrix to %s\n"
+          (Dia_latency.Matrix.dim completed) path
+  in
+  Cmd.v
+    (Cmd.info "vivaldi"
+       ~doc:"Embed a latency data set in Vivaldi coordinates; optionally complete missing entries.")
+    Term.(const run $ in_arg $ out_arg $ rounds_arg $ seed_arg)
+
+(* dia topology *)
+
+let topology_cmd =
+  let out_arg =
+    Arg.(required & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"Output matrix file.")
+  in
+  let run out seed =
+    let matrix = Dia_latency.Topology.latency_matrix ~seed () in
+    Dia_latency.Loader.save_matrix out matrix;
+    Printf.printf
+      "wrote %d-node transit-stub matrix to %s (routed shortest paths; mean %.1f ms, max %.1f ms)\n"
+      (Dia_latency.Matrix.dim matrix) out
+      (Dia_latency.Matrix.mean_entry matrix)
+      (Dia_latency.Matrix.max_entry matrix)
+  in
+  Cmd.v
+    (Cmd.info "topology"
+       ~doc:"Generate a transit-stub topology and its routed latency matrix.")
+    Term.(const run $ out_arg $ seed_arg)
+
+(* dia npc *)
+
+let npc_cmd =
+  let run () =
+    let sc =
+      Dia_setcover.Setcover.make ~universe:4 ~subsets:[| [ 0 ]; [ 1 ]; [ 2; 3 ] |]
+    in
+    print_endline "Set cover instance (the paper's Fig. 3):";
+    print_endline "  P = {p1, p2, p3, p4}, Q1 = {p1}, Q2 = {p2}, Q3 = {p3, p4}";
+    let optimal = Dia_setcover.Setcover.optimal sc in
+    Printf.printf "  minimum cover size: %d\n" (List.length optimal);
+    List.iter
+      (fun k ->
+        let r = Dia_setcover.Reduction.build sc ~k in
+        let p = Dia_setcover.Reduction.problem r in
+        let d = Dia_core.Brute_force.optimal_value p in
+        Printf.printf
+          "  K = %d: reduction instance has %d clients, %d servers; optimal D = %.0f (%s 3) => cover of size <= %d %s\n"
+          k (Problem.num_clients p) (Problem.num_servers p) d
+          (if d <= 3. then "<=" else ">")
+          k
+          (if d <= 3. then "EXISTS" else "does NOT exist"))
+      [ 1; 2; 3 ];
+    print_endline "  (equivalence verified in both directions; see test/test_reduction.ml)"
+  in
+  Cmd.v
+    (Cmd.info "npc" ~doc:"Demonstrate the NP-completeness reduction on the paper's example.")
+    Term.(const run $ const ())
+
+let main_cmd =
+  let doc = "Client assignment for continuous distributed interactive applications" in
+  let info = Cmd.info "dia" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ experiment_cmd; assign_cmd; dataset_cmd; simulate_cmd; vivaldi_cmd;
+      topology_cmd; npc_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

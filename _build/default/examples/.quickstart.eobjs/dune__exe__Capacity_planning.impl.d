@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Array Dia_core Dia_latency Dia_placement Dia_stats List Printf

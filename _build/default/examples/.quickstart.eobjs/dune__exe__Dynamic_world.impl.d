@@ -1,0 +1,1 @@
+examples/dynamic_world.ml: Dia_core Dia_latency Dia_placement Float Hashtbl List Printf Random

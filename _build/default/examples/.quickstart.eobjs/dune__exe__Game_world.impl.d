@@ -1,0 +1,1 @@
+examples/game_world.ml: Dia_core Dia_latency Dia_placement Dia_sim Float List Printf

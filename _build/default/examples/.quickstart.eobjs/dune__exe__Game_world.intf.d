@@ -1,0 +1,1 @@
+examples/game_world.mli:

@@ -1,0 +1,1 @@
+examples/jitter_tradeoff.ml: Dia_core Dia_latency Dia_placement Dia_sim Dia_stats Float List Printf Random

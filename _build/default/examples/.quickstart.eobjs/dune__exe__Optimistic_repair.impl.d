@@ -1,0 +1,1 @@
+examples/optimistic_repair.ml: Dia_core Dia_latency Dia_placement Dia_sim Dia_stats Float List Printf Random

@@ -1,0 +1,1 @@
+examples/protocol_sim.ml: Dia_core Dia_latency Dia_placement Dia_sim Dia_stats Format List Printf

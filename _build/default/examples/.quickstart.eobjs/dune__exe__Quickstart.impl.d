@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dia_core Dia_latency Dia_placement List Printf String

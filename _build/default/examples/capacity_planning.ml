@@ -1,0 +1,84 @@
+(* Capacity planning for a DIA operator (Section IV-E).
+
+   Servers have finite capacity. The operator wants to know: given k
+   server sites, how much per-site capacity is needed before capacity
+   stops hurting interactivity? And which algorithm degrades gracefully
+   when capacity is tight?
+
+   This example sweeps the per-server capacity from "barely feasible" to
+   "effectively unlimited" and reports the interactivity of each
+   capacitated algorithm, reproducing the qualitative content of the
+   paper's Fig. 10 on a small world.
+
+   Run with: dune exec examples/capacity_planning.exe *)
+
+module Placement = Dia_placement.Placement
+module Problem = Dia_core.Problem
+module Algorithm = Dia_core.Algorithm
+module Assignment = Dia_core.Assignment
+module Objective = Dia_core.Objective
+module Lower_bound = Dia_core.Lower_bound
+
+let () =
+  let n = 240 and k = 12 in
+  let matrix = Dia_latency.Synthetic.internet_like ~seed:7 n in
+  let servers = Placement.place Placement.K_center_a matrix ~k in
+  let uncapacitated = Problem.all_nodes_clients matrix ~servers in
+  let lb = Lower_bound.compute uncapacitated in
+  Printf.printf
+    "%d clients, %d server sites; minimum feasible capacity %d clients/site\n\n" n k
+    ((n + k - 1) / k);
+
+  let capacities = [ 20; 24; 30; 40; 60; 120; 240 ] in
+  let table =
+    Dia_stats.Table.make
+      ~columns:
+        ("capacity"
+        :: List.map Algorithm.name Algorithm.heuristics
+        @ [ "greedy max load" ])
+  in
+  List.iter
+    (fun capacity ->
+      let p = Problem.with_capacity uncapacitated (Some capacity) in
+      let cells =
+        List.map
+          (fun algorithm ->
+            let a = Algorithm.run algorithm p in
+            assert (Assignment.respects_capacity p a);
+            Printf.sprintf "%.3f" (Objective.max_interaction_path p a /. lb))
+          Algorithm.heuristics
+      in
+      let greedy_load =
+        let a = Algorithm.run Algorithm.Greedy p in
+        Array.fold_left max 0 (Assignment.loads p a)
+      in
+      Dia_stats.Table.add_row table
+        ((string_of_int capacity :: cells) @ [ string_of_int greedy_load ]))
+    capacities;
+  Dia_stats.Table.print table;
+
+  (* Find the cheapest capacity at which Distributed-Greedy is within 5%
+     of its uncapacitated quality — the operator's provisioning answer. *)
+  let uncap_quality =
+    Objective.max_interaction_path uncapacitated
+      (Algorithm.run Algorithm.Distributed_greedy uncapacitated)
+  in
+  let sufficient =
+    List.find_opt
+      (fun capacity ->
+        let p = Problem.with_capacity uncapacitated (Some capacity) in
+        let d =
+          Objective.max_interaction_path p
+            (Algorithm.run Algorithm.Distributed_greedy p)
+        in
+        d <= 1.05 *. uncap_quality)
+      capacities
+  in
+  match sufficient with
+  | Some capacity ->
+      Printf.printf
+        "\nprovisioning answer: %d clients/site (%.0f%% of an even spread) already\n\
+         gets Distributed-Greedy within 5%% of unlimited-capacity interactivity\n"
+        capacity
+        (100. *. float_of_int capacity /. (float_of_int n /. float_of_int k))
+  | None -> print_endline "\nno tested capacity reaches the 5% target"

@@ -1,0 +1,100 @@
+(* A day of churn in a live DIA (the dynamic counterpart of the paper).
+
+   Section VI observes that, unlike server placement, client assignment
+   "can be adjusted promptly to adapt to system dynamics". This example
+   replays a reproducible join/leave trace under two operating policies —
+   greedy joins only, and greedy joins with periodic Distributed-Greedy
+   repair — and compares both against a from-scratch offline solve of the
+   final population.
+
+   Run with: dune exec examples/dynamic_world.exe *)
+
+module Placement = Dia_placement.Placement
+module Dynamic = Dia_core.Dynamic
+module Problem = Dia_core.Problem
+module Objective = Dia_core.Objective
+module Lower_bound = Dia_core.Lower_bound
+
+type event = Join of int | Leave_of_join of int
+(** [Join node] / [Leave_of_join i]: the client created by the i-th event
+    (which is a join) departs. *)
+
+let churn_trace ~seed ~nodes ~events =
+  let rng = Random.State.make [| seed |] in
+  let online = ref [] in
+  let trace = ref [] in
+  for step = 0 to events - 1 do
+    let population = List.length !online in
+    let join_bias = if population < nodes / 2 then 0.7 else 0.3 in
+    if population = 0 || Random.State.float rng 1. < join_bias then begin
+      online := step :: !online;
+      trace := Join (Random.State.int rng nodes) :: !trace
+    end
+    else begin
+      let victim = List.nth !online (Random.State.int rng population) in
+      online := List.filter (fun j -> j <> victim) !online;
+      trace := Leave_of_join victim :: !trace
+    end
+  done;
+  List.rev !trace
+
+let () =
+  let nodes = 120 and k = 8 and events = 600 in
+  let matrix = Dia_latency.Synthetic.internet_like ~seed:77 nodes in
+  let servers = Placement.place Placement.K_center_b matrix ~k in
+  let trace = churn_trace ~seed:9 ~nodes ~events in
+  Printf.printf "churn trace: %d events over %d nodes, %d servers\n\n" events nodes k;
+
+  let replay ~repair_every =
+    let session = Dynamic.create matrix ~servers in
+    let id_of_join = Hashtbl.create 64 in
+    let worst = ref 0. and total = ref 0. and samples = ref 0 in
+    List.iteri
+      (fun step event ->
+        (match event with
+        | Join node -> Hashtbl.replace id_of_join step (Dynamic.join session ~node)
+        | Leave_of_join joined_at ->
+            Dynamic.leave session (Hashtbl.find id_of_join joined_at));
+        (match repair_every with
+        | Some period when step mod period = period - 1 ->
+            ignore (Dynamic.rebalance ~max_moves:10 session)
+        | Some _ | None -> ());
+        if Dynamic.num_clients session > 1 then begin
+          let d = Dynamic.objective session in
+          worst := Float.max !worst d;
+          total := !total +. d;
+          incr samples
+        end)
+      trace;
+    (session, !worst, !total /. float_of_int !samples)
+  in
+
+  let report name (session, worst, mean) =
+    let stats = Dynamic.stats session in
+    Printf.printf
+      "%-24s worst D = %6.0f ms   mean D = %6.0f ms   (joins %d, leaves %d, repair moves %d)\n"
+      name worst mean stats.Dynamic.joins stats.Dynamic.leaves stats.Dynamic.moves;
+    (session, mean)
+  in
+  let _, mean_join_only = report "greedy joins only" (replay ~repair_every:None) in
+  let session, mean_repaired =
+    report "greedy + periodic repair" (replay ~repair_every:(Some 50))
+  in
+  Printf.printf
+    "\nperiodic repair keeps the mean objective %.0f%% below join-only drift\n"
+    (100. *. (1. -. (mean_repaired /. mean_join_only)));
+
+  (* Endgame: how close is the online session to an offline re-solve of
+     exactly the final population? *)
+  if Dynamic.num_clients session > 1 then begin
+    ignore (Dynamic.rebalance session);
+    let p, _ = Dynamic.snapshot session in
+    let offline =
+      Objective.max_interaction_path p
+        (Dia_core.Algorithm.run Dia_core.Algorithm.Distributed_greedy p)
+    in
+    let lb = Lower_bound.compute p in
+    Printf.printf
+      "final population %d: online D = %.0f ms vs offline re-solve %.0f ms (lower bound %.0f ms)\n"
+      (Problem.num_clients p) (Dynamic.objective session) offline lb
+  end

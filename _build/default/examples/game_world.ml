@@ -1,0 +1,78 @@
+(* A multi-player online game world — the paper's motivating scenario.
+
+   A game operator runs mirrored world servers across three continents.
+   Players connect from clustered home networks. The operator wants every
+   pair of players to see each other's actions quickly AND fairly: an
+   action taken earlier must take effect earlier, everywhere.
+
+   This example:
+     1. builds the geography,
+     2. compares Nearest-Server matchmaking (what most games do) with the
+        paper's Greedy/Distributed-Greedy assignments,
+     3. plays 10 game ticks through the message-level protocol simulator
+        under both assignments and verifies consistency and fairness,
+     4. reports what each player actually experiences.
+
+   Run with: dune exec examples/game_world.exe *)
+
+module Matrix = Dia_latency.Matrix
+module Placement = Dia_placement.Placement
+module Problem = Dia_core.Problem
+module Algorithm = Dia_core.Algorithm
+module Objective = Dia_core.Objective
+module Lower_bound = Dia_core.Lower_bound
+module Clock = Dia_core.Clock
+module Workload = Dia_sim.Workload
+module Protocol = Dia_sim.Protocol
+module Checker = Dia_sim.Checker
+
+let () =
+  (* A 150-player world with pronounced continental clustering. *)
+  let params =
+    { Dia_latency.Synthetic.default_params with
+      continents = 3;
+      cities_per_continent = 4;
+      access_mean = 10. }
+  in
+  let matrix = Dia_latency.Synthetic.internet_like ~params ~seed:2024 150 in
+
+  (* 9 world servers, placed by the operator with the K-center heuristic
+     (three per continent, roughly). *)
+  let servers = Placement.place Placement.K_center_b matrix ~k:9 in
+  let world = Problem.all_nodes_clients matrix ~servers in
+  let lb = Lower_bound.compute world in
+
+  Printf.printf "world: %d players, %d mirrored servers, lower bound %.0f ms\n\n"
+    (Problem.num_clients world) (Problem.num_servers world) lb;
+
+  let play name algorithm =
+    let a = Algorithm.run algorithm world in
+    let d = Objective.max_interaction_path world a in
+    let clock = Clock.synthesize world a in
+    (* Ten 100 ms game ticks: every player acts every tick. *)
+    let workload =
+      Workload.rounds ~clients:(Problem.num_clients world) ~rounds:10 ~period:100.
+    in
+    let report = Protocol.run world a clock workload in
+    let verdict = Checker.analyze report in
+    Printf.printf "%s assignment:\n" name;
+    Printf.printf "  interaction time (all player pairs): %.0f ms (%.2fx the bound)\n"
+      d (d /. lb);
+    Printf.printf "  simulated %d actions -> consistent: %b, fair: %b, breaches: %d\n"
+      (List.length report.Protocol.operations)
+      verdict.Checker.consistent verdict.Checker.fair
+      (verdict.Checker.late_executions + verdict.Checker.late_visibilities);
+    Printf.printf "  protocol traffic: %d messages over %.1f s of play\n\n"
+      report.Protocol.messages (report.Protocol.wall_duration /. 1000.);
+    d
+  in
+  let d_nearest = play "Nearest-Server (typical matchmaking)" Algorithm.Nearest_server in
+  let d_greedy = play "Greedy" Algorithm.Greedy in
+  let d_dgreedy = play "Distributed-Greedy" Algorithm.Distributed_greedy in
+
+  Printf.printf
+    "takeaway: assignment-aware matchmaking cuts worst-pair interaction time by %.0f%%\n"
+    (100. *. (1. -. (Float.min d_greedy d_dgreedy /. d_nearest)));
+  Printf.printf
+    "(every player still sees every action in the SAME interaction time —\n\
+    \ fairness holds by construction, it is only the magnitude that shrinks)\n"

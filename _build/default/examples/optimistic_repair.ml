@@ -1,0 +1,104 @@
+(* Pessimistic delay vs optimistic repair (Section II-E).
+
+   The paper's main line: pick delta = D(A) and nothing ever goes wrong.
+   Its Section II-E sketches the alternative the games industry often
+   prefers: run with a smaller delta — better interactivity — execute
+   optimistically, and repair the state when stragglers arrive (TimeWarp
+   rollbacks, or Trailing State Synchronization), accepting visible
+   artifacts ("an opponent that has been beaten in a fight stands up
+   again and continues to fight").
+
+   This example sweeps delta from 0.3 x D(A) to D(A) and, at each point,
+   replays every server's real arrival sequence through both repair
+   mechanisms, tabulating interactivity gained against artifacts paid.
+   All replicas must converge to the canonical state in every row — that
+   is the repair mechanisms' contract, and it is checked.
+
+   Run with: dune exec examples/optimistic_repair.exe *)
+
+module Placement = Dia_placement.Placement
+module Problem = Dia_core.Problem
+module Algorithm = Dia_core.Algorithm
+module Clock = Dia_core.Clock
+module Workload = Dia_sim.Workload
+module Protocol = Dia_sim.Protocol
+module Repair = Dia_sim.Repair
+
+let () =
+  let matrix = Dia_latency.Synthetic.internet_like ~seed:13 100 in
+  (* Lognormal network jitter. Without it, two operations of the same
+     player travel the same path FIFO and can never overtake each other —
+     cross-player misorderings commute on this state machine, so repairs
+     would look free. Jitter is what makes stragglers semantically
+     dangerous. *)
+  let jitter_rng = Random.State.make [| 4 |] in
+  let gaussian () =
+    let u = 1. -. Random.State.float jitter_rng 1. in
+    let v = Random.State.float jitter_rng 1. in
+    sqrt (-2. *. log u) *. cos (2. *. Float.pi *. v)
+  in
+  let jitter ~src:_ ~dst:_ ~base = base *. exp (0.3 *. gaussian ()) in
+  let servers = Placement.place Placement.K_center_b matrix ~k:6 in
+  let p = Problem.all_nodes_clients matrix ~servers in
+  let a = Algorithm.run Algorithm.Distributed_greedy p in
+  let clock = Clock.synthesize p a in
+  let d = clock.Clock.delta in
+  (* Eight hyperactive players trading actions every few milliseconds:
+     stragglers then interleave with the SAME player's later actions,
+     which is when ordering errors become semantically visible. *)
+  let workload =
+    Workload.of_list (List.init 400 (fun i -> (i mod 8, float_of_int i *. 3.7)))
+  in
+  Printf.printf
+    "100 clients (8 active), 6 servers, D(A) = %.0f ms, %d operations\n\n" d
+    (Workload.count workload);
+  let table =
+    Dia_stats.Table.make
+      ~columns:
+        [ "delta / D(A)"; "interaction time"; "late arrivals";
+          "timewarp rollbacks"; "max rollback depth"; "tss divergences (lag=D)";
+          "all replicas converge" ]
+  in
+  List.iter
+    (fun scale ->
+      let scaled = { clock with Clock.delta = d *. scale } in
+      let report = Protocol.run ~jitter p a scaled workload in
+      let late =
+        List.length
+          (List.filter (fun (e : Protocol.execution) -> e.late)
+             report.Protocol.executions)
+      in
+      let warp = Repair.timewarp report in
+      let tss = Repair.tss ~lag:d report in
+      let max_depth =
+        List.fold_left
+          (fun acc (o : Repair.timewarp_outcome) -> max acc o.Repair.max_depth)
+          0 warp
+      in
+      let tss_div =
+        List.fold_left
+          (fun acc (o : Repair.tss_outcome) -> acc + o.Repair.divergences)
+          0 tss
+      in
+      Dia_stats.Table.add_row table
+        [
+          Printf.sprintf "%.2f" scale;
+          Printf.sprintf "%.0f ms" scaled.Clock.delta;
+          string_of_int late;
+          string_of_int (Repair.total_rollbacks warp);
+          string_of_int max_depth;
+          string_of_int tss_div;
+          string_of_bool
+            (Repair.all_converged_timewarp warp && Repair.all_converged_tss tss);
+        ])
+    [ 0.30; 0.50; 0.70; 0.85; 0.95; 1.00 ];
+  Dia_stats.Table.print table;
+  print_endline
+    "\nreading: shrinking delta buys interaction time but the artifact count\n\
+     (rollbacks / divergences) climbs as more operations miss their deadline —\n\
+     and every row still converges, which is precisely the repair mechanisms'\n\
+     job — until it is not: below 0.85 x D the lag-D trailing copy starts\n\
+     dropping extreme stragglers and convergence is lost, the signal to size\n\
+     the lag up. Even delta = D(A) pays a little here because the network\n\
+     jitters around the latencies the clock was planned for (Section II-E's\n\
+     point: plan on a high percentile, or repair)."

@@ -1,0 +1,1 @@
+lib/core/algorithm.ml: Baselines Distributed_greedy Greedy Longest_first_batch Nearest

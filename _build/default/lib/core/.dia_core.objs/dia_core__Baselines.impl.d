@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Array Assignment Float Problem Random

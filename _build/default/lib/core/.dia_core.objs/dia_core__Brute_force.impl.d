@@ -1,0 +1,1 @@
+lib/core/brute_force.ml: Array Assignment Ecc Float Fun Greedy List Longest_first_batch Objective Printf Problem

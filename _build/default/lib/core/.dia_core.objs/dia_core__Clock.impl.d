@@ -1,0 +1,1 @@
+lib/core/clock.ml: Array Assignment Float Objective Problem

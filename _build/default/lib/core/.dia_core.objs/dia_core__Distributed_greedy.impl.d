@@ -1,0 +1,1 @@
+lib/core/distributed_greedy.ml: Array Assignment Ecc Float List Nearest Problem

@@ -1,0 +1,1 @@
+lib/core/distributed_greedy.mli: Assignment Problem

@@ -1,0 +1,1 @@
+lib/core/dynamic.ml: Array Assignment Dia_latency Float Fun Hashtbl List Option Printf Problem

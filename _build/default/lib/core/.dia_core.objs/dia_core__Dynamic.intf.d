@@ -1,0 +1,1 @@
+lib/core/dynamic.mli: Assignment Dia_latency Problem

@@ -1,0 +1,1 @@
+lib/core/interaction.ml: Array Assignment Float List Problem

@@ -1,0 +1,1 @@
+lib/core/interaction.mli: Assignment Problem

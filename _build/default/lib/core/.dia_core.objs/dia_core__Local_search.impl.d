@@ -1,0 +1,1 @@
+lib/core/local_search.ml: Array Assignment Ecc Float Problem Random

@@ -1,0 +1,1 @@
+lib/core/longest_first_batch.ml: Array Assignment Float Fun Problem

@@ -1,0 +1,1 @@
+lib/core/longest_first_batch.mli: Assignment Problem

@@ -1,0 +1,1 @@
+lib/core/nearest.ml: Array Assignment Problem

@@ -1,0 +1,1 @@
+lib/core/nearest.mli: Assignment Problem

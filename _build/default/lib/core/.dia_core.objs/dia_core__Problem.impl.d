@@ -1,0 +1,1 @@
+lib/core/problem.ml: Array Dia_latency Float Fun Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/core/zone_based.ml: Array Assignment Float Fun List Option Problem

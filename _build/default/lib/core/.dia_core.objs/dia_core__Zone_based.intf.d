@@ -1,0 +1,1 @@
+lib/core/zone_based.mli: Assignment Problem

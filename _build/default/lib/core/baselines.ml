@@ -1,0 +1,29 @@
+let best_single_server p =
+  let k = Problem.num_servers p and n = Problem.num_clients p in
+  let best = ref 0 and best_ecc = ref infinity in
+  for s = 0 to k - 1 do
+    let ecc = ref 0. in
+    for c = 0 to n - 1 do
+      ecc := Float.max !ecc (Problem.d_cs p c s)
+    done;
+    if !ecc < !best_ecc then begin
+      best_ecc := !ecc;
+      best := s
+    end
+  done;
+  Assignment.constant p !best
+
+let random ~seed p =
+  let rng = Random.State.make [| seed |] in
+  let k = Problem.num_servers p in
+  let capacity = match Problem.capacity p with None -> max_int | Some c -> c in
+  let load = Array.make k 0 in
+  let rec draw () =
+    let s = Random.State.int rng k in
+    if load.(s) < capacity then begin
+      load.(s) <- load.(s) + 1;
+      s
+    end
+    else draw ()
+  in
+  Assignment.unsafe_of_array (Array.init (Problem.num_clients p) (fun _ -> draw ()))

@@ -1,0 +1,18 @@
+(** Trivial baseline assignments.
+
+    Section III motivates the problem with two extremes: assigning every
+    client to its nearest server optimises only client-server latency,
+    while assigning all clients to one server eliminates the inter-server
+    term at the cost of long client-server paths. {!Nearest} covers the
+    first; this module provides the second, plus a random assignment for
+    calibration. *)
+
+val best_single_server : Problem.t -> Assignment.t
+(** All clients on the single server [s] minimising the resulting
+    objective [2 max_c d(c, s)]. Ignores capacity (a single server
+    rarely satisfies one — callers should check
+    {!Assignment.respects_capacity}). O(|C| |S|). *)
+
+val random : seed:int -> Problem.t -> Assignment.t
+(** Uniform random server per client; respects capacity by re-drawing
+    among unsaturated servers. *)

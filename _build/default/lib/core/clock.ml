@@ -1,0 +1,51 @@
+type t = { delta : float; server_offset : float array }
+
+(* max over clients c' of d(c', sA(c')) + d(sA(c'), s): the longest time
+   for server s to learn of any client's operation. Computed from
+   per-server eccentricities in O(|S|) per server. *)
+let longest_reach p a =
+  let ecc = Objective.eccentricities p a in
+  let k = Problem.num_servers p in
+  Array.init k (fun s ->
+      let reach = ref neg_infinity in
+      for s' = 0 to k - 1 do
+        if ecc.(s') > neg_infinity then
+          reach := Float.max !reach (ecc.(s') +. Problem.d_ss p s' s)
+      done;
+      !reach)
+
+let synthesize p a =
+  if Problem.num_clients p = 0 then invalid_arg "Clock.synthesize: no clients";
+  let d = Objective.max_interaction_path p a in
+  let reach = longest_reach p a in
+  { delta = d; server_offset = Array.map (fun r -> d -. r) reach }
+
+let slack_i p a t =
+  let worst = ref infinity in
+  for c = 0 to Problem.num_clients p - 1 do
+    let sc = Assignment.server_of a c in
+    for s = 0 to Problem.num_servers p - 1 do
+      let slack =
+        t.delta -. (Problem.d_cs p c sc +. Problem.d_ss p sc s +. t.server_offset.(s))
+      in
+      if slack < !worst then worst := slack
+    done
+  done;
+  !worst
+
+let slack_ii p a t =
+  let worst = ref infinity in
+  for c = 0 to Problem.num_clients p - 1 do
+    let sc = Assignment.server_of a c in
+    (* Δ(c, s) = -Δ(s, c). *)
+    let slack = -.(Problem.d_cs p c sc -. t.server_offset.(sc)) in
+    if slack < !worst then worst := slack
+  done;
+  !worst
+
+let constraint_i_ok ?(eps = 1e-9) p a t = slack_i p a t >= -.eps
+let constraint_ii_ok ?(eps = 1e-9) p a t = slack_ii p a t >= -.eps
+
+let feasible ?eps p a t = constraint_i_ok ?eps p a t && constraint_ii_ok ?eps p a t
+
+let interaction_time t = t.delta

@@ -1,0 +1,51 @@
+(** Simulation-time offsets achieving the minimum interaction time.
+
+    Section II-C proves that with the operation-execution lag
+    [delta = D(A)] and suitable constant offsets between the simulation
+    times of servers and clients, both feasibility constraints hold:
+
+    - (i) every server receives every operation before executing it, and
+    - (ii) every client receives every state update in time.
+
+    The constructive setting synchronises all client clocks
+    ([Δ(c, c') = 0]) and gives server [s] the offset
+    [Δ(s, c) = D - max over clients c' of d(c', sA(c')) + d(sA(c'), s)]
+    relative to any client. This module synthesises those offsets,
+    verifies the constraints for arbitrary offset/lag choices, and is what
+    {!Dia_sim} uses to schedule executions. *)
+
+type t = {
+  delta : float;  (** the execution lag — equals [D(A)] when synthesised *)
+  server_offset : float array;
+      (** [server_offset.(s)] = [Δ(s, c)] for every client [c] (client
+          clocks are synchronised), indexed by server index *)
+}
+
+val synthesize : Problem.t -> Assignment.t -> t
+(** The paper's construction: [delta = D(A)] and the offsets above.
+
+    @raise Invalid_argument if the instance has no clients. *)
+
+val constraint_i_ok : ?eps:float -> Problem.t -> Assignment.t -> t -> bool
+(** Constraint (i): for every client [c] and server [s],
+    [d(c, sA(c)) + d(sA(c), s) + Δ(s, c) <= delta]. *)
+
+val constraint_ii_ok : ?eps:float -> Problem.t -> Assignment.t -> t -> bool
+(** Constraint (ii): for every client [c],
+    [d(sA(c), c) + Δ(c, sA(c)) <= 0]. *)
+
+val feasible : ?eps:float -> Problem.t -> Assignment.t -> t -> bool
+(** Both constraints. The synthesised offsets always satisfy this with
+    [delta = D(A)]; any [delta < D(A)] is infeasible for every choice of
+    offsets (Section II-C). *)
+
+val interaction_time : t -> float
+(** The uniform interaction time between every (ordered) client pair
+    under synchronised client clocks: exactly [delta]. *)
+
+val slack_i : Problem.t -> Assignment.t -> t -> float
+(** Minimum slack of constraint (i) over all (client, server) pairs —
+    [>= 0] iff the constraint holds; [0] at the binding pair. *)
+
+val slack_ii : Problem.t -> Assignment.t -> t -> float
+(** Minimum slack of constraint (ii) over all clients. *)

@@ -1,0 +1,136 @@
+type stats = {
+  modifications : int;
+  examined : int;
+  broadcasts : int;
+  probes : int;
+}
+
+type result = {
+  assignment : Assignment.t;
+  initial : Assignment.t;
+  trace : float array;
+  stats : stats;
+}
+
+(* Clients lying on some longest interaction path: clients that realise
+   their server's eccentricity, for a server on a longest server pair. *)
+let longest_path_clients p assignment ecc d =
+  let k = Problem.num_servers p in
+  let on_longest = Array.make k false in
+  for s1 = 0 to k - 1 do
+    if ecc.(s1) > neg_infinity then
+      for s2 = s1 to k - 1 do
+        if ecc.(s2) > neg_infinity
+           && ecc.(s1) +. Problem.d_ss p s1 s2 +. ecc.(s2) >= d -. 1e-9
+        then begin
+          on_longest.(s1) <- true;
+          on_longest.(s2) <- true
+        end
+      done
+  done;
+  let candidates = ref [] in
+  Array.iteri
+    (fun c s ->
+      if on_longest.(s) && Problem.d_cs p c s >= ecc.(s) -. 1e-9 then
+        candidates := c :: !candidates)
+    assignment;
+  List.rev !candidates
+
+let run ?initial p =
+  let k = Problem.num_servers p in
+  let capacity = match Problem.capacity p with None -> max_int | Some c -> c in
+  let start =
+    match initial with
+    | None -> Nearest.assign p
+    | Some a ->
+        let a = Assignment.of_array p (Assignment.to_array a) in
+        if not (Assignment.respects_capacity p a) then
+          invalid_arg "Distributed_greedy.run: initial assignment violates capacity";
+        a
+  in
+  let assignment = Assignment.to_array start in
+  let load = Array.make k 0 in
+  Array.iter (fun s -> load.(s) <- load.(s) + 1) assignment;
+  let ecc =
+    Array.init k (fun s ->
+        let l = ref neg_infinity in
+        Array.iteri
+          (fun c s' -> if s' = s then l := Float.max !l (Problem.d_cs p c s))
+          assignment;
+        !l)
+  in
+  (* Initial exchange: every server broadcasts its inter-server distances
+     and its longest client distance, and measures its own clients. *)
+  let broadcasts = ref k and probes = ref (Array.length assignment) in
+  let examined = ref 0 in
+  let trace = ref [ Ecc.objective p ecc ] in
+  let continue = ref true in
+  while !continue do
+    let d = List.hd !trace in
+    let candidates = longest_path_clients p assignment ecc d in
+    let moved = ref false in
+    let rec try_candidates = function
+      | [] -> ()
+      | c :: rest ->
+          incr examined;
+          let old_s = assignment.(c) in
+          (* Server old_s announces c and its eccentricity without c; the
+             other servers each probe their latency to c and reply. *)
+          incr broadcasts;
+          probes := !probes + (k - 1);
+          broadcasts := !broadcasts + (k - 1);
+          let l_minus = Ecc.excluding p assignment ~server:old_s ~client:c in
+          let ecc' = Array.copy ecc in
+          ecc'.(old_s) <- l_minus;
+          (* L(s') = longest interaction path involving c if c moved to
+             s': max over servers s'' (with their clients) of
+             d(c,s') + d(s',s'') + l(s''), plus c's own round trip. *)
+          let best_target = ref (-1) and best_l = ref infinity in
+          for s' = 0 to k - 1 do
+            if s' <> old_s && load.(s') < capacity then begin
+              let longest = Ecc.attach p ecc' ~client:c ~server:s' in
+              if longest < !best_l then begin
+                best_l := longest;
+                best_target := s'
+              end
+            end
+          done;
+          if !best_target >= 0 && !best_l < d -. 1e-12 then begin
+            (* Tentative move: recompute the global objective and commit
+               only on strict improvement (other longest paths may keep D
+               unchanged — the multiple-longest-paths case of the paper). *)
+            let s' = !best_target in
+            let new_ecc = Array.copy ecc' in
+            new_ecc.(s') <- Float.max new_ecc.(s') (Problem.d_cs p c s');
+            let d' = Ecc.objective p new_ecc in
+            if d' < d -. 1e-12 then begin
+              assignment.(c) <- s';
+              load.(old_s) <- load.(old_s) - 1;
+              load.(s') <- load.(s') + 1;
+              Array.blit new_ecc 0 ecc 0 k;
+              (* The new server broadcasts its updated longest distance. *)
+              incr broadcasts;
+              trace := d' :: !trace;
+              moved := true
+            end
+            else try_candidates rest
+          end
+          else try_candidates rest
+    in
+    try_candidates candidates;
+    if not !moved then continue := false
+  done;
+  {
+    assignment = Assignment.unsafe_of_array assignment;
+    initial = start;
+    trace = Array.of_list (List.rev !trace);
+    stats =
+      {
+        modifications = List.length !trace - 1;
+        examined = !examined;
+        broadcasts = !broadcasts;
+        probes = !probes;
+      };
+  }
+
+let assign p = (run p).assignment

@@ -1,0 +1,270 @@
+module Matrix = Dia_latency.Matrix
+
+type client_id = int
+
+type member = { node : int; mutable server : int }
+
+type stats = { joins : int; leaves : int; moves : int }
+
+type t = {
+  matrix : Matrix.t;
+  servers : int array;
+  capacity : int;
+  members : (client_id, member) Hashtbl.t;
+  load : int array;
+  ecc : float array;
+  failed : bool array;
+  mutable next_id : int;
+  mutable joins : int;
+  mutable leaves : int;
+  mutable moves : int;
+}
+
+let create ?capacity matrix ~servers =
+  if Array.length servers = 0 then invalid_arg "Dynamic.create: no servers";
+  Array.iter
+    (fun s ->
+      if s < 0 || s >= Matrix.dim matrix then
+        invalid_arg (Printf.sprintf "Dynamic.create: server node %d out of range" s))
+    servers;
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Dynamic.create: capacity must be positive"
+  | _ -> ());
+  let k = Array.length servers in
+  {
+    matrix;
+    servers = Array.copy servers;
+    capacity = Option.value ~default:max_int capacity;
+    members = Hashtbl.create 64;
+    load = Array.make k 0;
+    ecc = Array.make k neg_infinity;
+    failed = Array.make k false;
+    next_id = 0;
+    joins = 0;
+    leaves = 0;
+    moves = 0;
+  }
+
+let k t = Array.length t.servers
+
+let d_ns t node s = Matrix.get t.matrix node t.servers.(s)
+let d_ss t s1 s2 = Matrix.get t.matrix t.servers.(s1) t.servers.(s2)
+
+let objective_of t ecc =
+  let best = ref neg_infinity in
+  for s1 = 0 to k t - 1 do
+    if ecc.(s1) > neg_infinity then
+      for s2 = s1 to k t - 1 do
+        if ecc.(s2) > neg_infinity then begin
+          let len = ecc.(s1) +. d_ss t s1 s2 +. ecc.(s2) in
+          if len > !best then best := len
+        end
+      done
+  done;
+  !best
+
+let objective t = objective_of t t.ecc
+
+(* Longest interaction path involving a node attached to server [s],
+   given the other servers' eccentricities. *)
+let attach_cost t ecc node s =
+  let d = d_ns t node s in
+  let worst = ref (2. *. d) in
+  for s'' = 0 to k t - 1 do
+    if ecc.(s'') > neg_infinity then begin
+      let len = d +. d_ss t s s'' +. ecc.(s'') in
+      if len > !worst then worst := len
+    end
+  done;
+  !worst
+
+let join t ~node =
+  if node < 0 || node >= Matrix.dim t.matrix then
+    invalid_arg (Printf.sprintf "Dynamic.join: node %d out of range" node);
+  let current = objective t in
+  let best = ref (-1) and best_d = ref infinity in
+  for s = 0 to k t - 1 do
+    if (not t.failed.(s)) && t.load.(s) < t.capacity then begin
+      let resulting = Float.max current (attach_cost t t.ecc node s) in
+      if resulting < !best_d then begin
+        best_d := resulting;
+        best := s
+      end
+    end
+  done;
+  if !best < 0 then failwith "Dynamic.join: all servers saturated";
+  let s = !best in
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Hashtbl.replace t.members id { node; server = s };
+  t.load.(s) <- t.load.(s) + 1;
+  t.ecc.(s) <- Float.max t.ecc.(s) (d_ns t node s);
+  t.joins <- t.joins + 1;
+  id
+
+let find t id =
+  match Hashtbl.find_opt t.members id with
+  | Some member -> member
+  | None -> invalid_arg (Printf.sprintf "Dynamic: unknown client id %d" id)
+
+let recompute_ecc t s =
+  let worst = ref neg_infinity in
+  Hashtbl.iter
+    (fun _ member ->
+      if member.server = s then worst := Float.max !worst (d_ns t member.node s))
+    t.members;
+  t.ecc.(s) <- !worst
+
+let leave t id =
+  let member = find t id in
+  Hashtbl.remove t.members id;
+  t.load.(member.server) <- t.load.(member.server) - 1;
+  recompute_ecc t member.server;
+  t.leaves <- t.leaves + 1
+
+let server_of t id = (find t id).server
+
+let num_clients t = Hashtbl.length t.members
+
+(* Eccentricity of server [s] excluding one specific member. *)
+let ecc_excluding t s excluded_id =
+  let worst = ref neg_infinity in
+  Hashtbl.iter
+    (fun id member ->
+      if member.server = s && id <> excluded_id then
+        worst := Float.max !worst (d_ns t member.node s))
+    t.members;
+  !worst
+
+let rebalance ?(max_moves = max_int) t =
+  let moves = ref 0 in
+  let continue = ref true in
+  while !continue && !moves < max_moves do
+    let d = objective t in
+    (* Clients realising their server's eccentricity on a longest pair. *)
+    let on_longest = Array.make (k t) false in
+    for s1 = 0 to k t - 1 do
+      if t.ecc.(s1) > neg_infinity then
+        for s2 = s1 to k t - 1 do
+          if t.ecc.(s2) > neg_infinity
+             && t.ecc.(s1) +. d_ss t s1 s2 +. t.ecc.(s2) >= d -. 1e-9
+          then begin
+            on_longest.(s1) <- true;
+            on_longest.(s2) <- true
+          end
+        done
+    done;
+    let candidates =
+      Hashtbl.fold
+        (fun id member acc ->
+          if on_longest.(member.server)
+             && d_ns t member.node member.server >= t.ecc.(member.server) -. 1e-9
+          then (id, member) :: acc
+          else acc)
+        t.members []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    let try_move (id, member) =
+      let old_s = member.server in
+      let trial = Array.copy t.ecc in
+      trial.(old_s) <- ecc_excluding t old_s id;
+      let d_rest = objective_of t trial in
+      let best = ref (-1) and best_d = ref infinity in
+      for s = 0 to k t - 1 do
+        if s <> old_s && (not t.failed.(s)) && t.load.(s) < t.capacity then begin
+          let resulting = Float.max d_rest (attach_cost t trial member.node s) in
+          if resulting < !best_d then begin
+            best_d := resulting;
+            best := s
+          end
+        end
+      done;
+      if !best >= 0 && !best_d < d -. 1e-12 then begin
+        let s = !best in
+        t.load.(old_s) <- t.load.(old_s) - 1;
+        t.load.(s) <- t.load.(s) + 1;
+        member.server <- s;
+        t.ecc.(old_s) <- trial.(old_s);
+        t.ecc.(s) <- Float.max trial.(s) (d_ns t member.node s);
+        t.moves <- t.moves + 1;
+        incr moves;
+        true
+      end
+      else false
+    in
+    if not (List.exists try_move candidates) then continue := false
+  done;
+  !moves
+
+let snapshot t =
+  if num_clients t = 0 then invalid_arg "Dynamic.snapshot: no clients";
+  let entries =
+    Hashtbl.fold (fun id member acc -> (id, member) :: acc) t.members []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let clients = Array.of_list (List.map (fun (_, m) -> m.node) entries) in
+  let capacity = if t.capacity = max_int then None else Some t.capacity in
+  let p = Problem.make ?capacity ~latency:t.matrix ~servers:t.servers ~clients () in
+  let a =
+    Assignment.of_array p (Array.of_list (List.map (fun (_, m) -> m.server) entries))
+  in
+  (p, a)
+
+let stats t = { joins = t.joins; leaves = t.leaves; moves = t.moves }
+
+let active_servers t =
+  List.filter (fun s -> not t.failed.(s)) (List.init (k t) Fun.id)
+
+let fail_server t s =
+  if s < 0 || s >= k t then
+    invalid_arg (Printf.sprintf "Dynamic.fail_server: server %d out of range" s);
+  if t.failed.(s) then
+    invalid_arg (Printf.sprintf "Dynamic.fail_server: server %d already failed" s);
+  t.failed.(s) <- true;
+  let orphans =
+    Hashtbl.fold
+      (fun id member acc -> if member.server = s then (id, member) :: acc else acc)
+      t.members []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let surviving_capacity =
+    List.fold_left
+      (fun acc s' ->
+        if t.capacity = max_int then max_int
+        else acc + (t.capacity - t.load.(s')))
+      0 (active_servers t)
+  in
+  if surviving_capacity < List.length orphans then begin
+    t.failed.(s) <- false;
+    failwith "Dynamic.fail_server: surviving servers cannot host the orphans"
+  end;
+  t.load.(s) <- 0;
+  t.ecc.(s) <- neg_infinity;
+  (* Greedy re-homing, one orphan at a time (same rule as join). *)
+  List.iter
+    (fun (_, member) ->
+      let current = objective t in
+      let best = ref (-1) and best_d = ref infinity in
+      for s' = 0 to k t - 1 do
+        if (not t.failed.(s')) && t.load.(s') < t.capacity then begin
+          let resulting = Float.max current (attach_cost t t.ecc member.node s') in
+          if resulting < !best_d then begin
+            best_d := resulting;
+            best := s'
+          end
+        end
+      done;
+      assert (!best >= 0);
+      member.server <- !best;
+      t.load.(!best) <- t.load.(!best) + 1;
+      t.ecc.(!best) <- Float.max t.ecc.(!best) (d_ns t member.node !best);
+      t.moves <- t.moves + 1)
+    orphans;
+  List.length orphans
+
+let recover_server t s =
+  if s < 0 || s >= k t then
+    invalid_arg (Printf.sprintf "Dynamic.recover_server: server %d out of range" s);
+  if not t.failed.(s) then
+    invalid_arg (Printf.sprintf "Dynamic.recover_server: server %d is not failed" s);
+  t.failed.(s) <- false

@@ -1,0 +1,88 @@
+(** Online client assignment under churn.
+
+    Section VI of the paper contrasts client assignment with server
+    placement: placement is a long-term decision, while "client
+    assignment deals with only software connections ... it can be
+    adjusted promptly to adapt to system dynamics". This module provides
+    that dynamic counterpart of the offline algorithms: clients join and
+    leave one at a time, each join is placed greedily to minimise the
+    resulting maximum interaction-path length (the same rule an iteration
+    of Greedy Assignment applies), and {!rebalance} runs
+    Distributed-Greedy-style improving moves to repair accumulated
+    drift.
+
+    All operations are incremental: joins cost O(|S|²), leaves
+    O(|S| + load), rebalance O(moves · |S|²  + |C|) — no full re-solve. *)
+
+type t
+(** A mutable dynamic assignment session. *)
+
+type client_id = int
+(** Stable handle for a joined client (never reused within a session). *)
+
+val create : ?capacity:int -> Dia_latency.Matrix.t -> servers:int array -> t
+(** A session over the given network with servers at the given nodes and
+    no clients yet.
+
+    @raise Invalid_argument on invalid servers or non-positive
+    capacity. *)
+
+val join : t -> node:int -> client_id
+(** A client at network node [node] joins; it is assigned to the
+    unsaturated server that minimises the resulting objective (ties to
+    the lowest server index).
+
+    @raise Invalid_argument if [node] is out of range.
+    @raise Failure if every server is saturated. *)
+
+val leave : t -> client_id -> unit
+(** The client departs; its server's eccentricity is recomputed.
+
+    @raise Invalid_argument for unknown or already-departed ids. *)
+
+val server_of : t -> client_id -> int
+(** Current server index of a client.
+
+    @raise Invalid_argument for unknown or departed ids. *)
+
+val num_clients : t -> int
+(** Currently connected clients. *)
+
+val objective : t -> float
+(** Current maximum interaction-path length ([neg_infinity] when empty).
+    O(|S|²). *)
+
+val rebalance : ?max_moves:int -> t -> int
+(** Perform up to [max_moves] (default unlimited) strictly improving
+    single-client moves, Distributed-Greedy style, and return how many
+    were made. Afterwards (when not cut short by [max_moves]) no single
+    move can reduce the objective. *)
+
+val snapshot : t -> Problem.t * Assignment.t
+(** Materialise the current membership as an offline instance — for
+    comparing against the offline algorithms or feeding the simulator.
+
+    @raise Invalid_argument when no clients are connected. *)
+
+type stats = { joins : int; leaves : int; moves : int }
+
+val stats : t -> stats
+
+val active_servers : t -> int list
+(** Server indices currently accepting clients (all of them until
+    {!fail_server} is used), ascending. *)
+
+val fail_server : t -> int -> int
+(** [fail_server t s] takes server [s] out of service: it stops accepting
+    joins and every client currently on it is migrated — each to the live
+    server that minimises the resulting objective (greedy, in client-id
+    order). Returns the number of clients migrated.
+
+    @raise Invalid_argument if [s] is out of range or already failed.
+    @raise Failure if the surviving capacity cannot host the orphans. *)
+
+val recover_server : t -> int -> unit
+(** Bring a failed server back into service (existing clients stay where
+    they are; {!rebalance} will start using it again).
+
+    @raise Invalid_argument if [s] is out of range or not failed. *)

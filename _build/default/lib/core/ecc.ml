@@ -1,0 +1,44 @@
+let of_assignment p assignment =
+  let ecc = Array.make (Problem.num_servers p) neg_infinity in
+  Array.iteri
+    (fun c s ->
+      let d = Problem.d_cs p c s in
+      if d > ecc.(s) then ecc.(s) <- d)
+    assignment;
+  ecc
+
+let objective p ecc =
+  let k = Problem.num_servers p in
+  let best = ref neg_infinity in
+  for s1 = 0 to k - 1 do
+    if ecc.(s1) > neg_infinity then
+      for s2 = s1 to k - 1 do
+        if ecc.(s2) > neg_infinity then begin
+          let len = ecc.(s1) +. Problem.d_ss p s1 s2 +. ecc.(s2) in
+          if len > !best then best := len
+        end
+      done
+  done;
+  !best
+
+let excluding p assignment ~server ~client =
+  let worst = ref neg_infinity in
+  Array.iteri
+    (fun c s ->
+      if s = server && c <> client then begin
+        let d = Problem.d_cs p c s in
+        if d > !worst then worst := d
+      end)
+    assignment;
+  !worst
+
+let attach p ecc ~client ~server =
+  let d = Problem.d_cs p client server in
+  let worst = ref (2. *. d) in
+  for s'' = 0 to Problem.num_servers p - 1 do
+    if ecc.(s'') > neg_infinity then begin
+      let len = d +. Problem.d_ss p server s'' +. ecc.(s'') in
+      if len > !worst then worst := len
+    end
+  done;
+  !worst

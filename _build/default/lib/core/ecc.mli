@@ -1,0 +1,27 @@
+(** Per-server eccentricity arithmetic.
+
+    Every algorithm in this library manipulates the objective through
+    per-server eccentricities
+    [l(s) = max {d(c, s) | A(c) = s}] (with [neg_infinity] for unused
+    servers), exploiting that
+    [D(A) = max over s1, s2 of l(s1) + d(s1, s2) + l(s2)].
+    This module is the single home for that arithmetic; {!Objective},
+    the search algorithms ({!Distributed_greedy}, {!Local_search},
+    {!Brute_force}) and the protocol simulators all build on it. *)
+
+val of_assignment : Problem.t -> int array -> float array
+(** Eccentricity per server index for a raw assignment array. O(|C|). *)
+
+val objective : Problem.t -> float array -> float
+(** [D] from an eccentricity array: the maximum over used server pairs
+    (including a server with itself) of [l(s1) + d(s1, s2) + l(s2)].
+    [neg_infinity] when no server is used. O(|S|²). *)
+
+val excluding : Problem.t -> int array -> server:int -> client:int -> float
+(** Eccentricity of [server] if [client] were removed from it. O(|C|). *)
+
+val attach : Problem.t -> float array -> client:int -> server:int -> float
+(** Longest interaction path involving [client] if it were attached to
+    [server], given the other assignments' eccentricities: the maximum of
+    its round trip [2 d(c, s)] and [d(c, s) + d(s, s'') + l(s'')] over
+    used servers [s'']. O(|S|). *)

@@ -1,0 +1,183 @@
+(* Direct implementation of the paper's Fig. 6, with one strengthening:
+   line 11's max over assigned clients b of d(s, sA(b)) + d(sA(b), b) is
+   computed from per-server eccentricities (O(|S|) instead of O(|C|)).
+
+   Tie-breaking on the cost Δl/Δn: costs are compared as cross-products
+   (Δl1 * Δn2 vs Δl2 * Δn1) to avoid float division, with ties broken by
+   larger Δn (bigger batch for the same amortised cost), then by server
+   and client index for determinism. *)
+
+type candidate = { cost_num : float; cost_den : int; len : float; c : int; s : int }
+
+let better a b =
+  let cross = Float.compare (a.cost_num *. float_of_int b.cost_den)
+      (b.cost_num *. float_of_int a.cost_den) in
+  if cross <> 0 then cross < 0
+  else if a.cost_den <> b.cost_den then a.cost_den > b.cost_den
+  else (a.s, a.c) < (b.s, b.c)
+
+let assign p =
+  let n = Problem.num_clients p in
+  let k = Problem.num_servers p in
+  let capacity = match Problem.capacity p with None -> max_int | Some c -> c in
+  let result = Array.make n (-1) in
+  if n > 0 then begin
+    (* Ls: for each server, clients sorted by distance ascending. *)
+    let sorted =
+      Array.init k (fun s ->
+          let order = Array.init n Fun.id in
+          Array.sort
+            (fun a b -> Float.compare (Problem.d_cs p a s) (Problem.d_cs p b s))
+            order;
+          order)
+    in
+    (* index.(s).(c) = number of unassigned clients c' with position <=
+       position of c in Ls — the paper's index[s, c], i.e. Δn. *)
+    let index = Array.make_matrix k n 0 in
+    let rebuild_indexes () =
+      for s = 0 to k - 1 do
+        let row = index.(s) and ls = sorted.(s) in
+        let unassigned = ref 0 in
+        for i = 0 to n - 1 do
+          let c = ls.(i) in
+          if result.(c) < 0 then incr unassigned;
+          row.(c) <- !unassigned
+        done
+      done
+    in
+    rebuild_indexes ();
+    let ecc = Array.make k neg_infinity in
+    let load = Array.make k 0 in
+    let max_len = ref 0. in
+    let remaining = ref n in
+    while !remaining > 0 do
+      let best = ref None in
+      for s = 0 to k - 1 do
+        if load.(s) < capacity then begin
+          (* m = max over assigned clients b of d(s, sA(b)) + d(sA(b), b);
+             neg_infinity while nothing is assigned, in which case only
+             the 2 d(c, s) term matters. *)
+          let m = ref neg_infinity in
+          for s' = 0 to k - 1 do
+            if ecc.(s') > neg_infinity then begin
+              let reach = Problem.d_ss p s s' +. ecc.(s') in
+              if reach > !m then m := reach
+            end
+          done;
+          let room = capacity - load.(s) in
+          for c = 0 to n - 1 do
+            if result.(c) < 0 && index.(s).(c) <= room then begin
+              let d = Problem.d_cs p c s in
+              let len = Float.max (2. *. d) (Float.max (d +. !m) !max_len) in
+              let cand =
+                { cost_num = len -. !max_len; cost_den = index.(s).(c); len; c; s }
+              in
+              match !best with
+              | Some b when not (better cand b) -> ()
+              | _ -> best := Some cand
+            end
+          done
+        end
+      done;
+      let chosen =
+        match !best with
+        | Some cand -> cand
+        | None ->
+            (* Unreachable: an unsaturated server always admits its nearest
+               unassigned client (Δn = 1) and total capacity covers |C|. *)
+            assert false
+      in
+      (* Commit exactly Δn clients: the unassigned ones closest to s*, the
+         last of which is c* (or ties with it). Walking Ls rather than
+         filtering on distance keeps capacitated batches exact even when
+         several clients are equidistant. *)
+      let ls = sorted.(chosen.s) in
+      let taken = ref 0 and i = ref 0 in
+      while !taken < chosen.cost_den do
+        let c = ls.(!i) in
+        if result.(c) < 0 then begin
+          result.(c) <- chosen.s;
+          load.(chosen.s) <- load.(chosen.s) + 1;
+          decr remaining;
+          incr taken;
+          let d = Problem.d_cs p c chosen.s in
+          if d > ecc.(chosen.s) then ecc.(chosen.s) <- d
+        end;
+        incr i
+      done;
+      max_len := chosen.len;
+      rebuild_indexes ()
+    done
+  end;
+  Assignment.unsafe_of_array result
+
+let assign_reference p =
+  let n = Problem.num_clients p in
+  let k = Problem.num_servers p in
+  let capacity = match Problem.capacity p with None -> max_int | Some c -> c in
+  let result = Array.make n (-1) in
+  let ecc = Array.make k neg_infinity in
+  let load = Array.make k 0 in
+  let max_len = ref 0. in
+  let remaining = ref n in
+  (* Δn by direct scan: unassigned clients no farther from s than c. *)
+  let batch_size s c =
+    let d = Problem.d_cs p c s in
+    let count = ref 0 in
+    for c' = 0 to n - 1 do
+      if result.(c') < 0 && Problem.d_cs p c' s <= d then incr count
+    done;
+    !count
+  in
+  while !remaining > 0 do
+    let best = ref None in
+    for s = 0 to k - 1 do
+      if load.(s) < capacity then begin
+        let m = ref neg_infinity in
+        for s' = 0 to k - 1 do
+          if ecc.(s') > neg_infinity then
+            m := Float.max !m (Problem.d_ss p s s' +. ecc.(s'))
+        done;
+        let room = capacity - load.(s) in
+        for c = 0 to n - 1 do
+          if result.(c) < 0 then begin
+            let delta_n = batch_size s c in
+            if delta_n <= room then begin
+              let d = Problem.d_cs p c s in
+              let len = Float.max (2. *. d) (Float.max (d +. !m) !max_len) in
+              let cand =
+                { cost_num = len -. !max_len; cost_den = delta_n; len; c; s }
+              in
+              match !best with
+              | Some b when not (better cand b) -> ()
+              | _ -> best := Some cand
+            end
+          end
+        done
+      end
+    done;
+    let chosen = match !best with Some cand -> cand | None -> assert false in
+    let radius = Problem.d_cs p chosen.c chosen.s in
+    (* Commit the batch: the Δn closest unassigned clients (walk by
+       distance, ties by client index, mirroring the sorted-list walk). *)
+    let members =
+      List.init n Fun.id
+      |> List.filter (fun c -> result.(c) < 0 && Problem.d_cs p c chosen.s <= radius)
+      |> List.sort (fun a b ->
+             match
+               Float.compare (Problem.d_cs p a chosen.s) (Problem.d_cs p b chosen.s)
+             with
+             | 0 -> compare a b
+             | cmp -> cmp)
+      |> List.filteri (fun i _ -> i < chosen.cost_den)
+    in
+    List.iter
+      (fun c ->
+        result.(c) <- chosen.s;
+        load.(chosen.s) <- load.(chosen.s) + 1;
+        decr remaining;
+        ecc.(chosen.s) <- Float.max ecc.(chosen.s) (Problem.d_cs p c chosen.s))
+      members;
+    max_len := chosen.len
+  done;
+  Assignment.unsafe_of_array result

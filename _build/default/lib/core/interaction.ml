@@ -1,0 +1,89 @@
+type path = {
+  from_client : int;
+  to_client : int;
+  from_server : int;
+  to_server : int;
+  client_leg : float;
+  server_leg : float;
+  exit_leg : float;
+  length : float;
+}
+
+let path p a ci cj =
+  let from_server = Assignment.server_of a ci in
+  let to_server = Assignment.server_of a cj in
+  let client_leg = Problem.d_cs p ci from_server in
+  let server_leg = Problem.d_ss p from_server to_server in
+  let exit_leg = Problem.d_cs p cj to_server in
+  {
+    from_client = ci;
+    to_client = cj;
+    from_server;
+    to_server;
+    client_leg;
+    server_leg;
+    exit_leg;
+    length = client_leg +. server_leg +. exit_leg;
+  }
+
+(* Worst client of each server (by distance), or none if unused. *)
+let worst_client_of p a =
+  let k = Problem.num_servers p in
+  let worst = Array.make k (-1) in
+  for c = 0 to Problem.num_clients p - 1 do
+    let s = Assignment.server_of a c in
+    if worst.(s) < 0 || Problem.d_cs p c s > Problem.d_cs p worst.(s) s then
+      worst.(s) <- c
+  done;
+  worst
+
+let worst_pairs ?(count = 10) p a =
+  let k = Problem.num_servers p in
+  let worst = worst_client_of p a in
+  let candidates = ref [] in
+  for s1 = 0 to k - 1 do
+    if worst.(s1) >= 0 then
+      for s2 = s1 to k - 1 do
+        if worst.(s2) >= 0 then
+          candidates := path p a worst.(s1) worst.(s2) :: !candidates
+      done
+  done;
+  let ranked =
+    List.sort (fun x y -> Float.compare y.length x.length) !candidates
+  in
+  List.filteri (fun i _ -> i < count) ranked
+
+let client_worst p a c =
+  let k = Problem.num_servers p in
+  let worst = worst_client_of p a in
+  let best = ref (path p a c c) in
+  for s = 0 to k - 1 do
+    if worst.(s) >= 0 then begin
+      let candidate = path p a c worst.(s) in
+      if candidate.length > !best.length then best := candidate
+    end
+  done;
+  !best
+
+let server_contribution p a =
+  let k = Problem.num_servers p in
+  let worst = worst_client_of p a in
+  let through = Array.make k neg_infinity in
+  for s1 = 0 to k - 1 do
+    if worst.(s1) >= 0 then
+      for s2 = s1 to k - 1 do
+        if worst.(s2) >= 0 then begin
+          let len = (path p a worst.(s1) worst.(s2)).length in
+          through.(s1) <- Float.max through.(s1) len;
+          through.(s2) <- Float.max through.(s2) len
+        end
+      done
+  done;
+  Array.to_list (Array.mapi (fun s len -> (s, len)) through)
+  |> List.filter (fun (s, _) -> worst.(s) >= 0)
+  |> List.sort (fun (_, x) (_, y) -> Float.compare y x)
+
+let breakdown p a =
+  match worst_pairs ~count:1 p a with
+  | [] -> (nan, nan)
+  | worst :: _ -> (worst.client_leg +. worst.exit_leg, worst.server_leg)

@@ -1,0 +1,77 @@
+let assign_uncapacitated p =
+  let n = Problem.num_clients p in
+  let nearest = Array.init n (fun c -> Problem.nearest_server p c) in
+  let nearest_dist = Array.init n (fun c -> Problem.d_cs p c nearest.(c)) in
+  (* Clients sorted by distance to their nearest server, longest first. *)
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> Float.compare nearest_dist.(b) nearest_dist.(a)) order;
+  let result = Array.make n (-1) in
+  Array.iter
+    (fun c ->
+      if result.(c) < 0 then begin
+        let s = nearest.(c) in
+        let radius = nearest_dist.(c) in
+        result.(c) <- s;
+        for c' = 0 to n - 1 do
+          if result.(c') < 0 && Problem.d_cs p c' s <= radius then result.(c') <- s
+        done
+      end)
+    order;
+  Assignment.unsafe_of_array result
+
+let assign_capacitated p cap =
+  let n = Problem.num_clients p in
+  let k = Problem.num_servers p in
+  let load = Array.make k 0 in
+  let result = Array.make n (-1) in
+  let remaining = ref n in
+  (* Each round recomputes nearest unsaturated servers for the pool, picks
+     the pool client farthest from its nearest server, and fills that
+     server with the pool clients closest to it (at most its remaining
+     capacity, always including enough to make progress). *)
+  while !remaining > 0 do
+    let saturated s = load.(s) >= cap in
+    let nearest_unsaturated c =
+      let best = ref (-1) in
+      for s = 0 to k - 1 do
+        if not (saturated s) && (!best < 0 || Problem.d_cs p c s < Problem.d_cs p c !best)
+        then best := s
+      done;
+      assert (!best >= 0);
+      !best
+    in
+    let driver = ref (-1) and driver_server = ref (-1) and driver_dist = ref neg_infinity in
+    for c = 0 to n - 1 do
+      if result.(c) < 0 then begin
+        let s = nearest_unsaturated c in
+        let d = Problem.d_cs p c s in
+        if d > !driver_dist then begin
+          driver := c;
+          driver_server := s;
+          driver_dist := d
+        end
+      end
+    done;
+    let s = !driver_server in
+    let batch = ref [] in
+    for c = 0 to n - 1 do
+      if result.(c) < 0 && Problem.d_cs p c s <= !driver_dist then batch := c :: !batch
+    done;
+    let batch = Array.of_list !batch in
+    Array.sort
+      (fun a b -> Float.compare (Problem.d_cs p a s) (Problem.d_cs p b s))
+      batch;
+    let room = cap - load.(s) in
+    let take = min room (Array.length batch) in
+    for i = 0 to take - 1 do
+      result.(batch.(i)) <- s;
+      load.(s) <- load.(s) + 1;
+      decr remaining
+    done
+  done;
+  Assignment.unsafe_of_array result
+
+let assign p =
+  match Problem.capacity p with
+  | None -> assign_uncapacitated p
+  | Some cap -> assign_capacitated p cap

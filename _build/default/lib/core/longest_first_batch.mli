@@ -1,0 +1,20 @@
+(** Longest-First-Batch Assignment (Section IV-B).
+
+    Iteratively picks the unassigned client [c] whose distance to its
+    nearest server [s] is longest, assigns [c] to [s], and batches onto
+    [s] every unassigned client no farther from [s] than [c]. Because a
+    client not assigned to its nearest server can then never be the
+    farthest client of its assigned server, the longest interaction path
+    connects two nearest-server-assigned clients, so the objective never
+    exceeds Nearest-Server Assignment's (and inherits its approximation
+    ratio of 3).
+
+    Capacitated variant (Section IV-E): when a batch would overload [s],
+    only the clients closest to [s] are kept, filling [s] exactly to
+    capacity (keeping the near ones minimises the eccentricity [s]
+    contributes); the rest recompute their nearest servers among
+    unsaturated servers and re-enter the pool. *)
+
+val assign : Problem.t -> Assignment.t
+(** Runs the capacitated variant automatically when the instance has a
+    capacity. O(|C| (|C| + |S|)) uncapacitated. *)

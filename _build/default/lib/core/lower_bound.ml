@@ -1,0 +1,72 @@
+(* For a fixed client c, define f_c(s') = min over s of d(c,s) + d(s,s'):
+   the cheapest way to reach "exit server" s' from c via any entry server.
+   Then LB = max over pairs (c, c') of min over s' of f_c(s') + d(s',c').
+
+   Pruning: with ns(c') the nearest server to c' and nd(c') its distance,
+   g(c, c') <= f_c(ns(c')) + nd(c'), so whenever that upper bound does not
+   beat the best pair found so far the O(|S|) inner minimisation is
+   skipped. *)
+
+let reach_costs p =
+  let k = Problem.num_servers p in
+  let n = Problem.num_clients p in
+  let f = Array.make_matrix n k infinity in
+  for c = 0 to n - 1 do
+    let row = f.(c) in
+    for s = 0 to k - 1 do
+      let dcs = Problem.d_cs p c s in
+      for s' = 0 to k - 1 do
+        let cost = dcs +. Problem.d_ss p s s' in
+        if cost < row.(s') then row.(s') <- cost
+      done
+    done
+  done;
+  f
+
+let compute p =
+  let n = Problem.num_clients p in
+  if n = 0 then neg_infinity
+  else begin
+    let k = Problem.num_servers p in
+    let f = reach_costs p in
+    let nearest = Array.init n (fun c -> Problem.nearest_server p c) in
+    let nearest_dist = Array.init n (fun c -> Problem.d_cs p c nearest.(c)) in
+    let best = ref neg_infinity in
+    for c = 0 to n - 1 do
+      let row = f.(c) in
+      for c' = c to n - 1 do
+        let upper = row.(nearest.(c')) +. nearest_dist.(c') in
+        if upper > !best then begin
+          let g = ref upper in
+          for s' = 0 to k - 1 do
+            let len = row.(s') +. Problem.d_cs p c' s' in
+            if len < !g then g := len
+          done;
+          if !g > !best then best := !g
+        end
+      done
+    done;
+    !best
+  end
+
+let naive p =
+  let n = Problem.num_clients p and k = Problem.num_servers p in
+  let best = ref neg_infinity in
+  for c = 0 to n - 1 do
+    for c' = c to n - 1 do
+      let g = ref infinity in
+      for s = 0 to k - 1 do
+        for s' = 0 to k - 1 do
+          let len = Problem.d_cs p c s +. Problem.d_ss p s s' +. Problem.d_cs p c' s' in
+          if len < !g then g := len
+        done
+      done;
+      if !g > !best then best := !g
+    done
+  done;
+  !best
+
+let normalized p a =
+  let lb = compute p in
+  if not (Float.is_finite lb) || lb <= 0. then nan
+  else Objective.max_interaction_path p a /. lb

@@ -1,0 +1,22 @@
+(** The super-optimal lower bound on the maximum interaction-path length.
+
+    Section V of the paper normalises every algorithm against
+    [LB = max over client pairs (c, c') of
+         min over server pairs (s, s') of d(c,s) + d(s,s') + d(s',c')].
+    Each client pair may pick its own best server pair, so the bound is
+    generally unachievable by any single assignment ("super-optimum"), but
+    [LB <= D(A)] for every assignment [A]. *)
+
+val compute : Problem.t -> float
+(** The lower bound. [neg_infinity] for instances with no clients.
+    Runs in O(|C| |S|² + |C|² |S|) with an O(1)-per-pair pruning test
+    that skips most inner scans on Internet-like data. *)
+
+val naive : Problem.t -> float
+(** Direct four-way loop, O(|C|² |S|²) — correctness oracle for tests and
+    the ablation bench. *)
+
+val normalized : Problem.t -> Assignment.t -> float
+(** [normalized p a] is [D(A) / LB], the paper's "normalized
+    interactivity" (1.0 is ideal). [nan] when the bound is zero or the
+    instance has no clients. *)

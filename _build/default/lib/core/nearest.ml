@@ -1,0 +1,30 @@
+let assign_uncapacitated p =
+  Assignment.unsafe_of_array
+    (Array.init (Problem.num_clients p) (fun c -> Problem.nearest_server p c))
+
+let assign_capacitated p cap =
+  let load = Array.make (Problem.num_servers p) 0 in
+  let pick c =
+    let order = Problem.servers_by_distance p c in
+    let rec try_servers i =
+      if i >= Array.length order then
+        (* make/with_capacity guarantee cap * |S| >= |C|, so a free server
+           always exists. *)
+        assert false
+      else begin
+        let s = order.(i) in
+        if load.(s) < cap then begin
+          load.(s) <- load.(s) + 1;
+          s
+        end
+        else try_servers (i + 1)
+      end
+    in
+    try_servers 0
+  in
+  Assignment.unsafe_of_array (Array.init (Problem.num_clients p) pick)
+
+let assign p =
+  match Problem.capacity p with
+  | None -> assign_uncapacitated p
+  | Some cap -> assign_capacitated p cap

@@ -1,0 +1,15 @@
+(** Nearest-Server Assignment (Section IV-A).
+
+    Assigns every client to its closest server. This is the intuitive
+    baseline; the paper proves it is a (tight) 3-approximation under the
+    triangle inequality and shows experimentally that it is the worst of
+    the four heuristics on real latency data (which violate the triangle
+    inequality, so the ratio 3 does not even apply).
+
+    Under a capacity limit each client tries its servers in increasing
+    distance order until it finds one with room (Section IV-E); clients
+    are processed in index order, which models their arrival order. *)
+
+val assign : Problem.t -> Assignment.t
+(** Runs the capacitated variant automatically when the instance has a
+    capacity. O(|C| |S|) uncapacitated, O(|C| |S| log |S|) capacitated. *)

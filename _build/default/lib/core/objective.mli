@@ -1,0 +1,43 @@
+(** The interactivity objective: maximum interaction-path length.
+
+    The interaction path between clients [ci] and [cj] under assignment
+    [A] is [d(ci, sA(ci)) + d(sA(ci), sA(cj)) + d(sA(cj), cj)] (Section
+    II-A). Its maximum over all client pairs, [D(A)], equals the minimum
+    achievable interaction time of the DIA under consistency and fairness
+    (Section II-C), and is what every algorithm minimises.
+
+    The fast evaluator exploits that the path length decomposes through
+    per-server eccentricities: with
+    [l(s) = max {d(c, s) | A(c) = s}],
+    [D(A) = max over used servers s1, s2 of l(s1) + d(s1, s2) + l(s2)]
+    (the [s1 = s2] case covers client pairs sharing a server and a
+    client's round trip to itself), costing O(|C| + |S|²) instead of the
+    naive O(|C|²). *)
+
+val eccentricities : Problem.t -> Assignment.t -> float array
+(** Per-server eccentricity [l(s)]; [neg_infinity] for servers with no
+    assigned clients. O(|C| + |S|). *)
+
+val max_interaction_path : Problem.t -> Assignment.t -> float
+(** [D(A)], the maximum interaction-path length over all client pairs —
+    including a client paired with itself (round trip). [neg_infinity]
+    for instances with no clients. O(|C| + |S|²). *)
+
+val naive_max_interaction_path : Problem.t -> Assignment.t -> float
+(** Direct O(|C|²) evaluation of the same quantity, kept as a correctness
+    oracle and as the ablation baseline for the [objective] bench. *)
+
+val path_length : Problem.t -> Assignment.t -> int -> int -> float
+(** Interaction-path length between two client indices (equal indices give
+    the round-trip [2 d(c, sA(c))]). *)
+
+val longest_pair : Problem.t -> Assignment.t -> int * int * float
+(** Some client pair achieving [D(A)] (as [ci, cj, length]); [ci] may
+    equal [cj].
+
+    @raise Invalid_argument if the instance has no clients. *)
+
+val average_interaction_path : Problem.t -> Assignment.t -> float
+(** Mean interaction-path length over ordered client pairs including
+    self-pairs — a secondary statistic used in reports. O(|C| + |S|²)
+    via per-server totals. *)

@@ -1,0 +1,1 @@
+lib/experiments/config.ml: Array Dia_latency Float Fun Random

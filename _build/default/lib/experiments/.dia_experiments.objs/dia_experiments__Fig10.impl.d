@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Config Dia_core Dia_latency Dia_placement Dia_stats Hashtbl List Option Printf Runner String

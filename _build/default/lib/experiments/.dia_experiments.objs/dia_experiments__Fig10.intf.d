@@ -1,0 +1,1 @@
+lib/experiments/fig10.mli: Config Dia_core Dia_placement

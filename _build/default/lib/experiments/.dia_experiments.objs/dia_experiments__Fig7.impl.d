@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Config Dia_core Dia_placement Dia_stats List Printf Runner String

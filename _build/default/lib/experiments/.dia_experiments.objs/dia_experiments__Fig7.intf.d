@@ -1,0 +1,1 @@
+lib/experiments/fig7.mli: Config Dia_core Dia_latency Dia_placement

@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Array Config Dia_core Dia_placement Dia_stats Hashtbl List Option Printf Runner

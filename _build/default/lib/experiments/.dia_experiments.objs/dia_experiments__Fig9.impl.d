@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Array Config Dia_core Dia_placement Dia_stats List Printf

@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Dia_core Dia_placement Dia_stats Hashtbl List Option

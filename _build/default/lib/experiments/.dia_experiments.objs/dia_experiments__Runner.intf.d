@@ -1,0 +1,1 @@
+lib/experiments/runner.mli: Dia_core Dia_latency Dia_placement Dia_stats

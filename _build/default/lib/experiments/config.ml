@@ -1,0 +1,84 @@
+module Matrix = Dia_latency.Matrix
+
+type dataset = Meridian_like | Mit_like
+
+let dataset_name = function Meridian_like -> "meridian" | Mit_like -> "mit"
+
+let dataset_of_string = function
+  | "meridian" -> Some Meridian_like
+  | "mit" -> Some Mit_like
+  | _ -> None
+
+type profile = {
+  label : string;
+  nodes : int option;
+  runs : int;
+  server_counts : int list;
+  fixed_servers : int;
+  paper_capacities : int list;
+}
+
+let paper_capacities = [ 25; 50; 100; 150; 200; 250 ]
+
+let quick =
+  {
+    label = "quick";
+    nodes = Some 250;
+    runs = 15;
+    server_counts = [ 20; 40; 60; 80 ];
+    fixed_servers = 40;
+    paper_capacities;
+  }
+
+let default =
+  {
+    label = "default";
+    nodes = Some 600;
+    runs = 40;
+    server_counts = [ 20; 30; 40; 50; 60; 70; 80; 90; 100 ];
+    fixed_servers = 80;
+    paper_capacities;
+  }
+
+let full =
+  {
+    label = "full";
+    nodes = None;
+    runs = 1000;
+    server_counts = [ 20; 30; 40; 50; 60; 70; 80; 90; 100 ];
+    fixed_servers = 80;
+    paper_capacities;
+  }
+
+let profile_of_string = function
+  | "quick" -> Some quick
+  | "default" -> Some default
+  | "full" -> Some full
+  | _ -> None
+
+let load_dataset ?(seed = 0) dataset profile =
+  let matrix =
+    match dataset with
+    | Meridian_like -> Dia_latency.Synthetic.meridian_like ()
+    | Mit_like -> Dia_latency.Synthetic.mit_like ()
+  in
+  match profile.nodes with
+  | None -> matrix
+  | Some n when n >= Matrix.dim matrix -> matrix
+  | Some n ->
+      let rng = Random.State.make [| seed; n |] in
+      let pool = Array.init (Matrix.dim matrix) Fun.id in
+      for i = 0 to n - 1 do
+        let j = i + Random.State.int rng (Array.length pool - i) in
+        let tmp = pool.(i) in
+        pool.(i) <- pool.(j);
+        pool.(j) <- tmp
+      done;
+      let chosen = Array.sub pool 0 n in
+      Array.sort compare chosen;
+      Matrix.sub matrix chosen
+
+let scaled_capacity ~clients paper_cap =
+  (* Preserve the paper's load factor: capacities are quoted for 1796
+     clients (Meridian). *)
+  max 1 (int_of_float (Float.round (float_of_int paper_cap *. float_of_int clients /. 1796.)))

@@ -1,0 +1,45 @@
+(** Experiment configuration.
+
+    The paper's evaluation (Section V) places clients at all nodes of the
+    Meridian (1796-node) and MIT King (1024-node) matrices and sweeps
+    server count, placement strategy, and server capacity. Running the
+    verbatim scale (1000 random-placement repetitions on 1796 nodes)
+    takes hours on one core, so experiments take a {!profile}: [Full] is
+    the paper's exact scale; [Default] and [Quick] shrink the node count
+    and repetition count while preserving every qualitative shape (the
+    capacity axis is rescaled proportionally to the client count so load
+    factors match the paper's). *)
+
+type dataset = Meridian_like | Mit_like
+
+val dataset_name : dataset -> string
+val dataset_of_string : string -> dataset option
+
+type profile = {
+  label : string;
+  nodes : int option;
+      (** subsample the dataset to this many nodes ([None] = all) *)
+  runs : int;  (** repetitions for random-placement experiments *)
+  server_counts : int list;  (** Fig. 7 x-axis *)
+  fixed_servers : int;  (** server count for Figs. 8-10 *)
+  paper_capacities : int list;  (** Fig. 10 x-axis, in paper units *)
+}
+
+val quick : profile
+val default : profile
+val full : profile
+(** The paper's parameters: all nodes, 1000 runs, servers 20-100 step 10,
+    80 servers for Figs. 8-10, capacities 25/50/100/150/200/250. *)
+
+val profile_of_string : string -> profile option
+(** ["quick" | "default" | "full"]. *)
+
+val load_dataset : ?seed:int -> dataset -> profile -> Dia_latency.Matrix.t
+(** Generate the synthetic stand-in matrix and, if the profile subsamples,
+    restrict it to a random node subset (deterministic in [seed],
+    default 0). *)
+
+val scaled_capacity : clients:int -> int -> int
+(** [scaled_capacity ~clients paper_cap] converts a Fig. 10 capacity from
+    paper units (1796 Meridian clients) to this run's client count,
+    preserving the load factor; at least 1. *)

@@ -1,0 +1,172 @@
+module Algorithm = Dia_core.Algorithm
+module Placement = Dia_placement.Placement
+
+type point = {
+  paper_capacity : int;
+  effective_capacity : int;
+  algorithm : Algorithm.t;
+  normalized : float;
+  stddev : float;
+}
+
+type panel = { strategy : Placement.strategy; points : point list }
+
+type result = {
+  dataset : Config.dataset;
+  profile : Config.profile;
+  servers : int;
+  panels : panel list;
+}
+
+let run ?(dataset = Config.Meridian_like) ?(profile = Config.default) () =
+  let matrix = Config.load_dataset dataset profile in
+  let k = profile.Config.fixed_servers in
+  let clients = Dia_latency.Matrix.dim matrix in
+  let capacities =
+    List.filter_map
+      (fun paper_capacity ->
+        let effective = Config.scaled_capacity ~clients paper_capacity in
+        if effective * k >= clients then Some (paper_capacity, effective) else None)
+      profile.Config.paper_capacities
+  in
+  (* For the random panel, place servers and compute the (capacity-
+     independent) lower bound once per seed, then sweep capacities —
+     |capacities| times fewer lower-bound computations. *)
+  let random_panel () =
+    let samples = Hashtbl.create 64 in
+    for seed = 0 to profile.Config.runs - 1 do
+      let servers = Placement.random ~seed ~k ~n:clients in
+      let p0 = Dia_core.Problem.all_nodes_clients matrix ~servers in
+      let lb = Dia_core.Lower_bound.compute p0 in
+      List.iter
+        (fun (paper_capacity, effective_capacity) ->
+          let p = Dia_core.Problem.with_capacity p0 (Some effective_capacity) in
+          List.iter
+            (fun algorithm ->
+              let a = Dia_core.Algorithm.run algorithm p in
+              let d = Dia_core.Objective.max_interaction_path p a in
+              let key = (paper_capacity, effective_capacity, algorithm) in
+              let previous = Option.value ~default:[] (Hashtbl.find_opt samples key) in
+              Hashtbl.replace samples key ((d /. lb) :: previous))
+            Runner.algorithms)
+        capacities
+    done;
+    let points =
+      List.concat_map
+        (fun (paper_capacity, effective_capacity) ->
+          List.map
+            (fun algorithm ->
+              let values =
+                Hashtbl.find samples (paper_capacity, effective_capacity, algorithm)
+              in
+              let summary = Dia_stats.Summary.of_list values in
+              {
+                paper_capacity;
+                effective_capacity;
+                algorithm;
+                normalized = summary.Dia_stats.Summary.mean;
+                stddev = summary.Dia_stats.Summary.stddev;
+              })
+            Runner.algorithms)
+        capacities
+    in
+    { strategy = Placement.Random_placement; points }
+  in
+  let panel strategy =
+    match strategy with
+    | Placement.Random_placement -> random_panel ()
+    | Placement.K_center_a | Placement.K_center_b ->
+        let points =
+          List.concat_map
+            (fun (paper_capacity, effective_capacity) ->
+              let evaluation =
+                Runner.place_and_evaluate ~capacity:effective_capacity matrix
+                  ~strategy ~k
+              in
+              List.map
+                (fun (algorithm, normalized) ->
+                  { paper_capacity; effective_capacity; algorithm; normalized;
+                    stddev = 0. })
+                (Runner.normalized evaluation))
+            capacities
+        in
+        { strategy; points }
+  in
+  { dataset; profile; servers = k;
+    panels = List.map panel Placement.all_strategies }
+
+let panel_table panel =
+  let columns =
+    "capacity (paper/effective)" :: List.map Algorithm.name Runner.algorithms
+  in
+  let table = Dia_stats.Table.make ~columns in
+  let capacities =
+    List.sort_uniq compare
+      (List.map (fun point -> (point.paper_capacity, point.effective_capacity)) panel.points)
+  in
+  List.iter
+    (fun (paper_capacity, effective) ->
+      let value algorithm =
+        List.find
+          (fun point ->
+            point.paper_capacity = paper_capacity && point.algorithm = algorithm)
+          panel.points
+      in
+      Dia_stats.Table.add_row table
+        (Printf.sprintf "%d/%d" paper_capacity effective
+        :: List.map
+             (fun algorithm -> Printf.sprintf "%.3f" (value algorithm).normalized)
+             Runner.algorithms))
+    capacities;
+  Dia_stats.Table.render table
+
+let panel_plot panel =
+  let series =
+    List.map
+      (fun algorithm ->
+        ( Algorithm.name algorithm,
+          List.filter_map
+            (fun point ->
+              if point.algorithm = algorithm then
+                Some (float_of_int point.paper_capacity, point.normalized)
+              else None)
+            panel.points ))
+      Runner.algorithms
+  in
+  Dia_stats.Ascii_plot.render ~x_label:"server capacity (paper units)"
+    ~y_label:"normalized interactivity" series
+
+let render result =
+  String.concat "\n"
+    (List.map
+       (fun panel ->
+         Printf.sprintf
+           "Fig. 10 (%s placement, %d servers, %s dataset, %s profile)\n%s\n%s"
+           (Placement.strategy_name panel.strategy)
+           result.servers
+           (Config.dataset_name result.dataset)
+           result.profile.Config.label (panel_table panel) (panel_plot panel))
+       result.panels)
+
+let csv result =
+  let rows =
+    List.concat_map
+      (fun panel ->
+        List.map
+          (fun point ->
+            [
+              Placement.strategy_name panel.strategy;
+              string_of_int point.paper_capacity;
+              string_of_int point.effective_capacity;
+              Algorithm.key point.algorithm;
+              Printf.sprintf "%.6f" point.normalized;
+              Printf.sprintf "%.6f" point.stddev;
+            ])
+          panel.points)
+      result.panels
+  in
+  Dia_stats.Csv.render
+    ~header:
+      [ "placement"; "paper_capacity"; "effective_capacity"; "algorithm";
+        "normalized"; "stddev" ]
+    rows

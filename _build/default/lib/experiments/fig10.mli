@@ -1,0 +1,43 @@
+(** Fig. 10 — impact of server capacity.
+
+    Normalized interactivity of the capacitated algorithm variants as the
+    per-server capacity shrinks, at a fixed server count under each
+    placement strategy. The paper's observations: interactivity degrades
+    as capacity falls (sharply when severely limited); Nearest-Server and
+    Distributed-Greedy are least affected; Longest-First-Batch and Greedy
+    are unbalanced and suffer most, falling to or below Nearest-Server at
+    tight capacities; Distributed-Greedy is best overall.
+
+    Capacities are quoted in paper units (for 1796 clients) and scaled to
+    the run's client count so the load factor — the thing that drives the
+    effect — matches the paper's. The lower bound stays uncapacitated, as
+    in the paper. *)
+
+type point = {
+  paper_capacity : int;
+  effective_capacity : int;
+  algorithm : Dia_core.Algorithm.t;
+  normalized : float;
+  stddev : float;
+}
+
+type panel = {
+  strategy : Dia_placement.Placement.strategy;
+  points : point list;
+}
+
+type result = {
+  dataset : Config.dataset;
+  profile : Config.profile;
+  servers : int;
+  panels : panel list;
+}
+
+val run :
+  ?dataset:Config.dataset -> ?profile:Config.profile -> unit -> result
+
+val render : result -> string
+
+val csv : result -> string
+(** CSV export:
+    [placement,paper_capacity,effective_capacity,algorithm,normalized,stddev]. *)

@@ -1,0 +1,31 @@
+(** Fig. 8 — cumulative distribution of normalized interactivity over
+    repeated random placements at a fixed server count.
+
+    The paper's panel counts, for each algorithm, how many of the 1000
+    simulation runs fall below each normalized-interactivity value,
+    highlighting Nearest-Server's long tail (>2x the bound in over 100
+    runs, >3x in over 50). *)
+
+type result = {
+  dataset : Config.dataset;
+  profile : Config.profile;
+  servers : int;
+  cdfs : (Dia_core.Algorithm.t * Dia_stats.Cdf.t) list;
+}
+
+val run :
+  ?dataset:Config.dataset -> ?profile:Config.profile -> unit -> result
+
+val runs_below : result -> float -> (Dia_core.Algorithm.t * int) list
+(** Number of runs at or below a normalized-interactivity threshold —
+    the paper's y-axis read off at one x. *)
+
+val tail_heaviness : result -> (Dia_core.Algorithm.t * int * int) list
+(** Per algorithm: runs exceeding 2x and 3x the lower bound — the
+    headline numbers quoted in Section V-A. *)
+
+val render : result -> string
+
+val csv : result -> string
+(** CSV export of the raw samples: [algorithm,run,normalized] (the CDF is
+    recoverable by sorting per algorithm). *)

@@ -1,0 +1,153 @@
+module Placement = Dia_placement.Placement
+module Problem = Dia_core.Problem
+module Distributed_greedy = Dia_core.Distributed_greedy
+module Lower_bound = Dia_core.Lower_bound
+
+type trace = {
+  strategy : Placement.strategy;
+  normalized : float array;
+  modifications : int;
+  clients : int;
+}
+
+type result = {
+  dataset : Config.dataset;
+  profile : Config.profile;
+  servers : int;
+  traces : trace list;
+}
+
+let run ?(dataset = Config.Meridian_like) ?(profile = Config.default) () =
+  let matrix = Config.load_dataset dataset profile in
+  let k = profile.Config.fixed_servers in
+  let traces =
+    List.map
+      (fun strategy ->
+        let servers = Placement.place strategy ~seed:0 matrix ~k in
+        let p = Problem.all_nodes_clients matrix ~servers in
+        let lower_bound = Lower_bound.compute p in
+        let dg = Distributed_greedy.run p in
+        {
+          strategy;
+          normalized = Array.map (fun d -> d /. lower_bound) dg.Distributed_greedy.trace;
+          modifications = dg.Distributed_greedy.stats.Distributed_greedy.modifications;
+          clients = Problem.num_clients p;
+        })
+      Placement.all_strategies
+  in
+  { dataset; profile; servers = k; traces }
+
+let improvement_fraction trace ~after =
+  let first = trace.normalized.(0) in
+  let last = trace.normalized.(Array.length trace.normalized - 1) in
+  let total = first -. last in
+  if total <= 0. then 1.
+  else begin
+    let index = min after (Array.length trace.normalized - 1) in
+    (first -. trace.normalized.(index)) /. total
+  end
+
+let render result =
+  let table =
+    Dia_stats.Table.make
+      ~columns:
+        [ "placement"; "modifications"; "initial"; "final";
+          "improvement@10"; "improvement@80"; "clients moved (%)" ]
+  in
+  List.iter
+    (fun trace ->
+      Dia_stats.Table.add_row table
+        [
+          Placement.strategy_name trace.strategy;
+          string_of_int trace.modifications;
+          Printf.sprintf "%.3f" trace.normalized.(0);
+          Printf.sprintf "%.3f" trace.normalized.(Array.length trace.normalized - 1);
+          Printf.sprintf "%.1f%%" (100. *. improvement_fraction trace ~after:10);
+          Printf.sprintf "%.1f%%" (100. *. improvement_fraction trace ~after:80);
+          Printf.sprintf "%.1f%%"
+            (100. *. float_of_int trace.modifications /. float_of_int trace.clients);
+        ])
+    result.traces;
+  let series =
+    List.map
+      (fun trace ->
+        ( Placement.strategy_name trace.strategy,
+          Array.to_list (Array.mapi (fun i v -> (float_of_int i, v)) trace.normalized) ))
+      result.traces
+  in
+  Printf.sprintf
+    "Fig. 9 (Distributed-Greedy convergence, %d servers, %s dataset, %s profile)\n%s\n%s"
+    result.servers
+    (Config.dataset_name result.dataset)
+    result.profile.Config.label
+    (Dia_stats.Table.render table)
+    (Dia_stats.Ascii_plot.render ~x_label:"assignment modifications"
+       ~y_label:"normalized interactivity" series)
+
+let csv result =
+  let rows =
+    List.concat_map
+      (fun trace ->
+        Array.to_list
+          (Array.mapi
+             (fun i v ->
+               [
+                 Placement.strategy_name trace.strategy;
+                 string_of_int i;
+                 Printf.sprintf "%.6f" v;
+               ])
+             trace.normalized))
+      result.traces
+  in
+  Dia_stats.Csv.render ~header:[ "placement"; "modification"; "normalized" ] rows
+
+type sweep_point = {
+  sweep_servers : int;
+  sweep_modifications : int;
+  moved_fraction : float;
+  improvement_at_80 : float;
+}
+
+let sweep ?(dataset = Config.Meridian_like) ?(profile = Config.default)
+    ?(strategy = Placement.Random_placement) () =
+  let matrix = Config.load_dataset dataset profile in
+  List.map
+    (fun k ->
+      let servers = Placement.place strategy ~seed:0 matrix ~k in
+      let p = Problem.all_nodes_clients matrix ~servers in
+      let lower_bound = Lower_bound.compute p in
+      let dg = Distributed_greedy.run p in
+      let normalized =
+        Array.map (fun d -> d /. lower_bound) dg.Distributed_greedy.trace
+      in
+      let trace =
+        { strategy; normalized;
+          modifications = dg.Distributed_greedy.stats.Distributed_greedy.modifications;
+          clients = Problem.num_clients p }
+      in
+      {
+        sweep_servers = k;
+        sweep_modifications = trace.modifications;
+        moved_fraction =
+          float_of_int trace.modifications /. float_of_int trace.clients;
+        improvement_at_80 = improvement_fraction trace ~after:80;
+      })
+    profile.Config.server_counts
+
+let render_sweep points =
+  let table =
+    Dia_stats.Table.make
+      ~columns:[ "servers"; "modifications"; "clients moved (%)"; "improvement@80" ]
+  in
+  List.iter
+    (fun point ->
+      Dia_stats.Table.add_row table
+        [
+          string_of_int point.sweep_servers;
+          string_of_int point.sweep_modifications;
+          Printf.sprintf "%.1f%%" (100. *. point.moved_fraction);
+          Printf.sprintf "%.1f%%" (100. *. point.improvement_at_80);
+        ])
+    points;
+  "Fig. 9 sweep (Distributed-Greedy convergence vs server count)\n"
+  ^ Dia_stats.Table.render table

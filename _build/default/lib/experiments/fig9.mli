@@ -1,0 +1,55 @@
+(** Fig. 9 — Distributed-Greedy convergence.
+
+    Tracks the normalized interactivity after each assignment
+    modification performed by Distributed-Greedy (starting from
+    Nearest-Server Assignment), for a fixed server count under each
+    placement strategy. The paper's observation: convergence within a
+    few tens of modifications, over 99% of the improvement within 80,
+    i.e. under 5% of clients ever move. *)
+
+type trace = {
+  strategy : Dia_placement.Placement.strategy;
+  normalized : float array;
+      (** [normalized.(i)] = D / LB after [i] modifications *)
+  modifications : int;
+  clients : int;
+}
+
+type result = {
+  dataset : Config.dataset;
+  profile : Config.profile;
+  servers : int;
+  traces : trace list;
+}
+
+val run :
+  ?dataset:Config.dataset -> ?profile:Config.profile -> unit -> result
+
+val improvement_fraction : trace -> after:int -> float
+(** Fraction of the total interactivity improvement achieved within the
+    first [after] modifications ([1.] if the trace converged earlier or
+    no improvement was possible). *)
+
+val render : result -> string
+
+val csv : result -> string
+(** CSV export: [placement,modification,normalized]. *)
+
+type sweep_point = {
+  sweep_servers : int;
+  sweep_modifications : int;
+  moved_fraction : float;  (** modifications / clients *)
+  improvement_at_80 : float;
+}
+
+val sweep :
+  ?dataset:Config.dataset ->
+  ?profile:Config.profile ->
+  ?strategy:Dia_placement.Placement.strategy ->
+  unit ->
+  sweep_point list
+(** Convergence statistics across the profile's server counts (random
+    placement seed 0 by default) — the paper's "similar observations are
+    made in the experiments for other server numbers". *)
+
+val render_sweep : sweep_point list -> string

@@ -1,0 +1,52 @@
+module Algorithm = Dia_core.Algorithm
+module Problem = Dia_core.Problem
+module Objective = Dia_core.Objective
+module Lower_bound = Dia_core.Lower_bound
+module Placement = Dia_placement.Placement
+
+type evaluation = {
+  servers : int array;
+  lower_bound : float;
+  results : (Algorithm.t * float) list;
+}
+
+let algorithms = Algorithm.heuristics
+
+let evaluate ?capacity ?(algorithms = algorithms) matrix ~servers =
+  let p = Problem.all_nodes_clients ?capacity matrix ~servers in
+  let results =
+    List.map
+      (fun algorithm ->
+        let a = Algorithm.run algorithm p in
+        (algorithm, Objective.max_interaction_path p a))
+      algorithms
+  in
+  { servers; lower_bound = Lower_bound.compute p; results }
+
+let normalized evaluation =
+  List.map
+    (fun (algorithm, d) -> (algorithm, d /. evaluation.lower_bound))
+    evaluation.results
+
+let place_and_evaluate ?capacity ?(seed = 0) matrix ~strategy ~k =
+  let servers = Placement.place strategy ~seed matrix ~k in
+  evaluate ?capacity matrix ~servers
+
+let average_normalized ?capacity matrix ~runs ~k =
+  let per_algorithm = Hashtbl.create 8 in
+  for seed = 0 to runs - 1 do
+    let evaluation =
+      place_and_evaluate ?capacity ~seed matrix
+        ~strategy:Placement.Random_placement ~k
+    in
+    List.iter
+      (fun (algorithm, value) ->
+        let previous = Option.value ~default:[] (Hashtbl.find_opt per_algorithm algorithm) in
+        Hashtbl.replace per_algorithm algorithm (value :: previous))
+      (normalized evaluation)
+  done;
+  List.map
+    (fun algorithm ->
+      let values = Option.value ~default:[] (Hashtbl.find_opt per_algorithm algorithm) in
+      (algorithm, Dia_stats.Summary.of_list values))
+    algorithms

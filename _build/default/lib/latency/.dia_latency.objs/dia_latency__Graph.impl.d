@@ -1,0 +1,1 @@
+lib/latency/graph.ml: Array Float Fun Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/latency/jitter.ml: Array Float Matrix Random

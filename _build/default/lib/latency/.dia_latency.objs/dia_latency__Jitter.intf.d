@@ -1,0 +1,1 @@
+lib/latency/jitter.mli: Matrix

@@ -1,0 +1,1 @@
+lib/latency/loader.ml: Array Float Fun List Matrix Printf String

@@ -1,0 +1,1 @@
+lib/latency/loader.mli: Matrix

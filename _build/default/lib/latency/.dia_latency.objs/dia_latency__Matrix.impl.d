@@ -1,0 +1,1 @@
+lib/latency/matrix.ml: Array Float Format Printf

@@ -1,0 +1,1 @@
+lib/latency/matrix.mli: Format

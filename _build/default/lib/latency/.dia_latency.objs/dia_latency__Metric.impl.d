@@ -1,0 +1,1 @@
+lib/latency/metric.ml: Float Matrix Random

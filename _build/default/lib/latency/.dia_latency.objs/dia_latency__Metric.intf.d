@@ -1,0 +1,1 @@
+lib/latency/metric.mli: Matrix

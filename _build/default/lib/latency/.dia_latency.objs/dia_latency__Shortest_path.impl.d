@@ -1,0 +1,1 @@
+lib/latency/shortest_path.ml: Array Float Graph List Matrix Printf

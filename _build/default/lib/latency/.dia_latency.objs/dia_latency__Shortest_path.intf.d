@@ -1,0 +1,1 @@
+lib/latency/shortest_path.mli: Graph Matrix

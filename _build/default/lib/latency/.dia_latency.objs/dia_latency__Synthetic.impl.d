@@ -1,0 +1,1 @@
+lib/latency/synthetic.ml: Array Float Matrix Random

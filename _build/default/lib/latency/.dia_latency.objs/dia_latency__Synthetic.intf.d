@@ -1,0 +1,1 @@
+lib/latency/synthetic.mli: Matrix

@@ -1,0 +1,1 @@
+lib/latency/topology.ml: Array Graph Random Shortest_path

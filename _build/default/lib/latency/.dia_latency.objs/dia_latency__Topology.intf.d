@@ -1,0 +1,1 @@
+lib/latency/topology.mli: Graph Matrix

@@ -1,0 +1,1 @@
+lib/latency/vivaldi.ml: Array Float Loader Matrix Random

@@ -1,0 +1,1 @@
+lib/latency/vivaldi.mli: Loader Matrix

@@ -1,0 +1,56 @@
+type t = { size : int; adj : (int, float) Hashtbl.t array }
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create: negative size";
+  { size = n; adj = Array.init n (fun _ -> Hashtbl.create 4) }
+
+let n g = g.size
+
+let check_endpoint g u =
+  if u < 0 || u >= g.size then
+    invalid_arg (Printf.sprintf "Graph: node %d out of bounds [0, %d)" u g.size)
+
+let add_edge g u v w =
+  check_endpoint g u;
+  check_endpoint g v;
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  if not (Float.is_finite w) || w <= 0. then
+    invalid_arg (Printf.sprintf "Graph.add_edge: weight %g must be positive" w);
+  let current = Hashtbl.find_opt g.adj.(u) v in
+  let w = match current with None -> w | Some w' -> Float.min w w' in
+  Hashtbl.replace g.adj.(u) v w;
+  Hashtbl.replace g.adj.(v) u w
+
+let of_edges size edges =
+  let g = create size in
+  List.iter (fun (u, v, w) -> add_edge g u v w) edges;
+  g
+
+let neighbors g u =
+  check_endpoint g u;
+  Hashtbl.fold (fun v w acc -> (v, w) :: acc) g.adj.(u) []
+
+let edge_count g =
+  Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl) 0 g.adj / 2
+
+let edges g =
+  let acc = ref [] in
+  Array.iteri
+    (fun u tbl ->
+      Hashtbl.iter (fun v w -> if u < v then acc := (u, v, w) :: !acc) tbl)
+    g.adj;
+  !acc
+
+let is_connected g =
+  if g.size = 0 then true
+  else begin
+    let seen = Array.make g.size false in
+    let rec visit u =
+      if not seen.(u) then begin
+        seen.(u) <- true;
+        Hashtbl.iter (fun v _ -> visit v) g.adj.(u)
+      end
+    in
+    visit 0;
+    Array.for_all Fun.id seen
+  end

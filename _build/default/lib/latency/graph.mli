@@ -1,0 +1,43 @@
+(** Weighted undirected graphs.
+
+    The paper models the network as a graph [G = (V, E)] with a positive
+    length [d(u, v)] on each link, and extends [d] to all node pairs by
+    shortest-path routing (see {!Shortest_path}). This module holds the
+    sparse link structure; complete latency matrices live in {!Matrix}. *)
+
+type t
+(** An undirected graph with positively weighted edges. *)
+
+val create : int -> t
+(** [create n] is an edgeless graph on nodes [0 .. n-1].
+
+    @raise Invalid_argument if [n < 0]. *)
+
+val of_edges : int -> (int * int * float) list -> t
+(** [of_edges n edges] builds a graph from [(u, v, w)] triples. Duplicate
+    edges keep the smallest weight.
+
+    @raise Invalid_argument on out-of-bounds endpoints, self-loops, or
+    non-positive/non-finite weights. *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val add_edge : t -> int -> int -> float -> unit
+(** [add_edge g u v w] inserts the undirected edge [(u, v)] with weight
+    [w], keeping the smaller weight if the edge already exists.
+
+    @raise Invalid_argument as in {!of_edges}. *)
+
+val neighbors : t -> int -> (int * float) list
+(** Adjacent [(node, weight)] pairs of a node. *)
+
+val edge_count : t -> int
+(** Number of undirected edges. *)
+
+val edges : t -> (int * int * float) list
+(** All edges as [(u, v, w)] with [u < v]. *)
+
+val is_connected : t -> bool
+(** Whether every node is reachable from node [0] (vacuously true for the
+    empty graph). *)

@@ -1,0 +1,68 @@
+type model = { base_matrix : Matrix.t; sigma : float; rng : Random.State.t }
+
+let make ?(sigma = 0.2) ?(seed = 0) base_matrix =
+  if sigma < 0. then invalid_arg "Jitter.make: negative sigma";
+  { base_matrix; sigma; rng = Random.State.make [| seed |] }
+
+let base model = model.base_matrix
+
+let gaussian rng =
+  let u = 1. -. Random.State.float rng 1. in
+  let v = Random.State.float rng 1. in
+  sqrt (-2. *. log u) *. cos (2. *. Float.pi *. v)
+
+let sample model =
+  Matrix.init (Matrix.dim model.base_matrix) (fun i j ->
+      Matrix.get model.base_matrix i j *. exp (model.sigma *. gaussian model.rng))
+
+(* Inverse standard normal CDF, Acklam's algorithm. *)
+let normal_quantile p =
+  if p <= 0. || p >= 1. then invalid_arg "normal_quantile: p outside (0, 1)";
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  and b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  and c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  and d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let p_low = 0.02425 in
+  let p_high = 1. -. p_low in
+  let horner coeffs x =
+    Array.fold_left (fun acc coef -> (acc *. x) +. coef) 0. coeffs
+  in
+  let tail q = horner c q /. ((horner d q *. q) +. 1.) in
+  if p < p_low then tail (sqrt (-2. *. log p))
+  else if p <= p_high then begin
+    let q = p -. 0.5 in
+    let r = q *. q in
+    horner a r *. q /. ((horner b r *. r) +. 1.)
+  end
+  else -.tail (sqrt (-2. *. log (1. -. p)))
+
+let percentile_matrix model p =
+  if p <= 0. || p >= 100. then
+    invalid_arg "Jitter.percentile_matrix: percentile outside (0, 100)";
+  let z = normal_quantile (p /. 100.) in
+  let factor = exp (model.sigma *. z) in
+  Matrix.init (Matrix.dim model.base_matrix) (fun i j ->
+      Matrix.get model.base_matrix i j *. factor)
+
+(* Standard normal CDF via the complementary error function. *)
+let normal_cdf x = 0.5 *. (1. +. Float.erf (x /. sqrt 2.))
+
+let breach_probability model ~delta ~d =
+  if d <= 0. then 0.
+  else if model.sigma = 0. then if d > delta then 1. else 0.
+  else begin
+    (* The planned length d corresponds to a percentile of the lognormal
+       around median m; recover m, then P(realised > delta). *)
+    let median = d in
+    if delta <= 0. then 1.
+    else 1. -. normal_cdf (log (delta /. median) /. model.sigma)
+  end

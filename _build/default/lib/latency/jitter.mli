@@ -1,0 +1,45 @@
+(** Jitter: per-pair latency distributions and percentile matrices.
+
+    Section II-E of the paper observes that the link length [d(u, v)] fed
+    to the client assignment problem "can be set to any percentile of the
+    network latency to cater for its variability to a required extent":
+    higher percentiles reduce the chance of consistency/fairness breaches
+    under jitter at the cost of interactivity. This module models each
+    pair's latency as a shifted lognormal distribution around a base
+    matrix, samples it, and extracts percentile matrices, enabling the
+    interactivity/consistency trade-off study in
+    [examples/jitter_tradeoff.ml]. *)
+
+type model
+(** A jitter model over a base latency matrix. *)
+
+val make : ?sigma:float -> ?seed:int -> Matrix.t -> model
+(** [make base] models the latency of pair [(u, v)] as
+    [base(u,v) * exp(sigma * Z)] with [Z] standard normal, i.e. the base
+    matrix is the median. [sigma] defaults to [0.2]; [seed] to [0]. *)
+
+val base : model -> Matrix.t
+(** The underlying median matrix. *)
+
+val sample : model -> Matrix.t
+(** Draw one realised latency matrix (a fresh independent sample per call;
+    successive calls advance the model's random state). *)
+
+val percentile_matrix : model -> float -> Matrix.t
+(** [percentile_matrix model p] is the closed-form [p]-th percentile
+    ([0 < p < 100]) of every pairwise distribution — the matrix a deployer
+    would feed to the assignment algorithms to cater for jitter at that
+    confidence level.
+
+    @raise Invalid_argument unless [0 < p < 100]. *)
+
+val breach_probability : model -> delta:float -> d:float -> float
+(** [breach_probability model ~delta ~d] is the probability that a path
+    with median length [d] exceeds the lag budget [delta] on one
+    realisation — the per-message chance of a consistency or fairness
+    breach. Computed in closed form by approximating the path latency as
+    a single lognormal with the model's sigma. *)
+
+val normal_quantile : float -> float
+(** Inverse standard normal CDF (Acklam's rational approximation,
+    |error| < 1.2e-8). Exposed for tests and for {!Stats}. *)

@@ -1,0 +1,141 @@
+type raw = { nodes : int; entries : float option array array }
+
+let read_lines path =
+  let ic = open_in path in
+  let rec loop acc =
+    match input_line ic with
+    | line -> loop (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let lines = try loop [] with e -> close_in ic; raise e in
+  close_in ic;
+  lines
+
+let is_comment line =
+  let line = String.trim line in
+  String.length line = 0 || line.[0] = '#' || line.[0] = '%'
+
+let data_lines path = List.filter (fun l -> not (is_comment l)) (read_lines path)
+
+let fields line =
+  String.split_on_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) line)
+  |> List.filter (fun s -> s <> "")
+
+let parse_cell token =
+  if token = "-" || token = "?" then None
+  else
+    match float_of_string_opt token with
+    | None -> failwith (Printf.sprintf "Loader: unparsable value %S" token)
+    | Some v -> if v < 0. then None else Some v
+
+let parse_matrix path =
+  let rows =
+    List.map (fun line -> Array.of_list (List.map parse_cell (fields line))) (data_lines path)
+  in
+  let n = List.length rows in
+  List.iteri
+    (fun i row ->
+      if Array.length row <> n then
+        failwith
+          (Printf.sprintf "Loader: row %d has %d entries, expected %d" i
+             (Array.length row) n))
+    rows;
+  { nodes = n; entries = Array.of_list rows }
+
+let parse_triples path =
+  let triples =
+    List.map
+      (fun line ->
+        match fields line with
+        | [ i; j; rtt ] -> (
+            match (int_of_string_opt i, int_of_string_opt j, parse_cell rtt) with
+            | Some i, Some j, rtt when i >= 0 && j >= 0 -> (i, j, rtt)
+            | _ -> failwith (Printf.sprintf "Loader: bad triple line %S" line))
+        | _ -> failwith (Printf.sprintf "Loader: expected 'i j rtt', got %S" line))
+      (data_lines path)
+  in
+  let nodes =
+    List.fold_left (fun acc (i, j, _) -> max acc (max i j + 1)) 0 triples
+  in
+  let entries = Array.make_matrix nodes nodes None in
+  List.iter
+    (fun (i, j, rtt) ->
+      match rtt with
+      | None -> ()
+      | Some v ->
+          (* Keep the smaller of duplicate measurements, like King post-
+             processing pipelines do. *)
+          let keep prev = match prev with None -> Some v | Some p -> Some (Float.min p v) in
+          entries.(i).(j) <- keep entries.(i).(j);
+          entries.(j).(i) <- keep entries.(j).(i))
+    triples;
+  for i = 0 to nodes - 1 do
+    entries.(i).(i) <- Some 0.
+  done;
+  { nodes; entries }
+
+let missing_degree raw alive i =
+  let count = ref 0 in
+  Array.iteri
+    (fun j alive_j ->
+      if alive_j && j <> i && raw.entries.(i).(j) = None then incr count)
+    alive;
+  !count
+
+let complete_subset raw =
+  let alive = Array.make raw.nodes true in
+  let rec prune () =
+    let worst = ref (-1) and worst_deg = ref 0 in
+    for i = 0 to raw.nodes - 1 do
+      if alive.(i) then begin
+        let deg = missing_degree raw alive i in
+        if deg > !worst_deg then begin
+          worst := i;
+          worst_deg := deg
+        end
+      end
+    done;
+    if !worst >= 0 then begin
+      alive.(!worst) <- false;
+      prune ()
+    end
+  in
+  prune ();
+  let ids =
+    Array.of_list
+      (List.filter (fun i -> alive.(i)) (List.init raw.nodes Fun.id))
+  in
+  let floor = 0.01 in
+  let matrix =
+    Matrix.init (Array.length ids) (fun a b ->
+        let i = ids.(a) and j = ids.(b) in
+        match (raw.entries.(i).(j), raw.entries.(j).(i)) with
+        | Some x, Some y -> Float.max floor ((x +. y) /. 2.)
+        | Some x, None | None, Some x -> Float.max floor x
+        | None, None -> assert false)
+  in
+  (ids, matrix)
+
+let looks_like_triples path =
+  match data_lines path with
+  | [] -> false
+  | first :: _ as lines ->
+      List.length (fields first) = 3 && List.length lines <> 3
+
+let load path =
+  let raw = if looks_like_triples path then parse_triples path else parse_matrix path in
+  snd (complete_subset raw)
+
+let save_matrix path m =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let n = Matrix.dim m in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if j > 0 then output_char oc ' ';
+          output_string oc (Printf.sprintf "%.6g" (Matrix.get m i j))
+        done;
+        output_char oc '\n'
+      done)

@@ -1,0 +1,52 @@
+(** Parsers for real latency data files.
+
+    Two on-disk formats are supported, matching the data sets the paper
+    uses:
+
+    - {b dense matrix} (MIT King, p2psim [kingdata]): one row per line,
+      whitespace-separated numbers; a negative value or the token ["-"]
+      marks a missing measurement.
+    - {b triple list} (Meridian): lines of [i j rtt] with 0-based or
+      1-based node ids; missing pairs are simply absent.
+
+    The paper discards every node involved in a missing measurement until
+    the matrix is complete ("On discarding the nodes involved in
+    unavailable measurements, our simulated network is represented by a
+    complete pair-wise latency matrix for 1796 nodes"). {!complete_subset}
+    implements that cleaning step: it greedily removes the node with the
+    most missing entries until none remain, which keeps close to the
+    maximum number of usable nodes. *)
+
+type raw = {
+  nodes : int;
+  entries : float option array array;  (** [None] = missing measurement *)
+}
+
+val parse_matrix : string -> raw
+(** Parse a dense matrix file.
+
+    @raise Failure on malformed input (non-square, unparsable token). *)
+
+val parse_triples : string -> raw
+(** Parse an [i j rtt] triple file. Node count is one more than the
+    largest id seen; ids may be 0- or 1-based (1-based inputs simply leave
+    node 0 isolated and it is dropped by {!complete_subset}).
+
+    @raise Failure on malformed input. *)
+
+val complete_subset : raw -> int array * Matrix.t
+(** [complete_subset raw] discards nodes until the remaining pairwise
+    matrix is complete, returning the surviving original node ids and the
+    cleaned matrix. Asymmetric pairs are averaged; non-positive present
+    values are clamped to a small positive floor, since the paper requires
+    [d(u, v) > 0]. *)
+
+val load : string -> Matrix.t
+(** [load path] sniffs the format (triples if the first data line has
+    exactly three fields and the file is not square, dense otherwise),
+    parses, and cleans.
+
+    @raise Failure on malformed input; [Sys_error] if unreadable. *)
+
+val save_matrix : string -> Matrix.t -> unit
+(** Write a matrix in the dense format accepted by {!parse_matrix}. *)

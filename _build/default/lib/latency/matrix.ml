@@ -1,0 +1,98 @@
+type t = { n : int; data : float array }
+
+let check_value v =
+  if not (Float.is_finite v) || v < 0. then
+    invalid_arg (Printf.sprintf "Matrix: latency %g is not a finite non-negative value" v)
+
+let create n =
+  if n < 0 then invalid_arg "Matrix.create: negative dimension";
+  { n; data = Array.make (n * n) 0. }
+
+let dim m = m.n
+
+let check_index m i =
+  if i < 0 || i >= m.n then
+    invalid_arg (Printf.sprintf "Matrix: index %d out of bounds [0, %d)" i m.n)
+
+let get m i j =
+  check_index m i;
+  check_index m j;
+  m.data.((i * m.n) + j)
+
+let set m i j v =
+  check_index m i;
+  check_index m j;
+  check_value v;
+  if i = j && v <> 0. then invalid_arg "Matrix.set: non-zero diagonal";
+  m.data.((i * m.n) + j) <- v;
+  m.data.((j * m.n) + i) <- v
+
+let init n f =
+  let m = create n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      set m i j (f i j)
+    done
+  done;
+  m
+
+let copy m = { n = m.n; data = Array.copy m.data }
+
+let sub m nodes =
+  Array.iter (check_index m) nodes;
+  let k = Array.length nodes in
+  init k (fun i j -> get m nodes.(i) nodes.(j))
+
+let fold_pairs m f acc =
+  let acc = ref acc in
+  for i = 0 to m.n - 1 do
+    for j = i + 1 to m.n - 1 do
+      acc := f !acc i j m.data.((i * m.n) + j)
+    done
+  done;
+  !acc
+
+let iter_pairs m f = fold_pairs m (fun () i j v -> f i j v) ()
+
+let max_entry m = fold_pairs m (fun acc _ _ v -> Float.max acc v) 0.
+
+let min_entry m = fold_pairs m (fun acc _ _ v -> Float.min acc v) infinity
+
+let mean_entry m =
+  let pairs = m.n * (m.n - 1) / 2 in
+  if pairs = 0 then nan
+  else fold_pairs m (fun acc _ _ v -> acc +. v) 0. /. float_of_int pairs
+
+let of_rows rows =
+  let n = Array.length rows in
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Matrix.of_rows: not square")
+    rows;
+  init n (fun i j ->
+      let a = rows.(i).(j) and b = rows.(j).(i) in
+      check_value a;
+      check_value b;
+      (a +. b) /. 2.)
+
+let to_rows m = Array.init m.n (fun i -> Array.init m.n (fun j -> get m i j))
+
+let equal ?(eps = 1e-9) a b =
+  a.n = b.n
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= eps) a.data b.data
+
+let pp ppf m =
+  if m.n <= 12 then begin
+    Format.fprintf ppf "@[<v>";
+    for i = 0 to m.n - 1 do
+      Format.fprintf ppf "@[<h>";
+      for j = 0 to m.n - 1 do
+        Format.fprintf ppf "%8.2f " (get m i j)
+      done;
+      Format.fprintf ppf "@]@,"
+    done;
+    Format.fprintf ppf "@]"
+  end
+  else
+    Format.fprintf ppf "<matrix %dx%d min=%.2f mean=%.2f max=%.2f>" m.n m.n
+      (min_entry m) (mean_entry m) (max_entry m)

@@ -1,0 +1,80 @@
+type violation_stats = {
+  triples_checked : int;
+  violations : int;
+  violation_fraction : float;
+  max_stretch : float;
+  mean_stretch_violating : float;
+}
+
+let examine_triple m i j k stats =
+  let checked, violations, max_stretch, sum_stretch = stats in
+  let direct = Matrix.get m i j in
+  let detour = Matrix.get m i k +. Matrix.get m k j in
+  if detour <= 0. then stats
+  else begin
+    let stretch = direct /. detour in
+    let violating = direct > detour +. 1e-9 in
+    ( checked + 1,
+      (if violating then violations + 1 else violations),
+      Float.max max_stretch stretch,
+      if violating then sum_stretch +. stretch else sum_stretch )
+  end
+
+let finish (checked, violations, max_stretch, sum_stretch) =
+  {
+    triples_checked = checked;
+    violations;
+    violation_fraction =
+      (if checked = 0 then 0. else float_of_int violations /. float_of_int checked);
+    max_stretch;
+    mean_stretch_violating =
+      (if violations = 0 then nan else sum_stretch /. float_of_int violations);
+  }
+
+let triangle_violations ?(samples = 200_000) ?(seed = 0) m =
+  let n = Matrix.dim m in
+  if n < 3 then finish (0, 0, 0., 0.)
+  else if n <= 64 then begin
+    let stats = ref (0, 0, 0., 0.) in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j then
+          for k = 0 to n - 1 do
+            if k <> i && k <> j then stats := examine_triple m i j k !stats
+          done
+      done
+    done;
+    finish !stats
+  end
+  else begin
+    let rng = Random.State.make [| seed |] in
+    let stats = ref (0, 0, 0., 0.) in
+    let rec distinct3 () =
+      let i = Random.State.int rng n
+      and j = Random.State.int rng n
+      and k = Random.State.int rng n in
+      if i = j || j = k || i = k then distinct3 () else (i, j, k)
+    in
+    for _ = 1 to samples do
+      let i, j, k = distinct3 () in
+      stats := examine_triple m i j k !stats
+    done;
+    finish !stats
+  end
+
+let is_metric ?(eps = 1e-9) m =
+  let n = Matrix.dim m in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      for k = 0 to n - 1 do
+        if k <> i && k <> j then
+          if Matrix.get m i j > Matrix.get m i k +. Matrix.get m k j +. eps then
+            ok := false
+      done
+    done
+  done;
+  !ok
+
+let spread m =
+  if Matrix.dim m <= 1 then nan else Matrix.max_entry m /. Matrix.min_entry m

@@ -1,0 +1,33 @@
+(** Metric-space diagnostics for latency matrices.
+
+    Real Internet latency data sets such as Meridian and MIT King do {e
+    not} satisfy the triangle inequality (the paper relies on this to
+    explain why Nearest-Server Assignment exceeds its worst-case
+    approximation ratio of 3 in practice, footnote 2 of Section V). These
+    diagnostics quantify how far a matrix is from being a metric, so that
+    synthetic data sets can be checked for Internet-like behaviour. *)
+
+type violation_stats = {
+  triples_checked : int;  (** number of ordered triples [(i, j, k)] examined *)
+  violations : int;  (** triples with [d(i,j) > d(i,k) + d(k,j)] *)
+  violation_fraction : float;  (** [violations / triples_checked] *)
+  max_stretch : float;
+      (** largest ratio [d(i,j) / (d(i,k) + d(k,j))] observed; [> 1] means
+          the direct path is slower than a detour *)
+  mean_stretch_violating : float;
+      (** mean stretch over violating triples only ([nan] if none) *)
+}
+
+val triangle_violations : ?samples:int -> ?seed:int -> Matrix.t -> violation_stats
+(** [triangle_violations m] examines triples of distinct nodes. For
+    [dim m <= 64] all triples are checked exhaustively; for larger
+    matrices, [samples] random triples (default [200_000]) are drawn with
+    the given [seed] (default [0]). *)
+
+val is_metric : ?eps:float -> Matrix.t -> bool
+(** Exhaustive triangle-inequality check with slack [eps] (default
+    [1e-9]). O(n³) — intended for small matrices and tests. *)
+
+val spread : Matrix.t -> float
+(** Ratio [max_entry / min_entry] of off-diagonal entries — a crude
+    "geographic spread" measure. [nan] when [dim <= 1]. *)

@@ -1,0 +1,124 @@
+(* A small mutable binary min-heap of (priority, node) pairs. Stale entries
+   are tolerated and skipped at pop time (lazy deletion), which keeps the
+   Dijkstra loop simple. *)
+module Heap = struct
+  type t = {
+    mutable prio : float array;
+    mutable node : int array;
+    mutable size : int;
+  }
+
+  let create () = { prio = Array.make 16 0.; node = Array.make 16 0; size = 0 }
+
+  let grow h =
+    let cap = Array.length h.prio in
+    let prio = Array.make (2 * cap) 0. and node = Array.make (2 * cap) 0 in
+    Array.blit h.prio 0 prio 0 h.size;
+    Array.blit h.node 0 node 0 h.size;
+    h.prio <- prio;
+    h.node <- node
+
+  let swap h i j =
+    let p = h.prio.(i) and x = h.node.(i) in
+    h.prio.(i) <- h.prio.(j);
+    h.node.(i) <- h.node.(j);
+    h.prio.(j) <- p;
+    h.node.(j) <- x
+
+  let push h p x =
+    if h.size = Array.length h.prio then grow h;
+    h.prio.(h.size) <- p;
+    h.node.(h.size) <- x;
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    while !i > 0 && h.prio.((!i - 1) / 2) > h.prio.(!i) do
+      swap h ((!i - 1) / 2) !i;
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let p = h.prio.(0) and x = h.node.(0) in
+      h.size <- h.size - 1;
+      h.prio.(0) <- h.prio.(h.size);
+      h.node.(0) <- h.node.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && h.prio.(l) < h.prio.(!smallest) then smallest := l;
+        if r < h.size && h.prio.(r) < h.prio.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          swap h !i !smallest;
+          i := !smallest
+        end
+      done;
+      Some (p, x)
+    end
+end
+
+let dijkstra_with_parents g src =
+  let n = Graph.n g in
+  if src < 0 || src >= n then invalid_arg "Shortest_path.dijkstra: bad source";
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let heap = Heap.create () in
+  dist.(src) <- 0.;
+  Heap.push heap 0. src;
+  let rec loop () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+        if d <= dist.(u) then
+          List.iter
+            (fun (v, w) ->
+              let d' = d +. w in
+              if d' < dist.(v) then begin
+                dist.(v) <- d';
+                parent.(v) <- u;
+                Heap.push heap d' v
+              end)
+            (Graph.neighbors g u);
+        loop ()
+  in
+  loop ();
+  (dist, parent)
+
+let dijkstra g src = fst (dijkstra_with_parents g src)
+
+(* Computing a Dijkstra row per source keeps all-pairs at
+   O(n (V+E) log V) instead of one run per pair. *)
+let all_pairs g =
+  let n = Graph.n g in
+  let rows = Array.init n (fun i -> dijkstra g i) in
+  Matrix.init n (fun i j ->
+      let d = rows.(i).(j) in
+      if not (Float.is_finite d) then
+        invalid_arg
+          (Printf.sprintf "Shortest_path.all_pairs: nodes %d and %d disconnected" i j);
+      d)
+
+let floyd_warshall m =
+  let n = Matrix.dim m in
+  let closure = Matrix.copy m in
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let via = Matrix.get closure i k +. Matrix.get closure k j in
+        if via < Matrix.get closure i j then Matrix.set closure i j via
+      done
+    done
+  done;
+  closure
+
+let path g u v =
+  let _, parent = dijkstra_with_parents g u in
+  if u = v then Some [ u ]
+  else if parent.(v) = -1 then None
+  else begin
+    let rec build acc node = if node = u then u :: acc else build (node :: acc) parent.(node) in
+    Some (build [ v ] parent.(v))
+  end

@@ -1,0 +1,29 @@
+(** Shortest-path routing.
+
+    Extends the link-length function of a {!Graph} to a complete distance
+    function over all node pairs, as the paper does when defining
+    interaction-path lengths: "we extend the distance function [d(u, v)] to
+    all pairs of nodes ... by defining [d(u, v)] as the length of the
+    routing path between nodes [u] and [v]". *)
+
+val dijkstra : Graph.t -> int -> float array
+(** [dijkstra g src] is the array of shortest-path distances from [src] to
+    every node. Unreachable nodes get [infinity]. O((V + E) log V).
+
+    @raise Invalid_argument if [src] is out of bounds. *)
+
+val all_pairs : Graph.t -> Matrix.t
+(** All-pairs shortest-path distances via repeated Dijkstra, as a complete
+    latency matrix.
+
+    @raise Invalid_argument if some node pair is disconnected (latency
+    matrices must be finite). *)
+
+val floyd_warshall : Matrix.t -> Matrix.t
+(** Metric closure of a complete matrix: shortest-path distances when every
+    entry is interpreted as a direct link. The result satisfies the
+    triangle inequality. O(n³) — intended for small and medium instances. *)
+
+val path : Graph.t -> int -> int -> int list option
+(** [path g u v] is a shortest route from [u] to [v] as a node list
+    starting with [u] and ending with [v], or [None] if disconnected. *)

@@ -1,0 +1,106 @@
+type params = {
+  transit_domains : int;
+  transit_nodes_per_domain : int;
+  stubs_per_transit_node : int;
+  stub_nodes_per_domain : int;
+  transit_transit_latency : float;
+  transit_link_latency : float;
+  stub_link_latency : float;
+  extra_edge_fraction : float;
+}
+
+let default_params =
+  {
+    transit_domains = 4;
+    transit_nodes_per_domain = 4;
+    stubs_per_transit_node = 3;
+    stub_nodes_per_domain = 8;
+    transit_transit_latency = 30.;
+    transit_link_latency = 8.;
+    stub_link_latency = 2.;
+    extra_edge_fraction = 0.3;
+  }
+
+let validate p =
+  if p.transit_domains <= 0 || p.transit_nodes_per_domain <= 0
+     || p.stubs_per_transit_node < 0 || p.stub_nodes_per_domain <= 0
+  then invalid_arg "Topology: counts must be positive";
+  if p.transit_transit_latency <= 0. || p.transit_link_latency <= 0.
+     || p.stub_link_latency <= 0.
+  then invalid_arg "Topology: latencies must be positive";
+  if p.extra_edge_fraction < 0. || p.extra_edge_fraction > 1. then
+    invalid_arg "Topology: extra_edge_fraction outside [0, 1]"
+
+let node_count p =
+  let transit = p.transit_domains * p.transit_nodes_per_domain in
+  transit + (transit * p.stubs_per_transit_node * p.stub_nodes_per_domain)
+
+let generate ?(params = default_params) ~seed () =
+  let p = params in
+  validate p;
+  let rng = Random.State.make [| seed |] in
+  let scale mean = mean *. (0.5 +. Random.State.float rng 1.) in
+  let graph = Graph.create (node_count p) in
+  let transit_count = p.transit_domains * p.transit_nodes_per_domain in
+  let transit_node domain i = (domain * p.transit_nodes_per_domain) + i in
+  (* Intra-transit-domain: a random spanning tree plus extra edges. *)
+  let connect_domain nodes mean =
+    Array.iteri
+      (fun i node ->
+        if i > 0 then begin
+          let parent = nodes.(Random.State.int rng i) in
+          Graph.add_edge graph node parent (scale mean)
+        end)
+      nodes;
+    let extras =
+      int_of_float (p.extra_edge_fraction *. float_of_int (Array.length nodes))
+    in
+    for _ = 1 to extras do
+      let a = nodes.(Random.State.int rng (Array.length nodes)) in
+      let b = nodes.(Random.State.int rng (Array.length nodes)) in
+      if a <> b then Graph.add_edge graph a b (scale mean)
+    done
+  in
+  for domain = 0 to p.transit_domains - 1 do
+    let nodes =
+      Array.init p.transit_nodes_per_domain (fun i -> transit_node domain i)
+    in
+    connect_domain nodes p.transit_link_latency
+  done;
+  (* Transit core: a ring over the domains plus random chords, connecting
+     a random node of each domain. *)
+  for domain = 0 to p.transit_domains - 1 do
+    let next = (domain + 1) mod p.transit_domains in
+    if next <> domain then begin
+      let a = transit_node domain (Random.State.int rng p.transit_nodes_per_domain) in
+      let b = transit_node next (Random.State.int rng p.transit_nodes_per_domain) in
+      Graph.add_edge graph a b (scale p.transit_transit_latency)
+    end
+  done;
+  if p.transit_domains > 3 then
+    for _ = 1 to p.transit_domains / 2 do
+      let d1 = Random.State.int rng p.transit_domains in
+      let d2 = Random.State.int rng p.transit_domains in
+      if d1 <> d2 then begin
+        let a = transit_node d1 (Random.State.int rng p.transit_nodes_per_domain) in
+        let b = transit_node d2 (Random.State.int rng p.transit_nodes_per_domain) in
+        Graph.add_edge graph a b (scale p.transit_transit_latency)
+      end
+    done;
+  (* Stub domains: spanning structure plus an uplink to their sponsor. *)
+  let stub_base = transit_count in
+  let stub_index = ref stub_base in
+  for t = 0 to transit_count - 1 do
+    for _ = 1 to p.stubs_per_transit_node do
+      let nodes = Array.init p.stub_nodes_per_domain (fun i -> !stub_index + i) in
+      stub_index := !stub_index + p.stub_nodes_per_domain;
+      connect_domain nodes p.stub_link_latency;
+      let gateway = nodes.(Random.State.int rng (Array.length nodes)) in
+      Graph.add_edge graph gateway t (scale p.stub_link_latency *. 2.)
+    done
+  done;
+  assert (Graph.is_connected graph);
+  graph
+
+let latency_matrix ?params ~seed () =
+  Shortest_path.all_pairs (generate ?params ~seed ())

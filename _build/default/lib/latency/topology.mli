@@ -1,0 +1,41 @@
+(** Hierarchical transit-stub topologies (GT-ITM style).
+
+    The classic Internet topology model used across the DIA/server-
+    placement literature the paper builds on (e.g. its citation [14]
+    evaluates mirror placement on transit-stub graphs): a small core of
+    {e transit} domains, each transit node sponsoring several {e stub}
+    domains. Unlike {!Synthetic.internet_like} — which fabricates a
+    complete latency matrix directly — this generator produces an actual
+    link {!Graph}, so latencies come from genuine shortest-path routing
+    (Section II-A's model), and routes can be inspected with
+    {!Shortest_path.path}. *)
+
+type params = {
+  transit_domains : int;
+  transit_nodes_per_domain : int;
+  stubs_per_transit_node : int;
+  stub_nodes_per_domain : int;
+  transit_transit_latency : float;  (** mean inter-domain core link (ms) *)
+  transit_link_latency : float;  (** mean intra-transit-domain link *)
+  stub_link_latency : float;  (** mean intra-stub and uplink latency *)
+  extra_edge_fraction : float;
+      (** extra random intra-domain edges relative to the spanning
+          structure, in [0, 1] — adds path diversity *)
+}
+
+val default_params : params
+(** 4 transit domains x 4 nodes, 3 stubs per transit node x 8 nodes:
+    400 nodes, continental-scale latencies. *)
+
+val generate : ?params:params -> seed:int -> unit -> Graph.t
+(** Build the random topology. Guaranteed connected; link latencies are
+    the class means scaled by a uniform factor in [0.5, 1.5]. *)
+
+val node_count : params -> int
+(** Number of nodes [generate] will produce for these parameters. *)
+
+val latency_matrix : ?params:params -> seed:int -> unit -> Matrix.t
+(** [generate] followed by all-pairs shortest-path routing — a complete
+    matrix ready for the assignment algorithms. Satisfies the triangle
+    inequality by construction (routing is shortest-path), unlike the
+    measured-RTT style matrices of {!Synthetic}. *)

@@ -1,0 +1,108 @@
+type t = {
+  x : float array;
+  y : float array;
+  height : float array;
+}
+
+let floor_latency = 0.05
+let ce = 0.25 (* error smoothing gain *)
+let cc = 0.25 (* movement gain *)
+
+let nodes t = Array.length t.x
+
+let coordinates t i = (t.x.(i), t.y.(i), t.height.(i))
+
+let predict t i j =
+  if i = j then 0.
+  else begin
+    let dx = t.x.(i) -. t.x.(j) and dy = t.y.(i) -. t.y.(j) in
+    Float.max floor_latency
+      (sqrt ((dx *. dx) +. (dy *. dy)) +. t.height.(i) +. t.height.(j))
+  end
+
+(* One spring update for the observation rtt(i, j). *)
+let update state error i j rtt =
+  if rtt > 0. then begin
+    let dx = state.x.(i) -. state.x.(j) and dy = state.y.(i) -. state.y.(j) in
+    let plane = sqrt ((dx *. dx) +. (dy *. dy)) in
+    let dist = plane +. state.height.(i) +. state.height.(j) in
+    let w = error.(i) /. (error.(i) +. error.(j)) in
+    let sample_error = Float.abs (dist -. rtt) /. rtt in
+    error.(i) <- (sample_error *. ce *. w) +. (error.(i) *. (1. -. (ce *. w)));
+    let delta = cc *. w in
+    let force = delta *. (rtt -. dist) in
+    let ux, uy = if plane > 1e-9 then (dx /. plane, dy /. plane) else (1., 0.) in
+    state.x.(i) <- state.x.(i) +. (force *. ux);
+    state.y.(i) <- state.y.(i) +. (force *. uy);
+    state.height.(i) <- Float.max 0. (state.height.(i) +. (force *. 0.1))
+  end
+
+let embed ?(seed = 0) ?(rounds = 30) ~n ~sample () =
+  let rng = Random.State.make [| seed; n |] in
+  let state =
+    {
+      (* Small random start breaks the symmetry of identical origins. *)
+      x = Array.init n (fun _ -> Random.State.float rng 1.);
+      y = Array.init n (fun _ -> Random.State.float rng 1.);
+      height = Array.make n 0.;
+    }
+  in
+  let error = Array.make n 1. in
+  (* For big n, iterate over a bounded random neighbour set per node per
+     round (Vivaldi is designed for sparse gossip); exhaustively for
+     small n. *)
+  let neighbours = 32 in
+  for _ = 1 to rounds do
+    for i = 0 to n - 1 do
+      if n <= neighbours then
+        for j = 0 to n - 1 do
+          if j <> i then
+            match sample i j with
+            | Some rtt -> update state error i j rtt
+            | None -> ()
+        done
+      else
+        for _ = 1 to neighbours do
+          let j = Random.State.int rng n in
+          if j <> i then
+            match sample i j with
+            | Some rtt -> update state error i j rtt
+            | None -> ()
+        done
+    done
+  done;
+  state
+
+let embed_matrix ?seed ?rounds m =
+  embed ?seed ?rounds ~n:(Matrix.dim m)
+    ~sample:(fun i j -> Some (Matrix.get m i j))
+    ()
+
+let embed_raw ?seed ?rounds (raw : Loader.raw) =
+  embed ?seed ?rounds ~n:raw.Loader.nodes
+    ~sample:(fun i j ->
+      match (raw.Loader.entries.(i).(j), raw.Loader.entries.(j).(i)) with
+      | Some a, Some b -> Some ((a +. b) /. 2.)
+      | Some a, None | None, Some a -> Some a
+      | None, None -> None)
+    ()
+
+let median_relative_error t m =
+  let errors = ref [] in
+  Matrix.iter_pairs m (fun i j actual ->
+      if actual > 0. then
+        errors := (Float.abs (predict t i j -. actual) /. actual) :: !errors);
+  match !errors with
+  | [] -> nan
+  | list ->
+      let sorted = Array.of_list list in
+      Array.sort Float.compare sorted;
+      sorted.(Array.length sorted / 2)
+
+let complete ?seed ?rounds (raw : Loader.raw) =
+  let t = embed_raw ?seed ?rounds raw in
+  Matrix.init raw.Loader.nodes (fun i j ->
+      match (raw.Loader.entries.(i).(j), raw.Loader.entries.(j).(i)) with
+      | Some a, Some b -> Float.max floor_latency ((a +. b) /. 2.)
+      | Some a, None | None, Some a -> Float.max floor_latency a
+      | None, None -> predict t i j)

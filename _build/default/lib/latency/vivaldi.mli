@@ -1,0 +1,47 @@
+(** Vivaldi network coordinates.
+
+    The decentralized coordinate system used throughout the King/Meridian
+    measurement ecosystem the paper's data sets come from: every node
+    gets a 2-D position plus a non-negative "height" (modelling the
+    access-link delay that no Euclidean embedding can express), such that
+    [||x_i - x_j|| + h_i + h_j] predicts the pairwise latency.
+
+    Two uses here:
+
+    - {!complete} fills the {e missing} measurements of a raw data file
+      with coordinate predictions — an alternative to
+      {!Loader.complete_subset}'s node discarding that keeps every node
+      (the paper discards; this is the "what if we didn't have to"
+      tool);
+    - {!predict} estimates latencies a client never measured, which is
+      how a deployed Nearest-Server/Distributed-Greedy implementation
+      would avoid probing all [|S|] servers.
+
+    Deterministic per seed. *)
+
+type t
+(** A fitted embedding. *)
+
+val embed_matrix : ?seed:int -> ?rounds:int -> Matrix.t -> t
+(** Fit coordinates to a complete matrix by iterating Vivaldi spring
+    updates over all pairs for [rounds] (default 30) passes. *)
+
+val embed_raw : ?seed:int -> ?rounds:int -> Loader.raw -> t
+(** Fit to a raw data set, skipping missing entries. *)
+
+val nodes : t -> int
+
+val coordinates : t -> int -> float * float * float
+(** [(x, y, height)] of a node. *)
+
+val predict : t -> int -> int -> float
+(** Predicted latency between two nodes: [||xi - xj|| + hi + hj],
+    floored at a small positive value. [0.] on the diagonal. *)
+
+val median_relative_error : t -> Matrix.t -> float
+(** Median of [|predicted - actual| / actual] over all pairs — the
+    standard Vivaldi accuracy metric. *)
+
+val complete : ?seed:int -> ?rounds:int -> Loader.raw -> Matrix.t
+(** Keep every node: measured entries pass through (symmetrised),
+    missing ones are filled with predictions. *)

@@ -1,0 +1,1 @@
+lib/placement/kcenter.ml: Array Dia_latency Float Printf Random

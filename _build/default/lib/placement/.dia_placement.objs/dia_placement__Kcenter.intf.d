@@ -1,0 +1,1 @@
+lib/placement/kcenter.mli: Dia_latency

@@ -1,0 +1,1 @@
+lib/placement/placement.ml: Array Dia_latency Float Fun Kcenter Printf Random

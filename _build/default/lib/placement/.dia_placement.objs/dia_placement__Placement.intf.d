@@ -1,0 +1,1 @@
+lib/placement/placement.mli: Dia_latency

@@ -1,0 +1,135 @@
+module Matrix = Dia_latency.Matrix
+
+let check_k m k =
+  let n = Matrix.dim m in
+  if k < 0 || k > n then
+    invalid_arg (Printf.sprintf "Kcenter: k = %d out of range [0, %d]" k n)
+
+let two_approx ?(seed = 0) m ~k =
+  check_k m k;
+  let n = Matrix.dim m in
+  if k = 0 then [||]
+  else begin
+    let rng = Random.State.make [| seed |] in
+    let centers = Array.make k 0 in
+    centers.(0) <- Random.State.int rng n;
+    (* dist.(v) = distance from v to the closest chosen centre so far. *)
+    let dist = Array.init n (fun v -> Matrix.get m v centers.(0)) in
+    for step = 1 to k - 1 do
+      let farthest = ref 0 in
+      for v = 1 to n - 1 do
+        if dist.(v) > dist.(!farthest) then farthest := v
+      done;
+      centers.(step) <- !farthest;
+      for v = 0 to n - 1 do
+        dist.(v) <- Float.min dist.(v) (Matrix.get m v !farthest)
+      done
+    done;
+    Array.sort compare centers;
+    centers
+  end
+
+let greedy m ~k =
+  check_k m k;
+  let n = Matrix.dim m in
+  let chosen = Array.make n false in
+  let dist = Array.make n infinity in
+  let centers = ref [] in
+  for _ = 1 to k do
+    (* The candidate minimising the resulting radius max_v min(dist v,
+       d(v, candidate)). *)
+    let best = ref (-1) and best_radius = ref infinity in
+    for cand = 0 to n - 1 do
+      if not chosen.(cand) then begin
+        let radius = ref 0. in
+        for v = 0 to n - 1 do
+          let d = Float.min dist.(v) (Matrix.get m v cand) in
+          if d > !radius then radius := d
+        done;
+        if !radius < !best_radius then begin
+          best_radius := !radius;
+          best := cand
+        end
+      end
+    done;
+    chosen.(!best) <- true;
+    centers := !best :: !centers;
+    for v = 0 to n - 1 do
+      dist.(v) <- Float.min dist.(v) (Matrix.get m v !best)
+    done
+  done;
+  let centers = Array.of_list !centers in
+  Array.sort compare centers;
+  centers
+
+let radius m centers =
+  let n = Matrix.dim m in
+  if n = 0 then 0.
+  else if Array.length centers = 0 then infinity
+  else begin
+    let worst = ref 0. in
+    for v = 0 to n - 1 do
+      let nearest =
+        Array.fold_left (fun acc c -> Float.min acc (Matrix.get m v c)) infinity centers
+      in
+      if nearest > !worst then worst := nearest
+    done;
+    !worst
+  end
+
+exception Node_limit
+
+(* Branch-and-bound over ordered center sets. The prune uses a sound
+   lower bound: with centers chosen so far giving distances [dist] and
+   only candidates >= [first] still available, node v's final distance is
+   at least min(dist.(v), suffix.(first).(v)) where suffix.(first).(v) is
+   v's distance to its closest remaining candidate. *)
+let optimal ?(node_limit = 5_000_000) m ~k =
+  check_k m k;
+  let n = Matrix.dim m in
+  if k = 0 || n = 0 then [||]
+  else begin
+    let best_centers = ref (greedy m ~k) in
+    let best_radius = ref (radius m !best_centers) in
+    let suffix = Array.make_matrix (n + 1) n infinity in
+    for candidate = n - 1 downto 0 do
+      for v = 0 to n - 1 do
+        suffix.(candidate).(v) <-
+          Float.min suffix.(candidate + 1).(v) (Matrix.get m v candidate)
+      done
+    done;
+    let chosen = Array.make k 0 in
+    let nodes = ref 0 in
+    let rec search depth first dist =
+      incr nodes;
+      if !nodes > node_limit then raise Node_limit;
+      if depth = k then begin
+        let r = Array.fold_left Float.max 0. dist in
+        if r < !best_radius then begin
+          best_radius := r;
+          best_centers := Array.copy chosen
+        end
+      end
+      else begin
+        let lower_bound = ref 0. in
+        for v = 0 to n - 1 do
+          let best_possible = Float.min dist.(v) suffix.(first).(v) in
+          if best_possible > !lower_bound then lower_bound := best_possible
+        done;
+        if !lower_bound < !best_radius then
+          for candidate = first to n - (k - depth) do
+            let updated =
+              Array.mapi (fun v d -> Float.min d (Matrix.get m v candidate)) dist
+            in
+            chosen.(depth) <- candidate;
+            search (depth + 1) (candidate + 1) updated
+          done
+      end
+    in
+    (try search 0 0 (Array.make n infinity)
+     with Node_limit ->
+       failwith (Printf.sprintf "Kcenter.optimal: node limit %d exceeded" node_limit));
+    let centers = !best_centers in
+    Array.sort compare centers;
+    centers
+  end

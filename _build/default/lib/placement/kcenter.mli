@@ -1,0 +1,41 @@
+(** Minimum K-center algorithms used for server placement.
+
+    - {!two_approx} is the farthest-point traversal of Gonzalez (the
+      classic 2-approximation presented in Vazirani's book, the paper's
+      "K-center-A").
+    - {!greedy} repeatedly adds the centre that most reduces the coverage
+      radius (the heuristic of Jamin et al. used for mirror placement, the
+      paper's "K-center-B").
+
+    Both take a complete latency matrix and return [k] distinct node
+    indices. *)
+
+val two_approx : ?seed:int -> Dia_latency.Matrix.t -> k:int -> int array
+(** Farthest-point traversal: start from a seeded-random node, then
+    repeatedly add the node farthest from the chosen set. Guarantees
+    coverage radius within twice the optimum when distances satisfy the
+    triangle inequality.
+
+    @raise Invalid_argument unless [0 <= k <= dim]. *)
+
+val greedy : Dia_latency.Matrix.t -> k:int -> int array
+(** Greedy radius minimisation: at each step add the candidate node whose
+    inclusion minimises the resulting coverage radius (ties broken by
+    lowest index). O(k n²).
+
+    @raise Invalid_argument unless [0 <= k <= dim]. *)
+
+val optimal : ?node_limit:int -> Dia_latency.Matrix.t -> k:int -> int array
+(** Exact minimum K-center by branch-and-bound over center sets, seeded
+    with the greedy solution. Exponential — small instances only; used to
+    verify the 2-approximation bound in tests and to calibrate placements
+    in examples.
+
+    @raise Invalid_argument unless [0 <= k <= dim].
+    @raise Failure if [node_limit] (default [5_000_000]) search nodes are
+    exceeded. *)
+
+val radius : Dia_latency.Matrix.t -> int array -> float
+(** Coverage radius of a center set (same as
+    {!Placement.coverage_radius}; re-exported here so this module is
+    self-contained). *)

@@ -1,0 +1,1 @@
+lib/setcover/reduction.ml: Array Dia_core Dia_latency Fun List Printf Setcover

@@ -1,0 +1,1 @@
+lib/setcover/reduction.mli: Dia_core Setcover

@@ -1,0 +1,84 @@
+module Matrix = Dia_latency.Matrix
+module Problem = Dia_core.Problem
+module Assignment = Dia_core.Assignment
+
+type t = {
+  instance : Setcover.t;
+  k : int;
+  problem : Problem.t;
+}
+
+(* Distance placeholder for node pairs with no routing path (possible when
+   k = 1 and subsets are disjoint); any value much larger than 3 keeps the
+   proof's case analysis intact. *)
+let far = 1.0e6
+
+let build instance ~k =
+  if k < 1 then invalid_arg "Reduction.build: k must be >= 1";
+  let n = Setcover.universe instance in
+  let m = Setcover.num_subsets instance in
+  let nodes = n + (m * k) in
+  (* Client i is node i; server (group l, subset j) is node n + l*m + j. *)
+  let server_node l j = n + (l * m) + j in
+  let adjacency = Matrix.init nodes (fun _ _ -> far) in
+  for j = 0 to m - 1 do
+    List.iter
+      (fun element ->
+        for l = 0 to k - 1 do
+          Matrix.set adjacency element (server_node l j) 1.
+        done)
+      (Setcover.subset instance j)
+  done;
+  for l1 = 0 to k - 1 do
+    for l2 = l1 + 1 to k - 1 do
+      for j1 = 0 to m - 1 do
+        for j2 = 0 to m - 1 do
+          Matrix.set adjacency (server_node l1 j1) (server_node l2 j2) 1.
+        done
+      done
+    done
+  done;
+  let latency = Dia_latency.Shortest_path.floyd_warshall adjacency in
+  let servers = Array.init (m * k) (fun s -> n + s) in
+  let clients = Array.init n Fun.id in
+  let problem = Problem.make ~latency ~servers ~clients () in
+  { instance; k; problem }
+
+let problem t = t.problem
+let bound _ = 3.
+
+let server_role t s =
+  let m = Setcover.num_subsets t.instance in
+  if s < 0 || s >= m * t.k then
+    invalid_arg (Printf.sprintf "Reduction.server_role: server %d out of range" s);
+  (s / m, s mod m)
+
+let assignment_of_cover t cover =
+  if not (Setcover.is_cover t.instance cover) then
+    invalid_arg "Reduction.assignment_of_cover: not a cover";
+  if List.length cover > t.k then
+    invalid_arg "Reduction.assignment_of_cover: cover larger than K";
+  let n = Setcover.universe t.instance in
+  let m = Setcover.num_subsets t.instance in
+  let result = Array.make n (-1) in
+  (* One unused server group per cover subset, exactly as in the proof. *)
+  List.iteri
+    (fun group j ->
+      List.iter
+        (fun element ->
+          if result.(element) < 0 then result.(element) <- (group * m) + j)
+        (Setcover.subset t.instance j))
+    cover;
+  Assignment.of_array t.problem result
+
+let cover_of_assignment t a =
+  let m = Setcover.num_subsets t.instance in
+  let used = Assignment.used_servers t.problem a in
+  List.sort_uniq compare (List.map (fun s -> s mod m) (Array.to_list used))
+
+let holds instance ~k =
+  let cover_exists = Setcover.covers_of_size instance k in
+  let reduction = build instance ~k in
+  let optimal = Dia_core.Brute_force.optimal_value reduction.problem in
+  let assignment_exists = optimal <= 3. +. 1e-9 in
+  cover_exists = assignment_exists

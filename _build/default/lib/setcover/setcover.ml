@@ -1,0 +1,109 @@
+type t = { universe : int; subsets : int list array }
+
+let make ~universe ~subsets =
+  if universe < 0 then invalid_arg "Setcover.make: negative universe";
+  let covered = Array.make universe false in
+  Array.iteri
+    (fun idx subset ->
+      if subset = [] then
+        invalid_arg (Printf.sprintf "Setcover.make: subset %d is empty" idx);
+      List.iter
+        (fun e ->
+          if e < 0 || e >= universe then
+            invalid_arg
+              (Printf.sprintf "Setcover.make: element %d out of range [0, %d)" e universe);
+          covered.(e) <- true)
+        subset)
+    subsets;
+  if not (Array.for_all Fun.id covered) then
+    invalid_arg "Setcover.make: subsets do not cover the universe";
+  { universe; subsets = Array.map (List.sort_uniq compare) subsets }
+
+let universe t = t.universe
+let num_subsets t = Array.length t.subsets
+
+let subset t i =
+  if i < 0 || i >= num_subsets t then
+    invalid_arg (Printf.sprintf "Setcover.subset: index %d out of range" i);
+  t.subsets.(i)
+
+let is_cover t chosen =
+  let covered = Array.make t.universe false in
+  List.iter
+    (fun i -> List.iter (fun e -> covered.(e) <- true) (subset t i))
+    chosen;
+  Array.for_all Fun.id covered
+
+let greedy t =
+  let covered = Array.make t.universe false in
+  let remaining = ref t.universe in
+  let chosen = ref [] in
+  while !remaining > 0 do
+    let gain i =
+      List.length (List.filter (fun e -> not covered.(e)) t.subsets.(i))
+    in
+    let best = ref 0 in
+    for i = 1 to num_subsets t - 1 do
+      if gain i > gain !best then best := i
+    done;
+    (* The constructor guarantees full coverage, so the best gain is
+       always positive here. *)
+    assert (gain !best > 0);
+    List.iter
+      (fun e ->
+        if not covered.(e) then begin
+          covered.(e) <- true;
+          decr remaining
+        end)
+      t.subsets.(!best);
+    chosen := !best :: !chosen
+  done;
+  List.rev !chosen
+
+exception Node_limit
+
+let optimal ?(node_limit = 10_000_000) t =
+  let m = num_subsets t in
+  let best = ref (greedy t) in
+  let cover_count = Array.make t.universe 0 in
+  let uncovered = ref t.universe in
+  let chosen = ref [] in
+  let nodes = ref 0 in
+  (* Branch on the lowest uncovered element: one branch per subset that
+     contains it. Complete and avoids permutation blowup. *)
+  let rec search depth =
+    incr nodes;
+    if !nodes > node_limit then raise Node_limit;
+    if depth < List.length !best then begin
+      if !uncovered = 0 then best := List.rev !chosen
+      else begin
+        let e = ref 0 in
+        while cover_count.(!e) > 0 do
+          incr e
+        done;
+        for i = 0 to m - 1 do
+          if List.mem !e t.subsets.(i) then begin
+            List.iter
+              (fun x ->
+                if cover_count.(x) = 0 then decr uncovered;
+                cover_count.(x) <- cover_count.(x) + 1)
+              t.subsets.(i);
+            chosen := i :: !chosen;
+            search (depth + 1);
+            chosen := List.tl !chosen;
+            List.iter
+              (fun x ->
+                cover_count.(x) <- cover_count.(x) - 1;
+                if cover_count.(x) = 0 then incr uncovered)
+              t.subsets.(i)
+          end
+        done
+      end
+    end
+  in
+  (try search 0
+   with Node_limit ->
+     failwith (Printf.sprintf "Setcover.optimal: node limit %d exceeded" node_limit));
+  !best
+
+let covers_of_size t k = List.length (optimal t) <= k

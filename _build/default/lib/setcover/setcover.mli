@@ -1,0 +1,40 @@
+(** Minimum Set Cover.
+
+    The problem the paper reduces from in its NP-completeness proof
+    (Section III): given a universe [P] of [n] elements and a collection
+    [Q] of subsets, find the fewest subsets whose union is [P]. Provides
+    the classic greedy ln(n)-approximation and an exact branch-and-bound
+    solver for the small instances used to exercise {!Reduction}. *)
+
+type t
+(** A set cover instance. *)
+
+val make : universe:int -> subsets:int list array -> t
+(** [make ~universe ~subsets] with elements [0 .. universe-1].
+
+    @raise Invalid_argument if an element is out of range, a subset is
+    empty, or the union of subsets does not cover the universe (such
+    instances have no cover; rejecting them early keeps every solver
+    total). *)
+
+val universe : t -> int
+val num_subsets : t -> int
+val subset : t -> int -> int list
+(** Elements of one subset, ascending. *)
+
+val is_cover : t -> int list -> bool
+(** Whether the given subset indices cover the whole universe. *)
+
+val greedy : t -> int list
+(** Greedy cover: repeatedly take the subset covering the most uncovered
+    elements (ties by lowest index). Returns subset indices in selection
+    order. Classic H(n)-approximation. *)
+
+val optimal : ?node_limit:int -> t -> int list
+(** Exact minimum cover by branch-and-bound on the greedy seed.
+
+    @raise Failure if [node_limit] (default [10_000_000]) is exceeded. *)
+
+val covers_of_size : t -> int -> bool
+(** [covers_of_size t k] — does a cover of size at most [k] exist? The
+    decision version used by the reduction. *)

@@ -1,0 +1,1 @@
+lib/sim/bucket.ml: Dia_core Float Printf Workload

@@ -1,0 +1,1 @@
+lib/sim/bucket.mli: Dia_core Workload

@@ -1,0 +1,1 @@
+lib/sim/checker.ml: Float Hashtbl List Option Protocol State Workload

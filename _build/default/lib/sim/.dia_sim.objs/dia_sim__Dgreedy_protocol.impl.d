@@ -1,0 +1,1 @@
+lib/sim/dgreedy_protocol.ml: Array Dia_core Dia_latency Engine Float Fun Hashtbl List Network

@@ -1,0 +1,1 @@
+lib/sim/dgreedy_protocol.mli: Dia_core

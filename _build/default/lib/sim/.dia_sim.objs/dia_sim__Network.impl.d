@@ -1,0 +1,1 @@
+lib/sim/network.ml: Array Dia_latency Engine Float Printf

@@ -1,0 +1,1 @@
+lib/sim/protocol.ml: Array Dia_core Dia_latency Engine Float Hashtbl List Network Printf Workload

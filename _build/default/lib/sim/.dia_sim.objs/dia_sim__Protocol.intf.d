@@ -1,0 +1,1 @@
+lib/sim/protocol.mli: Dia_core Workload

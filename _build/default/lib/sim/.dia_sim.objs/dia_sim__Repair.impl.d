@@ -1,0 +1,1 @@
+lib/sim/repair.ml: Hashtbl List Option Protocol State Timewarp Tss Workload

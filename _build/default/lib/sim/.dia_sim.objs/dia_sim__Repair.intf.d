@@ -1,0 +1,1 @@
+lib/sim/repair.mli: Protocol State

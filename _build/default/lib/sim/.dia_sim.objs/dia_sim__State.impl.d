@@ -1,0 +1,1 @@
+lib/sim/state.ml: Array Buffer Digest Float List Printf Workload

@@ -1,0 +1,1 @@
+lib/sim/timewarp.ml: List State Workload

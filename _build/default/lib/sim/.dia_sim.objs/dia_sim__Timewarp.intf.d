@@ -1,0 +1,1 @@
+lib/sim/timewarp.mli: State Workload

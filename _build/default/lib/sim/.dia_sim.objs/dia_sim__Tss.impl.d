@@ -1,0 +1,1 @@
+lib/sim/tss.ml: Float List State Workload

@@ -1,0 +1,1 @@
+lib/sim/tss.mli: State Workload

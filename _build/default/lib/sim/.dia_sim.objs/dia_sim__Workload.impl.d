@@ -1,0 +1,1 @@
+lib/sim/workload.ml: Float List Printf Random

@@ -1,0 +1,19 @@
+let check_length length =
+  if length <= 0. || not (Float.is_finite length) then
+    invalid_arg (Printf.sprintf "Bucket: length %g must be positive" length)
+
+let execution_time ~length ~delay (op : Workload.op) =
+  check_length length;
+  if delay < 0 then invalid_arg "Bucket: negative delay";
+  let bucket = Float.floor (op.issue_time /. length) in
+  (bucket +. 1. +. float_of_int delay) *. length
+
+let min_delay p a ~length =
+  check_length length;
+  let d = Dia_core.Objective.max_interaction_path p a in
+  if not (Float.is_finite d) then 0 else int_of_float (Float.ceil (d /. length))
+
+let lag_bounds ~length ~delay =
+  check_length length;
+  if delay < 0 then invalid_arg "Bucket: negative delay";
+  (float_of_int delay *. length, float_of_int (delay + 1) *. length)

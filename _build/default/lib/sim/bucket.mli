@@ -1,0 +1,38 @@
+(** Bucket synchronisation (Gautier, Diot & Kurose — the paper's [12]).
+
+    The other classic pessimistic mechanism: simulation time is divided
+    into fixed-length buckets, and an operation issued during bucket [b]
+    is executed by every replica at the end of bucket [b + delay]. All
+    replicas agree on execution times (consistency), and execution order
+    follows issue order (ordering fairness) — but the issue-to-execution
+    lag {e varies} within a bucket (an operation issued at a bucket's
+    start waits almost one bucket longer than one issued at its end), so
+    the paper's constant-lag fairness does {b not} hold: interaction
+    times differ across operations. Feed {!execution_time} to
+    {!Protocol.run} to simulate it and watch {!Checker} report exactly
+    that (consistent, not fair).
+
+    The paper's local-lag rule is the [length -> 0] limit with
+    [delay * length = delta]. *)
+
+val execution_time : length:float -> delay:int -> Workload.op -> float
+(** Execution simulation time of an operation under bucket
+    synchronisation: [(bucket(issue) + 1 + delay) * length], where
+    [bucket(t) = floor (t / length)].
+
+    @raise Invalid_argument if [length <= 0.] or [delay < 0]. *)
+
+val min_delay : Dia_core.Problem.t -> Dia_core.Assignment.t -> length:float -> int
+(** Smallest [delay] such that every operation reaches every server and
+    every client update arrives in time even in the worst case (an
+    operation issued at the very end of its bucket still gets
+    [delay * length] of slack, which must cover the minimum feasible lag
+    [D(A)]): [ceil (D(A) / length)].
+
+    @raise Invalid_argument if [length <= 0.]. *)
+
+val lag_bounds : length:float -> delay:int -> float * float
+(** Minimum and maximum issue-to-execution lag over all possible issue
+    instants: [(delay * length, (delay + 1) * length)]. The spread —
+    one full bucket — is the fairness penalty bucket synchronisation
+    pays compared to local-lag. *)

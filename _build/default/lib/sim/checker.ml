@@ -1,0 +1,118 @@
+type verdict = {
+  consistent : bool;
+  fair : bool;
+  late_executions : int;
+  late_visibilities : int;
+  max_interaction_time : float;
+  mean_interaction_time : float;
+  uniform_interaction : bool;
+}
+
+let analyze ?(eps = 1e-6) (report : Protocol.report) =
+  (* Consistency: group executions by operation; all actual simulation
+     times must agree. *)
+  let by_op = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Protocol.execution) ->
+      Hashtbl.replace by_op e.op_id (e :: (Option.value ~default:[] (Hashtbl.find_opt by_op e.op_id))))
+    report.executions;
+  let consistent =
+    Hashtbl.fold
+      (fun _ execs acc ->
+        match execs with
+        | [] -> acc
+        | first :: rest ->
+            acc
+            && List.for_all
+                 (fun (e : Protocol.execution) ->
+                   Float.abs (e.actual_sim -. first.Protocol.actual_sim) <= eps)
+                 rest)
+      by_op true
+  in
+  (* Fairness: per server, execution order must equal issue order and the
+     lag actual_sim - issue_time must be one constant across all
+     operations and servers. *)
+  let issue_of = Hashtbl.create 64 in
+  List.iter
+    (fun (op : Workload.op) -> Hashtbl.replace issue_of op.op_id op.issue_time)
+    report.operations;
+  let lags =
+    List.map
+      (fun (e : Protocol.execution) ->
+        e.Protocol.actual_sim -. Hashtbl.find issue_of e.Protocol.op_id)
+      report.executions
+  in
+  let fair =
+    match lags with
+    | [] -> true
+    | first :: rest -> List.for_all (fun lag -> Float.abs (lag -. first) <= eps) rest
+  in
+  let late_executions =
+    List.length (List.filter (fun (e : Protocol.execution) -> e.late) report.executions)
+  in
+  let late_visibilities =
+    List.length (List.filter (fun (v : Protocol.visibility) -> v.late) report.visibilities)
+  in
+  let times = List.map (fun (_, _, t) -> t) (Protocol.interaction_times report) in
+  let max_interaction_time, mean_interaction_time, uniform_interaction =
+    match times with
+    | [] -> (nan, nan, true)
+    | first :: _ ->
+        let count = float_of_int (List.length times) in
+        ( List.fold_left Float.max neg_infinity times,
+          List.fold_left ( +. ) 0. times /. count,
+          List.for_all (fun t -> Float.abs (t -. first) <= eps) times )
+  in
+  {
+    consistent;
+    fair;
+    late_executions;
+    late_visibilities;
+    max_interaction_time;
+    mean_interaction_time;
+    uniform_interaction;
+  }
+
+let breach_rate (report : Protocol.report) =
+  let events = List.length report.executions + List.length report.visibilities in
+  if events = 0 then nan
+  else begin
+    let late =
+      List.length (List.filter (fun (e : Protocol.execution) -> e.late) report.executions)
+      + List.length
+          (List.filter (fun (v : Protocol.visibility) -> v.late) report.visibilities)
+    in
+    float_of_int late /. float_of_int events
+  end
+
+let replicated_states (report : Protocol.report) =
+  let op_of = Hashtbl.create 64 in
+  List.iter
+    (fun (op : Workload.op) -> Hashtbl.replace op_of op.op_id op)
+    report.operations;
+  let by_server = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Protocol.execution) ->
+      let previous = Option.value ~default:[] (Hashtbl.find_opt by_server e.server) in
+      Hashtbl.replace by_server e.server (e :: previous))
+    report.executions;
+  Hashtbl.fold
+    (fun server execs acc ->
+      let canonical =
+        List.sort
+          (fun (a : Protocol.execution) (b : Protocol.execution) ->
+            match Float.compare a.actual_sim b.actual_sim with
+            | 0 -> compare a.op_id b.op_id
+            | order -> order)
+          execs
+      in
+      let ops = List.map (fun (e : Protocol.execution) -> Hashtbl.find op_of e.op_id) canonical in
+      (server, State.apply_all (State.initial ~clients:report.clients) ops) :: acc)
+    by_server []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let state_consistent report =
+  match replicated_states report with
+  | [] -> true
+  | (_, first) :: rest ->
+      List.for_all (fun (_, state) -> State.digest state = State.digest first) rest

@@ -1,0 +1,50 @@
+(** Consistency and fairness checks over a protocol run.
+
+    Turns a {!Protocol.report} into verdicts on the two requirements of
+    Section II-B:
+
+    - {b consistency}: every operation was executed by every server at
+      the same simulation time (so all state copies agree whenever their
+      simulation times coincide);
+    - {b fairness}: operations executed in issue order with a constant
+      simulation-time lag between issue and execution.
+
+    And into the interactivity measurement of Section II-C: the
+    distribution of interaction times between client pairs. *)
+
+type verdict = {
+  consistent : bool;
+      (** every operation executed at one common simulation time on all
+          servers *)
+  fair : bool;
+      (** execution order equals issue order and the issue-to-execution
+          lag is the same constant for every operation *)
+  late_executions : int;  (** server-side deadline misses *)
+  late_visibilities : int;  (** client-side deadline misses *)
+  max_interaction_time : float;
+  mean_interaction_time : float;
+  uniform_interaction : bool;
+      (** all pairwise interaction times equal (the paper's synchronised
+          construction achieves this) *)
+}
+
+val analyze : ?eps:float -> Protocol.report -> verdict
+(** Analyse a report. [eps] (default [1e-6]) is the tolerance for
+    comparing simulation times. For an empty run every boolean is [true]
+    and the statistics are [nan]. *)
+
+val breach_rate : Protocol.report -> float
+(** Fraction of (operation, server/client) events that missed their
+    deadline — the empirical counterpart of
+    {!Dia_latency.Jitter.breach_probability}. [nan] for empty runs. *)
+
+val replicated_states : Protocol.report -> (int * State.t) list
+(** The application state each server reaches by applying its executed
+    operations in canonical order (execution simulation time, ties by
+    operation id) — one [(server, state)] per server that executed
+    anything. *)
+
+val state_consistent : Protocol.report -> bool
+(** Whether every server's replicated {!State} digest is identical — the
+    paper's consistency requirement checked on actual state, not just on
+    execution timing. Vacuously true when nothing executed. *)

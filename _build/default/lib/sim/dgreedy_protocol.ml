@@ -1,0 +1,448 @@
+module Problem = Dia_core.Problem
+module Assignment = Dia_core.Assignment
+
+type result = {
+  assignment : Assignment.t;
+  objective : float;
+  initial_objective : float;
+  modifications : int;
+  messages : int;
+  wall_duration : float;
+}
+
+type payload =
+  | Probe
+  | Probe_reply
+  | Join of float  (** the client's measured distance to this server *)
+  | Join_accept
+  | Join_reject
+  | Init_info of { inter : float array; longest : float }
+  | Ready
+  | Candidate of { client : int; l_minus : float }
+  | Candidate_reply of { l_value : float; distance : float }
+  | Commit of {
+      client : int;
+      from_server : int;
+      to_server : int;
+      l_from : float;
+      l_to : float;
+      distance : float;
+    }
+  | Commit_ack
+  | Reassign
+  | Token of int  (** consecutive no-commit possessions *)
+
+(* Per-client protocol state. *)
+type client_state = {
+  client_index : int;
+  mutable measured : (int * float) list;  (** (server, distance) measured *)
+  mutable awaiting : int;  (** probe replies still expected *)
+  mutable join_order : int array;  (** servers by measured distance *)
+  mutable join_attempt : int;
+  mutable my_server : int;
+}
+
+(* Per-server protocol state. *)
+type server_state = {
+  server_index : int;
+  mutable members : (int * float) list;  (** (client, measured distance) *)
+  mutable inter_rows : float array array;  (** inter_rows.(s).(s') as broadcast *)
+  mutable longest : float array;  (** l(s) for every server, as broadcast *)
+  mutable init_infos : int;
+  mutable readys : int;
+  mutable inter_awaiting : int;
+  (* token-holding state *)
+  mutable untried : int list;
+  mutable pending_replies : int;
+  mutable replies : (int * float * float) list;  (** (server, L, distance) *)
+  mutable current_candidate : (int * float) option;  (** (client, l_minus) *)
+  mutable pending_acks : int;
+  mutable token_count : int;
+  mutable committed_this_possession : bool;
+}
+
+let eps = 1e-9
+
+let run ?jitter p =
+  let k = Problem.num_servers p in
+  let n = Problem.num_clients p in
+  if n = 0 then invalid_arg "Dgreedy_protocol.run: no clients";
+  let capacity = match Problem.capacity p with None -> max_int | Some c -> c in
+  let engine = Engine.create () in
+  let node actor =
+    if actor < k then (Problem.servers p).(actor) else (Problem.clients p).(actor - k)
+  in
+  let latency a b = Dia_latency.Matrix.get (Problem.latency p) (node a) (node b) in
+  let net = Network.create ?jitter engine ~actors:(k + n) ~latency in
+  let max_latency = Dia_latency.Matrix.max_entry (Problem.latency p) in
+  (* Every join (probe + retries across up to k full servers) completes
+     within this horizon; servers broadcast their initial state then. *)
+  let settle_time = 2. *. Float.max 1. max_latency *. float_of_int (k + 3) in
+
+  let clients =
+    Array.init n (fun c ->
+        {
+          client_index = c;
+          measured = [];
+          awaiting = k;
+          join_order = [||];
+          join_attempt = 0;
+          my_server = -1;
+        })
+  in
+  let servers =
+    Array.init k (fun s ->
+        {
+          server_index = s;
+          members = [];
+          inter_rows = Array.make_matrix k k 0.;
+          longest = Array.make k neg_infinity;
+          init_infos = 0;
+          readys = 0;
+          inter_awaiting = k - 1;
+          untried = [];
+          pending_replies = 0;
+          replies = [];
+          current_candidate = None;
+          pending_acks = 0;
+          token_count = 0;
+          committed_this_possession = false;
+        })
+  in
+  let initial_objective = ref nan in
+  let modifications = ref 0 in
+
+  (* Outstanding probe send-times, keyed by (prober actor, target actor). *)
+  let probes : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
+  let send_probe ~from ~target =
+    Hashtbl.replace probes (from, target) (Engine.now engine);
+    Network.send net ~src:from ~dst:target Probe
+  in
+  let probe_distance ~from ~target =
+    let sent = Hashtbl.find probes (from, target) in
+    Hashtbl.remove probes (from, target);
+    (Engine.now engine -. sent) /. 2.
+  in
+
+  let broadcast ~from payload =
+    for s = 0 to k - 1 do
+      if s <> from then Network.send net ~src:from ~dst:s payload
+    done
+  in
+
+  (* Distance between two servers as believed by [st] (symmetrised). *)
+  let inter st s1 s2 =
+    if s1 = s2 then 0.
+    else (st.inter_rows.(s1).(s2) +. st.inter_rows.(s2).(s1)) /. 2.
+  in
+  let objective_of st longest =
+    let best = ref neg_infinity in
+    for s1 = 0 to k - 1 do
+      if longest.(s1) > neg_infinity then
+        for s2 = s1 to k - 1 do
+          if longest.(s2) > neg_infinity then begin
+            let len = longest.(s1) +. inter st s1 s2 +. longest.(s2) in
+            if len > !best then best := len
+          end
+        done
+    done;
+    !best
+  in
+  let my_longest st =
+    List.fold_left (fun acc (_, d) -> Float.max acc d) neg_infinity st.members
+  in
+  let longest_without st client =
+    List.fold_left
+      (fun acc (c, d) -> if c = client then acc else Float.max acc d)
+      neg_infinity st.members
+  in
+
+  (* Candidates of the token holder: its clients realising l(s), when s
+     lies on a longest interaction path. *)
+  let compute_candidates st =
+    let d = objective_of st st.longest in
+    if Float.is_nan !initial_objective then initial_objective := d;
+    let s = st.server_index in
+    let on_longest = ref false in
+    for s2 = 0 to k - 1 do
+      if st.longest.(s) > neg_infinity
+         && st.longest.(s2) > neg_infinity
+         && st.longest.(s) +. inter st s s2 +. st.longest.(s2) >= d -. eps
+      then on_longest := true
+    done;
+    if not !on_longest then []
+    else
+      List.filter_map
+        (fun (c, dist) -> if dist >= st.longest.(s) -. eps then Some c else None)
+        (List.sort compare st.members)
+  in
+
+  (* Forward declaration: token-possession driver. *)
+  let rec work st =
+    match st.untried with
+    | [] ->
+        let next_count = if st.committed_this_possession then 0 else st.token_count + 1 in
+        if next_count >= k then () (* every server failed to improve: stop *)
+        else begin
+          let next = (st.server_index + 1) mod k in
+          Network.send net ~src:st.server_index ~dst:next (Token next_count)
+        end
+    | c :: rest ->
+        st.untried <- rest;
+        let l_minus = longest_without st c in
+        st.current_candidate <- Some (c, l_minus);
+        st.pending_replies <- k - 1;
+        st.replies <- [];
+        if k = 1 then decide st
+        else broadcast ~from:st.server_index (Candidate { client = c; l_minus })
+
+  and decide st =
+    match st.current_candidate with
+    | None -> ()
+    | Some (c, l_minus) ->
+        let d = objective_of st st.longest in
+        let improving =
+          (* Best target by L-value; commit only on strict global
+             improvement, exactly like the centralized algorithm. *)
+          match
+            List.sort
+              (fun (_, la, _) (_, lb, _) -> Float.compare la lb)
+              st.replies
+          with
+        | [] -> None
+        | (target, l_value, distance) :: _ when l_value < d -. eps ->
+            let trial = Array.copy st.longest in
+            trial.(st.server_index) <- l_minus;
+            trial.(target) <- Float.max trial.(target) distance;
+            let d' = objective_of st trial in
+            if d' < d -. eps then Some (target, distance) else None
+        | _ -> None
+        in
+        (match improving with
+        | Some (target, distance) ->
+            let l_to =
+              (* The target's eccentricity after adopting c, from its
+                 reported measured distance. *)
+              Float.max
+                (if target = st.server_index then l_minus else st.longest.(target))
+                distance
+            in
+            let commit =
+              Commit
+                {
+                  client = c;
+                  from_server = st.server_index;
+                  to_server = target;
+                  l_from = l_minus;
+                  l_to;
+                  distance;
+                }
+            in
+            st.pending_acks <- k - 1;
+            st.committed_this_possession <- true;
+            incr modifications;
+            (* Apply locally: drop the client, update the table. *)
+            st.members <- List.filter (fun (c', _) -> c' <> c) st.members;
+            st.longest.(st.server_index) <- l_minus;
+            st.longest.(target) <- l_to;
+            st.current_candidate <- None;
+            if k = 1 then after_commit st else broadcast ~from:st.server_index commit
+        | None ->
+            st.current_candidate <- None;
+            work st)
+
+  and after_commit st =
+    (* All servers acknowledged: candidates are stale, recompute. *)
+    st.untried <- compute_candidates st;
+    work st
+  in
+
+  (* Server message handler. *)
+  let server_handle st ~src payload =
+    match payload with
+    | Probe -> Network.send net ~src:st.server_index ~dst:src Probe_reply
+    | Probe_reply ->
+        (* Inter-server measurement during initialisation; client-probe
+           replies (src >= k) are intercepted by the wrapper handler. *)
+        if src < k then begin
+          let distance = probe_distance ~from:st.server_index ~target:src in
+          st.inter_rows.(st.server_index).(src) <- distance;
+          st.inter_awaiting <- st.inter_awaiting - 1
+        end
+    | Join distance ->
+        if List.length st.members < capacity then begin
+          st.members <- (src - k, distance) :: st.members;
+          Network.send net ~src:st.server_index ~dst:src Join_accept
+        end
+        else Network.send net ~src:st.server_index ~dst:src Join_reject
+    | Init_info { inter = row; longest } ->
+        st.inter_rows.(src) <- Array.copy row;
+        st.longest.(src) <- longest;
+        st.init_infos <- st.init_infos + 1;
+        if st.init_infos = k - 1 then
+          if st.server_index = 0 then begin
+            st.readys <- st.readys + 1;
+            if st.readys = k then begin
+              st.token_count <- 0;
+              st.committed_this_possession <- false;
+              st.untried <- compute_candidates st;
+              work st
+            end
+          end
+          else Network.send net ~src:st.server_index ~dst:0 Ready
+    | Ready ->
+        st.readys <- st.readys + 1;
+        if st.readys = k && st.init_infos = k - 1 then begin
+          st.token_count <- 0;
+          st.committed_this_possession <- false;
+          st.untried <- compute_candidates st;
+          work st
+        end
+    | Candidate _ -> () (* handled in the wrapper below *)
+    | Candidate_reply { l_value; distance } ->
+        st.replies <- (src, l_value, distance) :: st.replies;
+        st.pending_replies <- st.pending_replies - 1;
+        if st.pending_replies = 0 then decide st
+    | Commit { client; from_server; to_server; l_from; l_to; distance } ->
+        st.longest.(from_server) <- l_from;
+        st.longest.(to_server) <- l_to;
+        if st.server_index = to_server then begin
+          st.members <- (client, distance) :: st.members;
+          Network.send net ~src:st.server_index ~dst:(k + client) Reassign
+        end;
+        Network.send net ~src:st.server_index ~dst:src Commit_ack
+    | Commit_ack ->
+        st.pending_acks <- st.pending_acks - 1;
+        if st.pending_acks = 0 then after_commit st
+    | Token count ->
+        st.token_count <- count;
+        st.committed_this_possession <- false;
+        st.untried <- compute_candidates st;
+        work st
+    | Join_accept | Join_reject | Reassign -> ()
+  in
+
+  (* Candidate handling needs a small state machine of its own per
+     server: probe the client, then reply with L computed from the
+     measured distance. *)
+  let candidate_context : (int, int * float) Hashtbl.t = Hashtbl.create 16 in
+  (* server index -> (holder server, l_minus); the probed client id is in
+     the probes table key. *)
+  let server_handle st ~src payload =
+    match payload with
+    | Candidate { client; l_minus } ->
+        Hashtbl.replace candidate_context st.server_index (src, l_minus);
+        send_probe ~from:st.server_index ~target:(k + client)
+    | Probe_reply when src >= k && Hashtbl.mem candidate_context st.server_index ->
+        let holder, l_minus = Hashtbl.find candidate_context st.server_index in
+        Hashtbl.remove candidate_context st.server_index;
+        let distance = probe_distance ~from:st.server_index ~target:src in
+        let l_value =
+          if List.length st.members >= capacity then infinity
+          else begin
+            let trial = Array.copy st.longest in
+            trial.(holder) <- l_minus;
+            let worst = ref (2. *. distance) in
+            for s'' = 0 to k - 1 do
+              if trial.(s'') > neg_infinity then begin
+                let len = distance +. inter st st.server_index s'' +. trial.(s'') in
+                if len > !worst then worst := len
+              end
+            done;
+            !worst
+          end
+        in
+        Network.send net ~src:st.server_index ~dst:holder
+          (Candidate_reply { l_value; distance })
+    | other -> server_handle st ~src other
+  in
+
+  (* Client message handler. *)
+  let try_join cs =
+    if cs.join_attempt < Array.length cs.join_order then begin
+      let target = cs.join_order.(cs.join_attempt) in
+      let distance = List.assoc target cs.measured in
+      Network.send net ~src:(k + cs.client_index) ~dst:target (Join distance)
+    end
+  in
+  let client_handle cs ~src payload =
+    match payload with
+    | Probe -> Network.send net ~src:(k + cs.client_index) ~dst:src Probe_reply
+    | Probe_reply ->
+        let distance = probe_distance ~from:(k + cs.client_index) ~target:src in
+        cs.measured <- (src, distance) :: cs.measured;
+        cs.awaiting <- cs.awaiting - 1;
+        if cs.awaiting = 0 then begin
+          let order = Array.init k Fun.id in
+          Array.sort
+            (fun a b ->
+              match Float.compare (List.assoc a cs.measured) (List.assoc b cs.measured) with
+              | 0 -> compare a b
+              | cmp -> cmp)
+            order;
+          cs.join_order <- order;
+          cs.join_attempt <- 0;
+          try_join cs
+        end
+    | Join_accept -> cs.my_server <- cs.join_order.(cs.join_attempt)
+    | Join_reject ->
+        cs.join_attempt <- cs.join_attempt + 1;
+        try_join cs
+    | Reassign -> cs.my_server <- src
+    | Join _ | Init_info _ | Ready | Candidate _ | Candidate_reply _ | Commit _
+    | Commit_ack | Token _ ->
+        ()
+  in
+
+  for s = 0 to k - 1 do
+    Network.on_receive net s (server_handle servers.(s))
+  done;
+  for c = 0 to n - 1 do
+    Network.on_receive net (k + c) (client_handle clients.(c))
+  done;
+
+  (* Kick-off: clients probe all servers; servers probe each other; at
+     the settle time every server publishes its initial state. *)
+  Engine.schedule engine 0. (fun () ->
+      for c = 0 to n - 1 do
+        for s = 0 to k - 1 do
+          send_probe ~from:(k + c) ~target:s
+        done
+      done;
+      for s = 0 to k - 1 do
+        for s' = 0 to k - 1 do
+          if s' <> s then send_probe ~from:s ~target:s'
+        done
+      done);
+  Engine.schedule engine settle_time (fun () ->
+      Array.iter
+        (fun st ->
+          st.longest.(st.server_index) <- my_longest st;
+          if k = 1 then begin
+            (* Single server: no exchange; start (and finish) directly. *)
+            st.untried <- compute_candidates st;
+            work st
+          end
+          else
+            broadcast ~from:st.server_index
+              (Init_info
+                 { inter = Array.copy st.inter_rows.(st.server_index);
+                   longest = st.longest.(st.server_index) }))
+        servers);
+  Engine.run engine;
+
+  let assignment = Array.make n (-1) in
+  Array.iteri
+    (fun s st -> List.iter (fun (c, _) -> assignment.(c) <- s) st.members)
+    servers;
+  Array.iteri
+    (fun c s -> if s < 0 then assignment.(c) <- clients.(c).my_server) assignment;
+  let assignment = Assignment.of_array p assignment in
+  {
+    assignment;
+    objective = Dia_core.Objective.max_interaction_path p assignment;
+    initial_objective = !initial_objective;
+    modifications = !modifications;
+    messages = Network.messages_sent net;
+    wall_duration = Engine.now engine;
+  }

@@ -1,0 +1,52 @@
+(** Message-level Distributed-Greedy Assignment (Section IV-D).
+
+    [Dia_core.Distributed_greedy] computes the algorithm's result
+    centrally; this module actually {e runs the protocol} over the
+    simulated {!Network}, with every quantity obtained the way the paper
+    says the servers obtain it:
+
+    + {b bootstrap} — each client probes every server (round-trip
+      latency measurement), picks the nearest, and joins it, reporting
+      its measured distance: the Nearest-Server initial assignment,
+      computed by the clients themselves;
+    + {b initialisation} — each server probes the other servers,
+      computes its longest client distance [l(s)], and broadcasts both,
+      exactly the exchange of Section IV-D;
+    + {b modification rounds under concurrency control} — a token
+      serialises modifications (the paper's requirement that concurrent
+      reassignments not interleave). The token holder picks a client of
+      its own on a longest interaction path and broadcasts it with its
+      eccentricity-without-that-client; every other server probes the
+      client and replies with the resulting [L(s')]; the holder commits
+      the best move only if it strictly reduces the global objective,
+      broadcasting the updated eccentricities (acknowledged before the
+      next round). A server with no improving client passes the token;
+      [|S|] consecutive tokenless passes terminate the protocol.
+
+    The final assignment is locally optimal in the same sense as the
+    centralized algorithm: no single client move can reduce the maximum
+    interaction-path length. (The exact assignment may differ — the
+    token visits candidates in a different order.) *)
+
+type result = {
+  assignment : Dia_core.Assignment.t;
+  objective : float;  (** final [D], as measured by the servers *)
+  initial_objective : float;  (** [D] of the bootstrap NSA assignment *)
+  modifications : int;
+  messages : int;  (** total protocol messages, probes included *)
+  wall_duration : float;  (** simulated protocol runtime (ms) *)
+}
+
+val run :
+  ?jitter:(src:int -> dst:int -> base:float -> float) ->
+  Dia_core.Problem.t ->
+  result
+(** Execute the protocol to termination. With [jitter], latency
+    measurements are noisy and the servers optimise measured — not true —
+    distances, as a real deployment would.
+
+    @raise Invalid_argument if the instance has no clients (there is
+    nothing to assign). Capacities are respected: clients only move to
+    unsaturated servers, and the bootstrap uses capacitated
+    nearest-server joining (a client rejected by a full server tries the
+    next nearest). *)

@@ -1,0 +1,90 @@
+(* Priority queue of events keyed by (time, sequence number); the
+   sequence number makes same-time events FIFO and the whole simulation
+   deterministic. Implemented as a pairing-heap-free simple binary heap
+   over a growable array. *)
+
+type event = { time : float; seq : int; action : unit -> unit }
+
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable clock : float;
+  mutable next_seq : int;
+}
+
+let dummy = { time = 0.; seq = 0; action = ignore }
+
+let create () = { heap = Array.make 64 dummy; size = 0; clock = 0.; next_seq = 0 }
+
+let now t = t.clock
+
+let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let push t event =
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) dummy in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- event;
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  while !i > 0 && precedes t.heap.(!i) t.heap.((!i - 1) / 2) do
+    swap t !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- dummy;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let first = ref !i in
+      if l < t.size && precedes t.heap.(l) t.heap.(!first) then first := l;
+      if r < t.size && precedes t.heap.(r) t.heap.(!first) then first := r;
+      if !first = !i then continue := false
+      else begin
+        swap t !i !first;
+        i := !first
+      end
+    done;
+    Some top
+  end
+
+let schedule t at action =
+  if not (Float.is_finite at) then invalid_arg "Engine.schedule: non-finite time";
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: time %g is in the past (now %g)" at t.clock);
+  push t { time = at; seq = t.next_seq; action };
+  t.next_seq <- t.next_seq + 1
+
+let schedule_after t delay action =
+  if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
+  schedule t (t.clock +. delay) action
+
+let rec run ?until t =
+  match pop t with
+  | None -> ()
+  | Some event -> (
+      match until with
+      | Some limit when event.time > limit ->
+          (* Put it back untouched; the heap push preserves its seq. *)
+          push t event
+      | _ ->
+          t.clock <- event.time;
+          event.action ();
+          run ?until t)
+
+let pending t = t.size

@@ -1,0 +1,33 @@
+(** Discrete-event simulation engine.
+
+    A minimal event loop: schedule closures at absolute wall-clock times,
+    then {!run} to execute them in time order. Events scheduled for the
+    same instant fire in scheduling order (FIFO), which keeps simulations
+    deterministic. Used by {!Network} to deliver messages and by
+    {!Protocol} to model operation execution and state updates. *)
+
+type t
+
+val create : unit -> t
+(** A fresh engine at time [0.]. *)
+
+val now : t -> float
+(** Current simulation wall-clock time. *)
+
+val schedule : t -> float -> (unit -> unit) -> unit
+(** [schedule engine at f] runs [f] when the clock reaches [at].
+
+    @raise Invalid_argument if [at] is in the past or not finite. *)
+
+val schedule_after : t -> float -> (unit -> unit) -> unit
+(** [schedule_after engine delay f] = [schedule engine (now + delay) f].
+
+    @raise Invalid_argument if [delay < 0.]. *)
+
+val run : ?until:float -> t -> unit
+(** Process events in order until the queue is empty (or the clock would
+    pass [until]; remaining events stay queued). Events may schedule
+    further events. *)
+
+val pending : t -> int
+(** Number of queued events. *)

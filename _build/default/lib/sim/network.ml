@@ -1,0 +1,52 @@
+module Matrix = Dia_latency.Matrix
+
+type 'payload t = {
+  engine : Engine.t;
+  latency : int -> int -> float;
+  jitter : src:int -> dst:int -> base:float -> float;
+  handlers : (src:int -> 'payload -> unit) option array;
+  mutable sent : int;
+  mutable last_latency : float;
+}
+
+let create ?(jitter = fun ~src:_ ~dst:_ ~base -> base) engine ~actors ~latency =
+  if actors < 0 then invalid_arg "Network.create: negative actor count";
+  {
+    engine;
+    latency;
+    jitter;
+    handlers = Array.make actors None;
+    sent = 0;
+    last_latency = nan;
+  }
+
+let of_matrix ?jitter engine matrix =
+  create ?jitter engine ~actors:(Matrix.dim matrix) ~latency:(Matrix.get matrix)
+
+let check_actor net label actor =
+  if actor < 0 || actor >= Array.length net.handlers then
+    invalid_arg (Printf.sprintf "Network: %s actor %d out of bounds" label actor)
+
+let on_receive net actor handler =
+  check_actor net "receiving" actor;
+  net.handlers.(actor) <- Some handler
+
+let send net ~src ~dst payload =
+  check_actor net "source" src;
+  check_actor net "destination" dst;
+  let base = net.latency src dst in
+  if base < 0. || not (Float.is_finite base) then
+    invalid_arg (Printf.sprintf "Network.send: latency %g invalid" base);
+  let latency = net.jitter ~src ~dst ~base in
+  if latency < 0. || not (Float.is_finite latency) then
+    invalid_arg (Printf.sprintf "Network.send: jittered latency %g invalid" latency);
+  net.sent <- net.sent + 1;
+  net.last_latency <- latency;
+  Engine.schedule_after net.engine latency (fun () ->
+      match net.handlers.(dst) with
+      | Some handler -> handler ~src payload
+      | None -> ())
+
+let messages_sent net = net.sent
+
+let latency_of_last_message net = net.last_latency

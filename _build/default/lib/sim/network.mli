@@ -1,0 +1,46 @@
+(** Simulated message-passing network.
+
+    Delivers messages between {e actors} over an {!Engine}: a message
+    from [src] to [dst] arrives after the latency given by a pairwise
+    latency function, optionally perturbed by a jitter sampler. Actors
+    are dense integers chosen by the caller — typically matrix node
+    indices, or a role-split address space when one network node hosts
+    both a server and a client (as in the paper, where a client sits at
+    every node). Counts messages for protocol-cost reporting. *)
+
+type 'payload t
+
+val create :
+  ?jitter:(src:int -> dst:int -> base:float -> float) ->
+  Engine.t ->
+  actors:int ->
+  latency:(int -> int -> float) ->
+  'payload t
+(** [create engine ~actors ~latency] is a network over actor ids
+    [0 .. actors-1]. [latency src dst] must be non-negative and finite;
+    [jitter] maps each transmission's base latency to the realised one
+    (default: identity) and must also return a non-negative value. *)
+
+val of_matrix :
+  ?jitter:(src:int -> dst:int -> base:float -> float) ->
+  Engine.t ->
+  Dia_latency.Matrix.t ->
+  'payload t
+(** Actors are exactly the matrix's nodes. *)
+
+val on_receive : 'payload t -> int -> (src:int -> 'payload -> unit) -> unit
+(** [on_receive net actor handler] registers [actor]'s message handler
+    (replacing any previous one). *)
+
+val send : 'payload t -> src:int -> dst:int -> 'payload -> unit
+(** Send a message; it is delivered to [dst]'s handler after the (possibly
+    jittered) latency. Self-sends deliver after the self-latency (usually
+    zero), still asynchronously. Messages to actors with no handler are
+    counted but dropped.
+
+    @raise Invalid_argument on out-of-bounds actors or invalid latency. *)
+
+val messages_sent : 'payload t -> int
+
+val latency_of_last_message : 'payload t -> float
+(** Realised latency of the most recent [send] ([nan] before any). *)

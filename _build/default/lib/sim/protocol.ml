@@ -1,0 +1,157 @@
+module Problem = Dia_core.Problem
+module Assignment = Dia_core.Assignment
+module Clock = Dia_core.Clock
+
+type execution = {
+  op_id : int;
+  server : int;
+  target_sim : float;
+  actual_sim : float;
+  late : bool;
+}
+
+type visibility = {
+  op_id : int;
+  observer : int;
+  issue_sim : float;
+  visible_sim : float;
+  late : bool;
+}
+
+type report = {
+  delta : float;
+  clients : int;
+  servers : int;
+  operations : Workload.op list;
+  executions : execution list;
+  visibilities : visibility list;
+  messages : int;
+  wall_duration : float;
+}
+
+type message =
+  | Op_to_server of Workload.op
+  | Op_forward of Workload.op
+  | State_update of Workload.op
+
+(* Actor address space: servers are [0 .. k-1], clients are
+   [k .. k + |C| - 1]. *)
+let run ?jitter ?execution_time p a clock workload =
+  let execution_time =
+    match execution_time with
+    | Some f -> f
+    | None -> fun (op : Workload.op) -> op.issue_time +. clock.Clock.delta
+  in
+  let k = Problem.num_servers p in
+  let n = Problem.num_clients p in
+  List.iter
+    (fun (op : Workload.op) ->
+      if op.issuer < 0 || op.issuer >= n then
+        invalid_arg (Printf.sprintf "Protocol.run: issuer %d out of range" op.issuer))
+    workload;
+  let engine = Engine.create () in
+  let latency actor1 actor2 =
+    let node actor =
+      if actor < k then (Problem.servers p).(actor)
+      else (Problem.clients p).(actor - k)
+    in
+    Dia_latency.Matrix.get (Problem.latency p) (node actor1) (node actor2)
+  in
+  let net = Network.create ?jitter engine ~actors:(k + n) ~latency in
+  (* Client simulation time = wall - base; server s's = wall - base +
+     offset(s). base keeps every schedule non-negative. *)
+  let base =
+    Array.fold_left (fun acc off -> Float.max acc off) 0. clock.Clock.server_offset
+  in
+  let delta = clock.Clock.delta in
+  let client_sim wall = wall -. base in
+  let server_sim s wall = wall -. base +. clock.Clock.server_offset.(s) in
+  let executions = ref [] in
+  let visibilities = ref [] in
+  let eps = 1e-9 in
+  (* Per-server handler: forward incoming client operations, execute any
+     operation at its target simulation time, then update clients. *)
+  let clients_of = Array.make k [] in
+  for c = 0 to n - 1 do
+    let s = Assignment.server_of a c in
+    clients_of.(s) <- c :: clients_of.(s)
+  done;
+  let execute s (op : Workload.op) =
+    let wall_now = Engine.now engine in
+    let target_sim = execution_time op in
+    (* Wall time at which this server's simulation clock shows target. *)
+    let target_wall = target_sim +. base -. clock.Clock.server_offset.(s) in
+    let do_execute () =
+      let actual_sim = server_sim s (Engine.now engine) in
+      executions :=
+        { op_id = op.op_id; server = s; target_sim; actual_sim;
+          late = actual_sim > target_sim +. eps }
+        :: !executions;
+      List.iter
+        (fun c -> Network.send net ~src:s ~dst:(k + c) (State_update op))
+        clients_of.(s)
+    in
+    if target_wall <= wall_now then do_execute ()
+    else Engine.schedule engine target_wall do_execute
+  in
+  for s = 0 to k - 1 do
+    Network.on_receive net s (fun ~src:_ payload ->
+        match payload with
+        | Op_to_server op ->
+            for s' = 0 to k - 1 do
+              if s' <> s then Network.send net ~src:s ~dst:s' (Op_forward op)
+            done;
+            execute s op
+        | Op_forward op -> execute s op
+        | State_update _ -> ())
+  done;
+  (* Per-client handler: present a state update when the client's
+     simulation time reaches t + delta. *)
+  for c = 0 to n - 1 do
+    Network.on_receive net (k + c) (fun ~src:_ payload ->
+        match payload with
+        | State_update op ->
+            let target_sim = execution_time op in
+            let present () =
+              let visible_sim = client_sim (Engine.now engine) in
+              visibilities :=
+                { op_id = op.Workload.op_id; observer = c;
+                  issue_sim = op.Workload.issue_time; visible_sim;
+                  late = visible_sim > target_sim +. eps }
+                :: !visibilities
+            in
+            let target_wall = target_sim +. base in
+            if target_wall <= Engine.now engine then present ()
+            else Engine.schedule engine target_wall present
+        | Op_to_server _ | Op_forward _ -> ())
+  done;
+  (* Issue every operation at its wall time. *)
+  List.iter
+    (fun (op : Workload.op) ->
+      let wall = op.issue_time +. base in
+      let issuer_server = Assignment.server_of a op.issuer in
+      Engine.schedule engine wall (fun () ->
+          Network.send net ~src:(k + op.issuer) ~dst:issuer_server (Op_to_server op)))
+    workload;
+  Engine.run engine;
+  {
+    delta;
+    clients = n;
+    servers = k;
+    operations = workload;
+    executions = List.rev !executions;
+    visibilities = List.rev !visibilities;
+    messages = Network.messages_sent net;
+    wall_duration = Engine.now engine;
+  }
+
+let interaction_times report =
+  let issuer_of = Hashtbl.create 64 in
+  List.iter
+    (fun (op : Workload.op) -> Hashtbl.replace issuer_of op.op_id op.issuer)
+    report.operations;
+  List.map
+    (fun v ->
+      let issuer = Hashtbl.find issuer_of v.op_id in
+      (issuer, v.observer, v.visible_sim -. v.issue_sim))
+    report.visibilities

@@ -1,0 +1,91 @@
+type timewarp_outcome = {
+  server : int;
+  rollbacks : int;
+  replayed : int;
+  max_depth : int;
+  converged : bool;
+}
+
+type tss_outcome = {
+  server : int;
+  divergences : int;
+  dropped : int;
+  converged : bool;
+}
+
+(* report.operations is sorted by issue time (= timestamp order, since
+   the execution timestamp adds the same delta to every operation). *)
+let canonical_state (report : Protocol.report) =
+  State.apply_all (State.initial ~clients:report.Protocol.clients)
+    report.Protocol.operations
+
+(* Per-server execution records in their real execution order (the
+   report lists executions chronologically). *)
+let per_server (report : Protocol.report) =
+  let by_server = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Protocol.execution) ->
+      let previous = Option.value ~default:[] (Hashtbl.find_opt by_server e.server) in
+      Hashtbl.replace by_server e.server (e :: previous))
+    report.Protocol.executions;
+  Hashtbl.fold (fun server execs acc -> (server, List.rev execs) :: acc) by_server []
+  |> List.sort compare
+
+let op_index (report : Protocol.report) =
+  let ops = Hashtbl.create 64 in
+  List.iter
+    (fun (op : Workload.op) -> Hashtbl.replace ops op.op_id op)
+    report.Protocol.operations;
+  ops
+
+let timewarp (report : Protocol.report) =
+  let canonical = State.digest (canonical_state report) in
+  let ops = op_index report in
+  List.map
+    (fun (server, execs) ->
+      let warp = Timewarp.create ~clients:report.Protocol.clients () in
+      List.iter
+        (fun (e : Protocol.execution) ->
+          ignore
+            (Timewarp.execute warp ~timestamp:e.target_sim (Hashtbl.find ops e.op_id)))
+        execs;
+      {
+        server;
+        rollbacks = Timewarp.rollbacks warp;
+        replayed = Timewarp.replayed warp;
+        max_depth = Timewarp.max_rollback_depth warp;
+        converged = State.digest (Timewarp.state warp) = canonical;
+      })
+    (per_server report)
+
+let tss ~lag (report : Protocol.report) =
+  let canonical = State.digest (canonical_state report) in
+  let ops = op_index report in
+  List.map
+    (fun (server, execs) ->
+      let sync = Tss.create ~clients:report.Protocol.clients ~lag in
+      List.iter
+        (fun (e : Protocol.execution) ->
+          (* The record's actual_sim is the server's simulation time at
+             arrival-and-execution; the trailing copy advances with it. *)
+          Tss.advance sync ~now:e.actual_sim;
+          Tss.deliver sync ~timestamp:e.target_sim (Hashtbl.find ops e.op_id))
+        execs;
+      let final = Tss.finish sync in
+      let dropped = Tss.dropped sync in
+      {
+        server;
+        divergences = Tss.divergences sync;
+        dropped;
+        converged = dropped = 0 && State.digest final = canonical;
+      })
+    (per_server report)
+
+let total_rollbacks outcomes =
+  List.fold_left (fun acc (o : timewarp_outcome) -> acc + o.rollbacks) 0 outcomes
+
+let all_converged_timewarp outcomes =
+  List.for_all (fun (o : timewarp_outcome) -> o.converged) outcomes
+
+let all_converged_tss outcomes =
+  List.for_all (fun (o : tss_outcome) -> o.converged) outcomes

@@ -1,0 +1,44 @@
+(** Repair analysis: what an optimistic server would have gone through.
+
+    The pessimistic protocol of {!Protocol} buffers every operation until
+    the agreed execution time [t + delta]; when [delta >= D(A)] nothing
+    ever arrives late. Section II-E of the paper discusses the other
+    operating point: run with a smaller [delta] (better interactivity),
+    execute optimistically, and {e repair} via TimeWarp or Trailing State
+    Synchronization, accepting visible artifacts.
+
+    This module replays a {!Protocol.report}'s per-server arrival
+    sequences through each repair mechanism and reports the cost: how
+    many rollbacks/divergences the chosen [delta] would have caused, and
+    whether all replicas converge to the canonical state regardless
+    (they must — that is what the repair mechanisms are for). *)
+
+type timewarp_outcome = {
+  server : int;
+  rollbacks : int;
+  replayed : int;
+  max_depth : int;
+  converged : bool;  (** final state equals the canonical state *)
+}
+
+type tss_outcome = {
+  server : int;
+  divergences : int;
+  dropped : int;
+  converged : bool;  (** no drops and final state canonical *)
+}
+
+val canonical_state : Protocol.report -> State.t
+(** The reference state: every operation in timestamp order. *)
+
+val timewarp : Protocol.report -> timewarp_outcome list
+(** Replay each server's executions (in their real arrival order, with
+    their [t + delta] timestamps) through a {!Timewarp} instance. *)
+
+val tss : lag:float -> Protocol.report -> tss_outcome list
+(** Same through {!Tss}: operations are delivered at their arrival
+    simulation times and the trailing point advances along with them. *)
+
+val total_rollbacks : timewarp_outcome list -> int
+val all_converged_timewarp : timewarp_outcome list -> bool
+val all_converged_tss : tss_outcome list -> bool

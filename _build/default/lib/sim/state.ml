@@ -1,0 +1,43 @@
+type t = { positions : (float * float) array; applied : int }
+
+let initial ~clients =
+  if clients < 0 then invalid_arg "State.initial: negative client count";
+  { positions = Array.make clients (0., 0.); applied = 0 }
+
+(* A cheap deterministic pseudo-random displacement from the op id: the
+   exact function does not matter, only that every replica computes the
+   same one. *)
+let displacement op_id =
+  let hash = (op_id * 2654435761) land 0xFFFFFF in
+  let angle = float_of_int hash /. float_of_int 0xFFFFFF *. 2. *. Float.pi in
+  (cos angle, sin angle)
+
+let apply t (op : Workload.op) =
+  if op.issuer < 0 || op.issuer >= Array.length t.positions then
+    invalid_arg (Printf.sprintf "State.apply: issuer %d out of range" op.issuer);
+  let positions = Array.copy t.positions in
+  let x, y = positions.(op.issuer) in
+  let dx, dy = displacement op.op_id in
+  (* Rotate the avatar's position before translating: rotation and
+     translation do not commute, so applying the same operations of one
+     issuer in a different order yields a different state — late
+     operations genuinely corrupt the state, as in a real game. *)
+  let angle = 0.1 +. (dx *. 0.05) in
+  let cosine = cos angle and sine = sin angle in
+  positions.(op.issuer) <-
+    ((cosine *. x) -. (sine *. y) +. dx, (sine *. x) +. (cosine *. y) +. dy);
+  { positions; applied = t.applied + 1 }
+
+let apply_all t ops = List.fold_left apply t ops
+
+let position t c = t.positions.(c)
+
+let digest t =
+  let buffer = Buffer.create (16 * Array.length t.positions) in
+  Buffer.add_string buffer (string_of_int t.applied);
+  Array.iter
+    (fun (x, y) -> Buffer.add_string buffer (Printf.sprintf "|%.9g,%.9g" x y))
+    t.positions;
+  Digest.to_hex (Digest.string (Buffer.contents buffer))
+
+let equal a b = a.applied = b.applied && a.positions = b.positions

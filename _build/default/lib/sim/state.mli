@@ -1,0 +1,44 @@
+(** A deterministic replicated application state.
+
+    Consistency in the paper is defined over the {e application state}:
+    all clients must share the same view when their simulation times
+    coincide. {!Checker} verifies this at the timing level; this module
+    makes it concrete by actually replicating a state machine — a toy
+    virtual world where each operation deterministically moves its
+    issuer's avatar — and comparing the digests that different servers
+    compute.
+
+    Operations must be applied in the canonical execution order: by
+    execution simulation time, ties broken by operation id (the
+    deterministic tie-break every real DIA uses so that simultaneous
+    executions agree everywhere). *)
+
+type t
+(** An immutable world state. *)
+
+val initial : clients:int -> t
+(** All avatars at the origin.
+
+    @raise Invalid_argument if [clients < 0]. *)
+
+val apply : t -> Workload.op -> t
+(** Execute one operation: rotate-then-translate the issuer's avatar by
+    amounts derived deterministically from the operation id. The
+    rotate-then-translate composition makes same-issuer operations
+    {b order-sensitive}, so out-of-order execution is detectable by
+    {!digest} comparison (operations of different issuers commute, as
+    they touch different avatars).
+
+    @raise Invalid_argument if the issuer is out of range. *)
+
+val apply_all : t -> Workload.op list -> t
+(** Fold {!apply} over operations {b in the order given} — callers sort
+    into canonical order first. *)
+
+val position : t -> int -> float * float
+(** A client's avatar position. *)
+
+val digest : t -> string
+(** A compact digest of the whole state; equal digests = equal states. *)
+
+val equal : t -> t -> bool

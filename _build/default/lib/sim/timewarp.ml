@@ -1,0 +1,94 @@
+type entry = { key : float * int; op : Workload.op }
+
+type snapshot = { before : State.t; log_length : int }
+
+type t = {
+  clients : int;
+  mutable log : entry list;  (** applied ops, most recent first, sorted by key *)
+  mutable state : State.t;
+  mutable snapshots : snapshot list;  (** most recent first *)
+  mutable rollbacks : int;
+  mutable replayed : int;
+  mutable max_depth : int;
+  snapshot_every : int;
+}
+
+let create ?(snapshot_every = 32) ~clients () =
+  if snapshot_every <= 0 then invalid_arg "Timewarp.create: snapshot interval";
+  {
+    clients;
+    log = [];
+    state = State.initial ~clients;
+    snapshots = [];
+    rollbacks = 0;
+    replayed = 0;
+    max_depth = 0;
+    snapshot_every;
+  }
+
+let log_length t = List.length t.log
+
+let state t = t.state
+let rollbacks t = t.rollbacks
+let replayed t = t.replayed
+let max_rollback_depth t = t.max_depth
+
+let key_of ~timestamp (op : Workload.op) = (timestamp, op.op_id)
+
+let maybe_snapshot t =
+  let len = log_length t in
+  if len > 0 && len mod t.snapshot_every = 0 then
+    t.snapshots <- { before = t.state; log_length = len } :: t.snapshots
+
+let execute t ~timestamp op =
+  let key = key_of ~timestamp op in
+  match t.log with
+  | recent :: _ when key > recent.key ->
+      (* In order: straight-through execution. *)
+      t.state <- State.apply t.state op;
+      t.log <- { key; op } :: t.log;
+      maybe_snapshot t;
+      0
+  | [] ->
+      t.state <- State.apply t.state op;
+      t.log <- [ { key; op } ];
+      0
+  | _ ->
+      (* Straggler: roll back past every entry with a later key, insert,
+         then replay. The rollback restarts from the newest snapshot that
+         precedes the insertion point (or from scratch). *)
+      let later, earlier = List.partition (fun e -> e.key > key) t.log in
+      let depth = List.length later in
+      let insertion_length = List.length earlier in
+      let usable_snapshot =
+        List.find_opt (fun s -> s.log_length <= insertion_length) t.snapshots
+      in
+      let base_state, base_length =
+        match usable_snapshot with
+        | Some s -> (s.before, s.log_length)
+        | None -> (State.initial ~clients:t.clients, 0)
+      in
+      (* Drop snapshots taken after the replay base; they are stale. *)
+      t.snapshots <-
+        List.filter (fun s -> s.log_length <= base_length) t.snapshots;
+      let new_log =
+        List.merge
+          (fun a b -> compare b.key a.key)
+          later
+          ({ key; op } :: earlier)
+      in
+      (* Entries to replay: everything newer than the snapshot base, in
+         chronological order. *)
+      let to_replay =
+        List.filteri (fun i _ -> i < List.length new_log - base_length) new_log
+        |> List.rev_map (fun e -> e.op)
+      in
+      let state =
+        List.fold_left State.apply base_state to_replay
+      in
+      t.state <- state;
+      t.log <- new_log;
+      t.rollbacks <- t.rollbacks + 1;
+      t.replayed <- t.replayed + List.length to_replay;
+      if depth > t.max_depth then t.max_depth <- depth;
+      depth

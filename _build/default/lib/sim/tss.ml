@@ -1,0 +1,80 @@
+type entry = { key : float * int; op : Workload.op }
+
+type t = {
+  clients : int;
+  lag : float;
+  mutable trailing_state : State.t;
+  mutable trailing_point : float;
+  mutable pending : entry list;  (** delivered, not yet trailed; arrival order, newest first *)
+  mutable leading_state : State.t;
+  mutable last_now : float;
+  mutable divergences : int;
+  mutable dropped : int;
+}
+
+let create ~clients ~lag =
+  if lag <= 0. then invalid_arg "Tss.create: lag must be positive";
+  {
+    clients;
+    lag;
+    trailing_state = State.initial ~clients;
+    trailing_point = neg_infinity;
+    pending = [];
+    leading_state = State.initial ~clients;
+    last_now = neg_infinity;
+    divergences = 0;
+    dropped = 0;
+  }
+
+let leading t = t.leading_state
+let trailing t = t.trailing_state
+let divergences t = t.divergences
+let dropped t = t.dropped
+
+let deliver t ~timestamp (op : Workload.op) =
+  if timestamp <= t.trailing_point then
+    (* Too late even for the trailing copy: unrecoverable at this lag. *)
+    t.dropped <- t.dropped + 1
+  else begin
+    t.leading_state <- State.apply t.leading_state op;
+    t.pending <- { key = (timestamp, op.op_id); op } :: t.pending
+  end
+
+let advance_to t point =
+  if point > t.trailing_point then begin
+    let batch, remaining =
+      List.partition (fun e -> fst e.key <= point) t.pending
+    in
+    if batch <> [] then begin
+      (* Trailing executes the batch in timestamp order — the canonical
+         order, final because later arrivals below the point are
+         dropped. *)
+      let canonical = List.sort (fun a b -> compare a.key b.key) batch in
+      t.trailing_state <-
+        List.fold_left (fun s e -> State.apply s e.op) t.trailing_state canonical;
+      (* What the leading state should be: trailing plus the remaining
+         pending operations in their arrival order. *)
+      let arrival_order = List.rev remaining in
+      let expected =
+        List.fold_left (fun s e -> State.apply s e.op) t.trailing_state arrival_order
+      in
+      if State.digest expected <> State.digest t.leading_state then begin
+        t.divergences <- t.divergences + 1;
+        t.leading_state <- expected
+      end;
+      t.pending <- remaining
+    end;
+    t.trailing_point <- point
+  end
+
+let advance t ~now =
+  if now < t.last_now then invalid_arg "Tss.advance: time went backwards";
+  t.last_now <- now;
+  advance_to t (now -. t.lag)
+
+let finish t =
+  let horizon =
+    List.fold_left (fun acc e -> Float.max acc (fst e.key)) t.trailing_point t.pending
+  in
+  advance_to t horizon;
+  t.trailing_state

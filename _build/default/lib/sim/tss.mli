@@ -1,0 +1,51 @@
+(** Trailing State Synchronization (Cronin et al., cited as the paper's
+    [8]).
+
+    Two copies of the application state run at different simulation
+    times: the {b leading} state executes every operation the moment it
+    arrives (zero added latency, possibly out of order), while the
+    {b trailing} state lags by a fixed amount and executes strictly in
+    timestamp order — by the time it executes, every straggler that
+    matters has arrived. Whenever the trailing state catches an ordering
+    mistake the leading state made, the leading state is reset from the
+    trailing one and the still-pending operations are re-applied: one
+    {e divergence repair}, cheaper but coarser than TimeWarp's surgical
+    rollback.
+
+    Operations arriving later than the trailing point are counted as
+    {!dropped} — the lag was too small to repair them (a real system
+    would escalate to a longer trailing copy; the count is the sizing
+    signal). *)
+
+type t
+
+val create : clients:int -> lag:float -> t
+(** [lag] is the trailing distance in simulation-time units.
+
+    @raise Invalid_argument if [lag <= 0.]. *)
+
+val deliver : t -> timestamp:float -> Workload.op -> unit
+(** An operation arrives: the leading state executes it immediately. An
+    operation whose timestamp is already behind the trailing point is
+    unrecoverable at this lag — it is counted in {!dropped} and not
+    applied. *)
+
+val advance : t -> now:float -> unit
+(** Move the trailing point to [now - lag]: the trailing state executes
+    all operations with timestamps up to there in timestamp order, and
+    leading/trailing orderings are reconciled (a divergence repair resets
+    the leading state if they disagree). [now] must not go backwards. *)
+
+val leading : t -> State.t
+val trailing : t -> State.t
+
+val divergences : t -> int
+(** Ordering mistakes repaired so far. *)
+
+val dropped : t -> int
+(** Operations that arrived behind the trailing point and were discarded
+    (increase the lag to avoid these). *)
+
+val finish : t -> State.t
+(** Advance past every delivered operation and return the final (exact)
+    state. *)

@@ -1,0 +1,49 @@
+type op = { op_id : int; issuer : int; issue_time : float }
+
+let of_pairs pairs =
+  List.iter
+    (fun (_, t) ->
+      if t < 0. || not (Float.is_finite t) then
+        invalid_arg (Printf.sprintf "Workload: issue time %g invalid" t))
+    pairs;
+  let indexed = List.mapi (fun i (issuer, t) -> (t, i, issuer)) pairs in
+  let sorted = List.sort compare indexed in
+  List.mapi (fun op_id (issue_time, _, issuer) -> { op_id; issuer; issue_time }) sorted
+
+let of_list = of_pairs
+
+let rounds ~clients ~rounds ~period =
+  if clients < 0 || rounds < 0 then invalid_arg "Workload.rounds: negative counts";
+  if period <= 0. then invalid_arg "Workload.rounds: period must be positive";
+  let pairs = ref [] in
+  for r = rounds - 1 downto 0 do
+    for c = clients - 1 downto 0 do
+      pairs := (c, float_of_int r *. period) :: !pairs
+    done
+  done;
+  of_pairs !pairs
+
+let poisson ~seed ~clients ~rate ~horizon =
+  if rate <= 0. then invalid_arg "Workload.poisson: rate must be positive";
+  if horizon < 0. then invalid_arg "Workload.poisson: negative horizon";
+  let rng = Random.State.make [| seed |] in
+  let pairs = ref [] in
+  for c = 0 to clients - 1 do
+    let t = ref 0. in
+    let continue = ref true in
+    while !continue do
+      let gap = -.log (1. -. Random.State.float rng 1.) /. rate in
+      t := !t +. gap;
+      if !t <= horizon then pairs := (c, !t) :: !pairs else continue := false
+    done
+  done;
+  of_pairs !pairs
+
+let burst ~clients ~at =
+  if at < 0. then invalid_arg "Workload.burst: negative time";
+  of_pairs (List.init clients (fun c -> (c, at)))
+
+let count ops = List.length ops
+
+let issuers ops =
+  List.sort_uniq compare (List.map (fun op -> op.issuer) ops)

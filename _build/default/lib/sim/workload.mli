@@ -1,0 +1,39 @@
+(** Operation workloads for DIA simulations.
+
+    A workload is a finite list of user operations, each issued by a
+    client (index into the {!Dia_core.Problem} instance) at a simulation
+    time. Generators produce the issue patterns used by the examples and
+    experiments: uniform rounds (every client acts every period — think
+    game "ticks"), Poisson arrivals (think chat or editing), and bursts
+    (think combat hot spots). *)
+
+type op = {
+  op_id : int;  (** unique, dense from 0, in issue-time order *)
+  issuer : int;  (** client index *)
+  issue_time : float;  (** issuing client's simulation time, [>= 0] *)
+}
+
+val of_list : (int * float) list -> op list
+(** Explicit [(issuer, issue_time)] pairs; ids assigned in sorted
+    issue-time order (ties by list position).
+
+    @raise Invalid_argument on negative times. *)
+
+val rounds : clients:int -> rounds:int -> period:float -> op list
+(** Every client issues one operation per round; round [r] happens at
+    time [r * period]. [clients * rounds] operations. *)
+
+val poisson : seed:int -> clients:int -> rate:float -> horizon:float -> op list
+(** Each client issues operations as an independent Poisson process of
+    [rate] per unit time over [[0, horizon]].
+
+    @raise Invalid_argument if [rate <= 0.] or [horizon < 0.]. *)
+
+val burst : clients:int -> at:float -> op list
+(** Every client issues one operation at exactly the same instant — the
+    worst case for fairness (all operations must be ordered
+    deterministically). *)
+
+val count : op list -> int
+val issuers : op list -> int list
+(** Distinct issuers, ascending. *)

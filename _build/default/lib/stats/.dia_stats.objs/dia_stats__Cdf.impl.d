@@ -1,0 +1,1 @@
+lib/stats/cdf.ml: Array Float List Percentile Printf

@@ -1,0 +1,65 @@
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let finite_points series =
+  List.concat_map
+    (fun (_, points) ->
+      List.filter
+        (fun (x, y) -> Float.is_finite x && Float.is_finite y)
+        points)
+    series
+
+let render ?(width = 64) ?(height = 16) ?(x_label = "") ?(y_label = "") series =
+  if width < 8 || height < 4 then invalid_arg "Ascii_plot: size too small";
+  let points = finite_points series in
+  if points = [] then invalid_arg "Ascii_plot: no finite points";
+  let xs = List.map fst points and ys = List.map snd points in
+  let x_min = List.fold_left Float.min infinity xs in
+  let x_max = List.fold_left Float.max neg_infinity xs in
+  let y_min = List.fold_left Float.min infinity ys in
+  let y_max = List.fold_left Float.max neg_infinity ys in
+  let x_span = if x_max > x_min then x_max -. x_min else 1. in
+  let y_span = if y_max > y_min then y_max -. y_min else 1. in
+  let grid = Array.make_matrix height width ' ' in
+  let plot_series idx (_, points) =
+    let glyph = glyphs.(idx mod Array.length glyphs) in
+    List.iter
+      (fun (x, y) ->
+        if Float.is_finite x && Float.is_finite y then begin
+          let col =
+            int_of_float ((x -. x_min) /. x_span *. float_of_int (width - 1))
+          in
+          let row =
+            height - 1
+            - int_of_float ((y -. y_min) /. y_span *. float_of_int (height - 1))
+          in
+          grid.(row).(col) <- glyph
+        end)
+      points
+  in
+  List.iteri plot_series series;
+  let buffer = Buffer.create ((width + 12) * (height + 4)) in
+  if y_label <> "" then Buffer.add_string buffer (y_label ^ "\n");
+  Array.iteri
+    (fun row cells ->
+      let y_value = y_max -. (float_of_int row /. float_of_int (height - 1) *. y_span) in
+      Buffer.add_string buffer (Printf.sprintf "%9.3f |" y_value);
+      Buffer.add_string buffer (String.init width (fun col -> cells.(col)));
+      Buffer.add_char buffer '\n')
+    grid;
+  Buffer.add_string buffer (Printf.sprintf "%9s +%s\n" "" (String.make width '-'));
+  Buffer.add_string buffer
+    (Printf.sprintf "%9s  %-*.6g%*.6g" "" (width / 2) x_min (width - (width / 2)) x_max);
+  if x_label <> "" then Buffer.add_string buffer ("  " ^ x_label);
+  Buffer.add_char buffer '\n';
+  let legend =
+    String.concat "   "
+      (List.mapi
+         (fun idx (name, _) ->
+           Printf.sprintf "%c %s" glyphs.(idx mod Array.length glyphs) name)
+         series)
+  in
+  Buffer.add_string buffer ("          " ^ legend ^ "\n");
+  Buffer.contents buffer
+
+let print ?width ?height ?x_label ?y_label series =
+  print_string (render ?width ?height ?x_label ?y_label series)

@@ -1,0 +1,28 @@
+(** Terminal line plots.
+
+    Renders one or more [(x, y)] series as an ASCII grid — enough to
+    eyeball the shape of each reproduced figure directly from
+    [dune exec]. Each series gets a distinct glyph; overlapping points
+    show the later series' glyph. *)
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  (string * (float * float) list) list ->
+  string
+(** [render series] plots the named series on a shared axis. Default
+    [width] 64, [height] 16 (interior cells). Series must be non-empty
+    overall; NaN points are skipped.
+
+    @raise Invalid_argument if no finite points exist or sizes are
+    unreasonably small ([< 8] wide / [< 4] tall). *)
+
+val print :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  (string * (float * float) list) list ->
+  unit

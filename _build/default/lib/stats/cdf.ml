@@ -1,0 +1,36 @@
+type t = float array (* sorted ascending *)
+
+let of_samples values =
+  if Array.length values = 0 then invalid_arg "Cdf: empty sample";
+  Array.iter (fun v -> if Float.is_nan v then invalid_arg "Cdf: NaN sample") values;
+  let sorted = Array.copy values in
+  Array.sort Float.compare sorted;
+  sorted
+
+let count t = Array.length t
+
+(* Number of entries <= x, by binary search for the upper bound. *)
+let count_below t x =
+  let lo = ref 0 and hi = ref (Array.length t) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.(mid) <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let eval t x = float_of_int (count_below t x) /. float_of_int (Array.length t)
+
+let quantile t q =
+  if q < 0. || q > 1. then invalid_arg (Printf.sprintf "Cdf.quantile: %g outside [0, 1]" q);
+  Percentile.of_sorted t (q *. 100.)
+
+let min_sample t = t.(0)
+let max_sample t = t.(Array.length t - 1)
+
+let curve t ~points =
+  if points < 2 then invalid_arg "Cdf.curve: need at least 2 points";
+  let lo = min_sample t and hi = max_sample t in
+  let step = (hi -. lo) /. float_of_int (points - 1) in
+  List.init points (fun i ->
+      let x = lo +. (float_of_int i *. step) in
+      (x, eval t x))

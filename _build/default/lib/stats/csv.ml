@@ -1,0 +1,34 @@
+let escape field =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') field
+  in
+  if not needs_quoting then field
+  else begin
+    let buffer = Buffer.create (String.length field + 8) in
+    Buffer.add_char buffer '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buffer "\"\""
+        else Buffer.add_char buffer c)
+      field;
+    Buffer.add_char buffer '"';
+    Buffer.contents buffer
+  end
+
+let render ~header rows =
+  let width = List.length header in
+  List.iteri
+    (fun i row ->
+      if List.length row <> width then
+        invalid_arg
+          (Printf.sprintf "Csv.render: row %d has %d fields, expected %d" i
+             (List.length row) width))
+    rows;
+  let line cells = String.concat "," (List.map escape cells) in
+  String.concat "\n" (line header :: List.map line rows) ^ "\n"
+
+let write ~path ~header rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ~header rows))

@@ -1,0 +1,14 @@
+(** Minimal CSV writing (RFC 4180 quoting) for exporting experiment
+    series to external plotting tools. *)
+
+val escape : string -> string
+(** Quote a field if it contains commas, quotes, or newlines. *)
+
+val render : header:string list -> string list list -> string
+(** Full document, [\n] line endings, header first.
+
+    @raise Invalid_argument if any row's arity differs from the
+    header's. *)
+
+val write : path:string -> header:string list -> string list list -> unit
+(** {!render} to a file. *)

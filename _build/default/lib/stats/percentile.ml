@@ -1,0 +1,23 @@
+let of_sorted sorted p =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Percentile: empty sample";
+  if p < 0. || p > 100. then
+    invalid_arg (Printf.sprintf "Percentile: %g outside [0, 100]" p);
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let fraction = rank -. float_of_int lo in
+    (sorted.(lo) *. (1. -. fraction)) +. (sorted.(hi) *. fraction)
+  end
+
+let compute values p =
+  let sorted = Array.copy values in
+  Array.sort Float.compare sorted;
+  of_sorted sorted p
+
+let many values ps =
+  let sorted = Array.copy values in
+  Array.sort Float.compare sorted;
+  List.map (fun p -> (p, of_sorted sorted p)) ps

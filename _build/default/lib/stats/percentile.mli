@@ -1,0 +1,13 @@
+(** Percentiles with linear interpolation (the "exclusive" convention is
+    avoided; this matches numpy's default "linear" method). *)
+
+val of_sorted : float array -> float -> float
+(** [of_sorted sorted p] with [0 <= p <= 100] over an ascending array.
+
+    @raise Invalid_argument on empty input or [p] outside [0, 100]. *)
+
+val compute : float array -> float -> float
+(** Like {!of_sorted} but sorts a copy first. O(n log n). *)
+
+val many : float array -> float list -> (float * float) list
+(** [(p, value)] pairs sharing one sort. *)

@@ -1,0 +1,57 @@
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let check_input values =
+  Array.iter
+    (fun v ->
+      if Float.is_nan v then invalid_arg "Summary: NaN sample value")
+    values
+
+let mean values =
+  if Array.length values = 0 then nan
+  else Array.fold_left ( +. ) 0. values /. float_of_int (Array.length values)
+
+let stddev values =
+  let n = Array.length values in
+  if n = 0 then nan
+  else begin
+    let m = mean values in
+    let var =
+      Array.fold_left (fun acc v -> acc +. ((v -. m) *. (v -. m))) 0. values
+      /. float_of_int n
+    in
+    sqrt var
+  end
+
+let of_array values =
+  check_input values;
+  let n = Array.length values in
+  if n = 0 then { count = 0; mean = nan; stddev = nan; min = nan; max = nan; median = nan }
+  else begin
+    let sorted = Array.copy values in
+    Array.sort Float.compare sorted;
+    let median =
+      if n mod 2 = 1 then sorted.(n / 2)
+      else (sorted.((n / 2) - 1) +. sorted.(n / 2)) /. 2.
+    in
+    {
+      count = n;
+      mean = mean values;
+      stddev = stddev values;
+      min = sorted.(0);
+      max = sorted.(n - 1);
+      median;
+    }
+  end
+
+let of_list values = of_array (Array.of_list values)
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f med=%.3f max=%.3f" t.count
+    t.mean t.stddev t.min t.median t.max

@@ -1,0 +1,27 @@
+(** Summary statistics over float samples. *)
+
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;  (** population standard deviation *)
+  min : float;
+  max : float;
+  median : float;
+}
+
+val of_array : float array -> t
+(** Summary of a sample. For an empty sample every float field is [nan].
+    NaN entries in the input are rejected.
+
+    @raise Invalid_argument on NaN input values. *)
+
+val of_list : float list -> t
+
+val mean : float array -> float
+(** [nan] on empty input. *)
+
+val stddev : float array -> float
+(** Population standard deviation; [nan] on empty input. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line rendering: [n=… mean=… sd=… min=… med=… max=…]. *)

@@ -1,0 +1,40 @@
+type t = { columns : string list; mutable rows : string list list }
+
+let make ~columns =
+  if columns = [] then invalid_arg "Table.make: no columns";
+  { columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: %d cells for %d columns" (List.length row)
+         (List.length t.columns));
+  t.rows <- row :: t.rows
+
+let add_floats t ~label values =
+  add_row t (label :: List.map (Printf.sprintf "%.3f") values)
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i header ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length header) rows)
+      t.columns
+  in
+  let pad width cell = cell ^ String.make (width - String.length cell) ' ' in
+  let render_row cells =
+    "| " ^ String.concat " | " (List.map2 pad widths cells) ^ " |"
+  in
+  let rule =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  String.concat "\n"
+    (List.concat
+       [ [ rule; render_row t.columns; rule ];
+         List.map render_row rows;
+         [ rule ] ])
+
+let print t = print_endline (render t)

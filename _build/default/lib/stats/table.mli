@@ -1,0 +1,22 @@
+(** Plain-text tables for experiment reports. *)
+
+type t
+
+val make : columns:string list -> t
+(** A table with the given column headers.
+
+    @raise Invalid_argument on an empty column list. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.
+
+    @raise Invalid_argument if the arity differs from the header. *)
+
+val add_floats : t -> label:string -> float list -> unit
+(** Convenience: a label cell followed by [%.3f]-formatted values. *)
+
+val render : t -> string
+(** Aligned, boxed with ASCII rules, ready to print. *)
+
+val print : t -> unit
+(** [render] to stdout with a trailing newline. *)

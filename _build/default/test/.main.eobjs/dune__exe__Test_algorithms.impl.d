@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Alcotest Array Dia_core Dia_latency Dia_placement Fun List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_brute_force.ml: Alcotest Array Dia_core Dia_latency Dia_placement Float Printf

@@ -1,0 +1,1 @@
+test/test_clock.ml: Alcotest Dia_core Dia_latency Dia_placement List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dgreedy_protocol.ml: Alcotest Array Dia_core Dia_latency Dia_placement Dia_sim Float Printf Random

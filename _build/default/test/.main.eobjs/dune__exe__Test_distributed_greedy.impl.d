@@ -1,0 +1,1 @@
+test/test_distributed_greedy.ml: Alcotest Array Dia_core Dia_latency Dia_placement

@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest Array Dia_core Dia_latency Dia_placement Float List Printf QCheck QCheck_alcotest Random

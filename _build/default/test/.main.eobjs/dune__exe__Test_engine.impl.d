@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Dia_sim Float List Random

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Dia_core Dia_experiments Dia_latency Dia_placement Dia_stats List String

@@ -1,0 +1,1 @@
+test/test_graph_paths.ml: Alcotest Array Dia_latency List

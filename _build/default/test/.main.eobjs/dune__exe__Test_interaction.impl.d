@@ -1,0 +1,1 @@
+test/test_interaction.ml: Alcotest Array Dia_core Dia_latency Dia_placement List Printf

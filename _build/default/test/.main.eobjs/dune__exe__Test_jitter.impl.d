@@ -1,0 +1,1 @@
+test/test_jitter.ml: Alcotest Array Dia_latency Float Printf

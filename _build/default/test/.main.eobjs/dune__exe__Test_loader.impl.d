@@ -1,0 +1,1 @@
+test/test_loader.ml: Alcotest Array Dia_latency Filename

@@ -1,0 +1,1 @@
+test/test_local_search.ml: Alcotest Array Dia_core Dia_latency Dia_placement Printf

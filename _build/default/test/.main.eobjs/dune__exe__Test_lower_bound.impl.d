@@ -1,0 +1,1 @@
+test/test_lower_bound.ml: Alcotest Dia_core Dia_latency Dia_placement Float List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_metric.ml: Alcotest Dia_latency Float

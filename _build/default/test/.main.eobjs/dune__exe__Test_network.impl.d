@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Dia_latency Dia_sim List

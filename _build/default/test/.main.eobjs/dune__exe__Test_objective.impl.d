@@ -1,0 +1,1 @@
+test/test_objective.ml: Alcotest Array Dia_core Dia_latency Float Fun QCheck QCheck_alcotest

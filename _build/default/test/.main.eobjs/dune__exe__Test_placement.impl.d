@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest Array Dia_latency Dia_placement Float Fun List Printf

@@ -1,0 +1,1 @@
+test/test_problem.ml: Alcotest Array Dia_core Dia_latency

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Dia_core Dia_latency Dia_placement Dia_sim Float Fun List QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Dia_core Dia_latency Dia_placement Dia_sim Float List Printf QCheck QCheck_alcotest Random

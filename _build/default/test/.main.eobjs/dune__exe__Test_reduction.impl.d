@@ -1,0 +1,1 @@
+test/test_reduction.ml: Alcotest Dia_core Dia_setcover List Printf

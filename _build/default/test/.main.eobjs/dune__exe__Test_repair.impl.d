@@ -1,0 +1,1 @@
+test/test_repair.ml: Alcotest Dia_core Dia_latency Dia_placement Dia_sim List Random

@@ -1,0 +1,1 @@
+test/test_setcover.ml: Alcotest Array Dia_setcover Fun List Random

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Dia_stats Filename Float List String

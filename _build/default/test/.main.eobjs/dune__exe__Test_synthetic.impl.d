@@ -1,0 +1,1 @@
+test/test_synthetic.ml: Alcotest Dia_latency Printf

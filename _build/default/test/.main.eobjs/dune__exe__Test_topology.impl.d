@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Dia_core Dia_latency Dia_placement Float Printf

@@ -1,0 +1,1 @@
+test/test_vivaldi.ml: Alcotest Array Dia_latency Float Printf Random

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Dia_sim List Printf

@@ -1,0 +1,1 @@
+test/test_zone_based.ml: Alcotest Array Dia_core Dia_latency Dia_placement Printf

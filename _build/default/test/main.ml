@@ -1,0 +1,37 @@
+let () =
+  Alcotest.run "dia"
+    [
+      ("matrix", Test_matrix.suite);
+      ("graph-paths", Test_graph_paths.suite);
+      ("metric", Test_metric.suite);
+      ("synthetic", Test_synthetic.suite);
+      ("loader", Test_loader.suite);
+      ("jitter", Test_jitter.suite);
+      ("vivaldi", Test_vivaldi.suite);
+      ("topology", Test_topology.suite);
+      ("placement", Test_placement.suite);
+      ("problem", Test_problem.suite);
+      ("objective", Test_objective.suite);
+      ("lower-bound", Test_lower_bound.suite);
+      ("algorithms", Test_algorithms.suite);
+      ("brute-force", Test_brute_force.suite);
+      ("clock", Test_clock.suite);
+      ("distributed-greedy", Test_distributed_greedy.suite);
+      ("dynamic", Test_dynamic.suite);
+      ("local-search", Test_local_search.suite);
+      ("zone-based", Test_zone_based.suite);
+      ("interaction", Test_interaction.suite);
+      ("properties", Test_properties.suite);
+      ("engine", Test_engine.suite);
+      ("network", Test_network.suite);
+      ("workload", Test_workload.suite);
+      ("protocol", Test_protocol.suite);
+      ("setcover", Test_setcover.suite);
+      ("reduction", Test_reduction.suite);
+      ("stats", Test_stats.suite);
+      ("experiments", Test_experiments.suite);
+      ("state", Test_state.suite);
+      ("dgreedy-protocol", Test_dgreedy_protocol.suite);
+      ("repair", Test_repair.suite);
+      ("bucket", Test_bucket.suite);
+    ]

@@ -1,0 +1,96 @@
+(* Tests for Dia_core.Brute_force. *)
+
+module Synthetic = Dia_latency.Synthetic
+module Problem = Dia_core.Problem
+module Assignment = Dia_core.Assignment
+module Objective = Dia_core.Objective
+module Brute_force = Dia_core.Brute_force
+
+let random_instance ?capacity seed ~n ~k =
+  let m = Synthetic.internet_like ~seed n in
+  let servers = Dia_placement.Placement.random ~seed ~k ~n in
+  Problem.all_nodes_clients ?capacity m ~servers
+
+(* Exhaustive enumeration without pruning, as an oracle. *)
+let exhaustive_optimum p =
+  let n = Problem.num_clients p and k = Problem.num_servers p in
+  let capacity = match Problem.capacity p with None -> max_int | Some c -> c in
+  let a = Array.make n 0 in
+  let best = ref infinity in
+  let rec enumerate i =
+    if i = n then begin
+      let load = Array.make k 0 in
+      Array.iter (fun s -> load.(s) <- load.(s) + 1) a;
+      if Array.for_all (fun l -> l <= capacity) load then
+        best :=
+          Float.min !best
+            (Objective.max_interaction_path p (Assignment.unsafe_of_array a))
+    end
+    else
+      for s = 0 to k - 1 do
+        a.(i) <- s;
+        enumerate (i + 1)
+      done
+  in
+  enumerate 0;
+  !best
+
+let test_matches_exhaustive_enumeration () =
+  for seed = 0 to 9 do
+    let p = random_instance seed ~n:7 ~k:3 in
+    Alcotest.(check (float 1e-9))
+      (Printf.sprintf "seed %d" seed)
+      (exhaustive_optimum p)
+      (Brute_force.optimal_value p)
+  done
+
+let test_matches_exhaustive_with_capacity () =
+  for seed = 0 to 4 do
+    let p = random_instance ~capacity:3 seed ~n:6 ~k:3 in
+    Alcotest.(check (float 1e-9))
+      (Printf.sprintf "seed %d" seed)
+      (exhaustive_optimum p)
+      (Brute_force.optimal_value p)
+  done
+
+let test_returned_assignment_achieves_value () =
+  let p = random_instance 42 ~n:8 ~k:3 in
+  let a, value = Brute_force.optimal p in
+  Alcotest.(check (float 1e-9)) "assignment realises the value" value
+    (Objective.max_interaction_path p a)
+
+let test_capacity_respected () =
+  let p = random_instance ~capacity:2 13 ~n:6 ~k:3 in
+  let a, _ = Brute_force.optimal p in
+  Alcotest.(check bool) "capacity ok" true (Assignment.respects_capacity p a)
+
+let test_node_limit_enforced () =
+  let p = random_instance 1 ~n:14 ~k:6 in
+  Alcotest.(check bool) "fails fast" true
+    (try
+       ignore (Brute_force.optimal ~node_limit:10 p);
+       false
+     with Failure _ -> true)
+
+let test_no_worse_than_heuristics () =
+  for seed = 20 to 29 do
+    let p = random_instance seed ~n:9 ~k:3 in
+    let opt = Brute_force.optimal_value p in
+    let greedy = Objective.max_interaction_path p (Dia_core.Greedy.assign p) in
+    Alcotest.(check bool)
+      (Printf.sprintf "optimal <= greedy (seed %d)" seed)
+      true (opt <= greedy +. 1e-9)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "matches exhaustive enumeration" `Quick
+      test_matches_exhaustive_enumeration;
+    Alcotest.test_case "matches exhaustive enumeration under capacity" `Quick
+      test_matches_exhaustive_with_capacity;
+    Alcotest.test_case "returned assignment achieves the value" `Quick
+      test_returned_assignment_achieves_value;
+    Alcotest.test_case "capacity respected" `Quick test_capacity_respected;
+    Alcotest.test_case "node limit enforced" `Quick test_node_limit_enforced;
+    Alcotest.test_case "never worse than heuristics" `Quick test_no_worse_than_heuristics;
+  ]

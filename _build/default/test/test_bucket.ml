@@ -1,0 +1,137 @@
+(* Tests for Dia_sim.Bucket: bucket synchronisation through the
+   protocol. *)
+
+module Bucket = Dia_sim.Bucket
+module Workload = Dia_sim.Workload
+module Protocol = Dia_sim.Protocol
+module Checker = Dia_sim.Checker
+module Problem = Dia_core.Problem
+module Algorithm = Dia_core.Algorithm
+module Objective = Dia_core.Objective
+module Clock = Dia_core.Clock
+
+let op t = { Workload.op_id = 0; issuer = 0; issue_time = t }
+
+let test_execution_time_arithmetic () =
+  let exec = Bucket.execution_time ~length:50. ~delay:2 in
+  (* Issue at 10 (bucket 0) -> end of bucket 2 = 150. *)
+  Alcotest.(check (float 1e-9)) "mid-bucket" 150. (exec (op 10.));
+  (* Issue at 49.99 (still bucket 0) -> also 150. *)
+  Alcotest.(check (float 1e-9)) "end of bucket" 150. (exec (op 49.99));
+  (* Issue at 50 (bucket 1) -> 200. *)
+  Alcotest.(check (float 1e-9)) "next bucket" 200. (exec (op 50.))
+
+let test_lag_bounds () =
+  let lo, hi = Bucket.lag_bounds ~length:50. ~delay:2 in
+  Alcotest.(check (float 1e-9)) "min lag" 100. lo;
+  Alcotest.(check (float 1e-9)) "max lag" 150. hi
+
+let test_validation () =
+  Alcotest.(check bool) "bad length" true
+    (try ignore (Bucket.execution_time ~length:0. ~delay:1 (op 0.)); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad delay" true
+    (try ignore (Bucket.lag_bounds ~length:1. ~delay:(-1)); false
+     with Invalid_argument _ -> true)
+
+let instance seed =
+  let matrix = Dia_latency.Synthetic.internet_like ~seed 12 in
+  let servers = Dia_placement.Placement.random ~seed ~k:3 ~n:12 in
+  let p = Problem.all_nodes_clients matrix ~servers in
+  let a = Algorithm.run Algorithm.Greedy p in
+  (p, a)
+
+let run_bucketed ?(length = 60.) p a =
+  let delay = Bucket.min_delay p a ~length in
+  let clock = Clock.synthesize p a in
+  (* Ops at varied offsets within buckets so lags genuinely differ. *)
+  let workload =
+    Workload.of_list (List.init 30 (fun i -> (i mod 12, float_of_int i *. 17.3)))
+  in
+  ( delay,
+    Protocol.run ~execution_time:(Bucket.execution_time ~length ~delay) p a clock
+      workload )
+
+let test_bucketed_run_consistent_but_unfair () =
+  let p, a = instance 3 in
+  let _, report = run_bucketed p a in
+  let verdict = Checker.analyze report in
+  Alcotest.(check bool) "consistent" true verdict.Checker.consistent;
+  Alcotest.(check bool) "state consistent" true (Checker.state_consistent report);
+  Alcotest.(check int) "no late executions" 0 verdict.Checker.late_executions;
+  Alcotest.(check int) "no late updates" 0 verdict.Checker.late_visibilities;
+  (* Bucket sync is NOT constant-lag fair... *)
+  Alcotest.(check bool) "not constant-lag fair" false verdict.Checker.fair;
+  Alcotest.(check bool) "interaction times vary" false
+    verdict.Checker.uniform_interaction
+
+let test_bucketed_lags_within_bounds () =
+  let p, a = instance 4 in
+  let length = 60. in
+  let delay, report = run_bucketed ~length p a in
+  let lo, hi = Bucket.lag_bounds ~length ~delay in
+  List.iter
+    (fun (_, _, t) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "lag %.1f in [%.0f, %.0f)" t lo hi)
+        true
+        (t >= lo -. 1e-9 && t < hi +. 1e-9))
+    (Protocol.interaction_times report)
+
+let test_min_delay_is_minimal () =
+  (* One bucket less than min_delay must cause late events. *)
+  let p, a = instance 5 in
+  let length = 60. in
+  let delay = Bucket.min_delay p a ~length in
+  if delay > 0 then begin
+    let clock = Clock.synthesize p a in
+    let workload =
+      (* Every client issues right before a bucket boundary: the burst is
+         guaranteed to include the binding client of constraint (i), for
+         which the synthesized offsets leave zero slack. *)
+      Workload.burst ~clients:(Problem.num_clients p) ~at:(length -. 0.001)
+    in
+    let report =
+      Protocol.run
+        ~execution_time:(Bucket.execution_time ~length ~delay:(delay - 1))
+        p a clock workload
+    in
+    let verdict = Checker.analyze report in
+    Alcotest.(check bool) "late events appear" true
+      (verdict.Checker.late_executions + verdict.Checker.late_visibilities > 0)
+  end
+
+let test_local_lag_is_fine_bucket_limit () =
+  (* Tiny buckets with delay * length = D approximate the local-lag rule:
+     lags collapse towards D. *)
+  let p, a = instance 6 in
+  let d = Objective.max_interaction_path p a in
+  let length = 1. in
+  let delay = Bucket.min_delay p a ~length in
+  let clock = Clock.synthesize p a in
+  let workload = Workload.of_list [ (0, 10.3); (5, 100.9) ] in
+  let report =
+    Protocol.run ~execution_time:(Bucket.execution_time ~length ~delay) p a clock
+      workload
+  in
+  List.iter
+    (fun (_, _, t) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "lag %.2f within one bucket of D = %.2f" t d)
+        true
+        (t >= d -. 1e-9 && t <= d +. (2. *. length) +. 1e-9))
+    (Protocol.interaction_times report)
+
+let suite =
+  [
+    Alcotest.test_case "execution time arithmetic" `Quick test_execution_time_arithmetic;
+    Alcotest.test_case "lag bounds" `Quick test_lag_bounds;
+    Alcotest.test_case "parameter validation" `Quick test_validation;
+    Alcotest.test_case "bucketed run: consistent, not constant-lag fair" `Quick
+      test_bucketed_run_consistent_but_unfair;
+    Alcotest.test_case "lags stay within the bucket bounds" `Quick
+      test_bucketed_lags_within_bounds;
+    Alcotest.test_case "min_delay is minimal" `Quick test_min_delay_is_minimal;
+    Alcotest.test_case "local-lag as the fine-bucket limit" `Quick
+      test_local_lag_is_fine_bucket_limit;
+  ]

@@ -1,0 +1,97 @@
+(* Tests for Dia_core.Clock: the constructive proof of Section II-C. *)
+
+module Synthetic = Dia_latency.Synthetic
+module Problem = Dia_core.Problem
+module Assignment = Dia_core.Assignment
+module Objective = Dia_core.Objective
+module Clock = Dia_core.Clock
+module Algorithm = Dia_core.Algorithm
+
+let random_instance seed ~n ~k =
+  let m = Synthetic.internet_like ~seed n in
+  let servers = Dia_placement.Placement.random ~seed ~k ~n in
+  Problem.all_nodes_clients m ~servers
+
+let test_synthesized_delta_is_objective () =
+  let p = random_instance 1 ~n:20 ~k:4 in
+  let a = Algorithm.run Algorithm.Greedy p in
+  let clock = Clock.synthesize p a in
+  Alcotest.(check (float 1e-9)) "delta = D(A)"
+    (Objective.max_interaction_path p a)
+    clock.Clock.delta
+
+let prop_synthesized_offsets_feasible =
+  QCheck.Test.make ~name:"synthesized offsets satisfy both constraints" ~count:80
+    QCheck.(triple (int_bound 1_000_000) (int_range 1 6) (int_range 1 25))
+    (fun (seed, k, extra) ->
+      let p = random_instance seed ~n:(k + extra) ~k in
+      List.for_all
+        (fun algorithm ->
+          let a = Algorithm.run ~seed algorithm p in
+          Clock.feasible p a (Clock.synthesize p a))
+        Algorithm.all)
+
+let prop_smaller_delta_infeasible =
+  (* Section II-C: no offsets can achieve delta < D(A). With the
+     synthesised offsets, shrinking delta must break constraint (i)
+     or (ii). (Constraint (ii) does not mention delta, so the binding
+     failure appears in (i) once delta shrinks.) *)
+  QCheck.Test.make ~name:"delta below D(A) breaks constraint (i)" ~count:60
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 5))
+    (fun (seed, k) ->
+      let p = random_instance seed ~n:(k + 10) ~k in
+      let a = Algorithm.run Algorithm.Nearest_server p in
+      let clock = Clock.synthesize p a in
+      let shrunk = { clock with Clock.delta = clock.Clock.delta *. 0.99 } in
+      not (Clock.constraint_i_ok p a shrunk))
+
+let test_constraint_i_is_tight () =
+  (* Some (client, server) pair must meet constraint (i) with equality —
+     otherwise delta would not be minimal. *)
+  let p = random_instance 7 ~n:25 ~k:5 in
+  let a = Algorithm.run Algorithm.Greedy p in
+  let clock = Clock.synthesize p a in
+  Alcotest.(check (float 1e-9)) "zero slack in (i)" 0. (Clock.slack_i p a clock)
+
+let test_interaction_time_equals_delta () =
+  let p = random_instance 3 ~n:15 ~k:3 in
+  let a = Algorithm.run Algorithm.Longest_first_batch p in
+  let clock = Clock.synthesize p a in
+  Alcotest.(check (float 1e-9)) "uniform interaction time" clock.Clock.delta
+    (Clock.interaction_time clock)
+
+let test_rejects_empty_instance () =
+  let m = Synthetic.euclidean ~seed:1 ~n:3 ~side:10. in
+  let p = Problem.make ~latency:m ~servers:[| 0 |] ~clients:[||] () in
+  let a = Assignment.of_array p [||] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Clock.synthesize p a);
+       false
+     with Invalid_argument _ -> true)
+
+let test_server_offsets_nonpositive_reach () =
+  (* Every server's offset is D minus its longest reach; reaches are at
+     most D (they are part of some interaction path bounded by D), so
+     offsets are non-negative... only for servers on shortest reaches.
+     What must hold universally: offset <= D - (longest reach including
+     that server's own clients), and constraint (ii) slack >= 0. *)
+  let p = random_instance 11 ~n:18 ~k:4 in
+  let a = Algorithm.run Algorithm.Greedy p in
+  let clock = Clock.synthesize p a in
+  Alcotest.(check bool) "constraint (ii) holds" true (Clock.constraint_ii_ok p a clock)
+
+let suite =
+  [
+    Alcotest.test_case "synthesized delta equals D(A)" `Quick
+      test_synthesized_delta_is_objective;
+    QCheck_alcotest.to_alcotest prop_synthesized_offsets_feasible;
+    QCheck_alcotest.to_alcotest prop_smaller_delta_infeasible;
+    Alcotest.test_case "constraint (i) is tight at the optimum" `Quick
+      test_constraint_i_is_tight;
+    Alcotest.test_case "interaction time equals delta" `Quick
+      test_interaction_time_equals_delta;
+    Alcotest.test_case "empty instances rejected" `Quick test_rejects_empty_instance;
+    Alcotest.test_case "constraint (ii) holds for synthesized offsets" `Quick
+      test_server_offsets_nonpositive_reach;
+  ]

@@ -1,0 +1,314 @@
+(* Tests for Dia_core.Dynamic: online joins/leaves/rebalancing. *)
+
+module Matrix = Dia_latency.Matrix
+module Synthetic = Dia_latency.Synthetic
+module Dynamic = Dia_core.Dynamic
+module Problem = Dia_core.Problem
+module Assignment = Dia_core.Assignment
+module Objective = Dia_core.Objective
+module Algorithm = Dia_core.Algorithm
+
+let matrix = Synthetic.internet_like ~seed:21 80
+let servers = Dia_placement.Placement.random ~seed:21 ~k:6 ~n:80
+
+let fresh ?capacity () = Dynamic.create ?capacity matrix ~servers
+
+let test_empty_session () =
+  let t = fresh () in
+  Alcotest.(check int) "no clients" 0 (Dynamic.num_clients t);
+  Alcotest.(check bool) "objective -inf" true (Dynamic.objective t = neg_infinity)
+
+let test_join_tracks_objective () =
+  let t = fresh () in
+  let id = Dynamic.join t ~node:3 in
+  Alcotest.(check int) "one client" 1 (Dynamic.num_clients t);
+  let s = Dynamic.server_of t id in
+  Alcotest.(check (float 1e-9)) "objective is round trip"
+    (2. *. Matrix.get matrix 3 servers.(s))
+    (Dynamic.objective t)
+
+let test_single_join_picks_nearest () =
+  (* With no other clients, minimising the objective = minimising the
+     round trip = joining the nearest server. *)
+  let t = fresh () in
+  let id = Dynamic.join t ~node:7 in
+  let s = Dynamic.server_of t id in
+  Array.iteri
+    (fun s' node ->
+      Alcotest.(check bool)
+        (Printf.sprintf "server %d not closer" s')
+        true
+        (Matrix.get matrix 7 servers.(s) <= Matrix.get matrix 7 node +. 1e-12))
+    servers
+
+let test_snapshot_matches_incremental_objective () =
+  let t = fresh () in
+  for node = 0 to 39 do
+    ignore (Dynamic.join t ~node)
+  done;
+  let p, a = Dynamic.snapshot t in
+  Alcotest.(check (float 1e-6)) "objectives agree"
+    (Objective.max_interaction_path p a)
+    (Dynamic.objective t)
+
+let test_leave_restores_state () =
+  let t = fresh () in
+  let permanent = Dynamic.join t ~node:0 in
+  let d_before = Dynamic.objective t in
+  let visitor = Dynamic.join t ~node:50 in
+  Dynamic.leave t visitor;
+  Alcotest.(check int) "one client left" 1 (Dynamic.num_clients t);
+  Alcotest.(check (float 1e-9)) "objective restored" d_before (Dynamic.objective t);
+  Alcotest.(check bool) "permanent client still assigned" true
+    (Dynamic.server_of t permanent >= 0)
+
+let test_leave_twice_rejected () =
+  let t = fresh () in
+  let id = Dynamic.join t ~node:0 in
+  Dynamic.leave t id;
+  Alcotest.(check bool) "raises" true
+    (try
+       Dynamic.leave t id;
+       false
+     with Invalid_argument _ -> true)
+
+let test_capacity_enforced () =
+  let t = fresh ~capacity:1 () in
+  (* 6 servers, capacity 1: the 7th join must fail. *)
+  for node = 0 to 5 do
+    ignore (Dynamic.join t ~node)
+  done;
+  Alcotest.(check bool) "raises when saturated" true
+    (try
+       ignore (Dynamic.join t ~node:6);
+       false
+     with Failure _ -> true)
+
+let test_rebalance_improves_after_churn () =
+  let t = fresh () in
+  let rng = Random.State.make [| 5 |] in
+  let ids = ref [] in
+  (* Churn: join everyone, remove a random half, join more. *)
+  for node = 0 to 79 do
+    ids := Dynamic.join t ~node :: !ids
+  done;
+  List.iter
+    (fun id -> if Random.State.bool rng then Dynamic.leave t id)
+    !ids;
+  for node = 0 to 19 do
+    ignore (Dynamic.join t ~node)
+  done;
+  let before = Dynamic.objective t in
+  let moves = Dynamic.rebalance t in
+  let after = Dynamic.objective t in
+  Alcotest.(check bool) "not worse" true (after <= before +. 1e-9);
+  let stats = Dynamic.stats t in
+  Alcotest.(check int) "moves counted" moves stats.Dynamic.moves;
+  (* After full rebalance, no single move improves (verified offline). *)
+  let p, a = Dynamic.snapshot t in
+  let arr = Assignment.to_array a in
+  let improvable = ref false in
+  let d = Objective.max_interaction_path p a in
+  for c = 0 to Problem.num_clients p - 1 do
+    let original = arr.(c) in
+    for s = 0 to Problem.num_servers p - 1 do
+      if s <> original then begin
+        arr.(c) <- s;
+        if Objective.max_interaction_path p (Assignment.unsafe_of_array arr)
+           < d -. 1e-9
+        then improvable := true;
+        arr.(c) <- original
+      end
+    done
+  done;
+  Alcotest.(check bool) "locally optimal" false !improvable
+
+let test_rebalance_respects_move_budget () =
+  let t = fresh () in
+  for node = 0 to 59 do
+    ignore (Dynamic.join t ~node)
+  done;
+  let moves = Dynamic.rebalance ~max_moves:2 t in
+  Alcotest.(check bool) "at most 2 moves" true (moves <= 2)
+
+let test_online_vs_offline_quality () =
+  (* Greedy joins + rebalance should land in the same quality region as
+     the offline Distributed-Greedy on the same membership. *)
+  let t = fresh () in
+  for node = 0 to 79 do
+    ignore (Dynamic.join t ~node)
+  done;
+  ignore (Dynamic.rebalance t);
+  let p, _ = Dynamic.snapshot t in
+  let offline =
+    Objective.max_interaction_path p (Algorithm.run Algorithm.Distributed_greedy p)
+  in
+  let online = Dynamic.objective t in
+  Alcotest.(check bool)
+    (Printf.sprintf "online %.1f within 30%% of offline %.1f" online offline)
+    true
+    (online <= offline *. 1.3 +. 1e-9)
+
+let test_stats_accumulate () =
+  let t = fresh () in
+  let a = Dynamic.join t ~node:1 in
+  let _ = Dynamic.join t ~node:2 in
+  Dynamic.leave t a;
+  let stats = Dynamic.stats t in
+  Alcotest.(check int) "joins" 2 stats.Dynamic.joins;
+  Alcotest.(check int) "leaves" 1 stats.Dynamic.leaves
+
+let test_fail_server_migrates_clients () =
+  let t = fresh () in
+  for node = 0 to 59 do
+    ignore (Dynamic.join t ~node)
+  done;
+  (* Fail a server that actually hosts someone. *)
+  let victim =
+    let _, a = Dynamic.snapshot t in
+    Assignment.server_of a 0
+  in
+  let before = Dynamic.num_clients t in
+  let migrated = Dynamic.fail_server t victim in
+  Alcotest.(check int) "population preserved" before (Dynamic.num_clients t);
+  Alcotest.(check bool) "someone migrated" true (migrated > 0);
+  let p, a = Dynamic.snapshot t in
+  Array.iteri
+    (fun c s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "client %d not on failed server" c)
+        true (s <> victim))
+    (Assignment.to_array a);
+  Alcotest.(check (float 1e-6)) "objective still consistent"
+    (Objective.max_interaction_path p a)
+    (Dynamic.objective t);
+  Alcotest.(check int) "one server down" 5
+    (List.length (Dynamic.active_servers t))
+
+let test_fail_server_twice_rejected () =
+  let t = fresh () in
+  ignore (Dynamic.join t ~node:0);
+  ignore (Dynamic.fail_server t 1);
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Dynamic.fail_server t 1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_fail_server_capacity_exhaustion () =
+  (* 6 servers x capacity 1, 6 clients: failing any server leaves nowhere
+     to put its client. *)
+  let t = fresh ~capacity:1 () in
+  for node = 0 to 5 do
+    ignore (Dynamic.join t ~node)
+  done;
+  let loaded =
+    (* Some server certainly has a client. *)
+    let p, a = Dynamic.snapshot t in
+    ignore p;
+    Assignment.server_of a 0
+  in
+  Alcotest.(check bool) "fails cleanly" true
+    (try
+       ignore (Dynamic.fail_server t loaded);
+       false
+     with Failure _ -> true);
+  (* The failed flag must have been rolled back. *)
+  Alcotest.(check int) "all servers still active" 6
+    (List.length (Dynamic.active_servers t))
+
+let test_recover_server () =
+  let t = fresh () in
+  for node = 0 to 29 do
+    ignore (Dynamic.join t ~node)
+  done;
+  ignore (Dynamic.fail_server t 0);
+  Dynamic.recover_server t 0;
+  Alcotest.(check int) "all active again" 6 (List.length (Dynamic.active_servers t));
+  (* Rebalance may move clients back onto the recovered server. *)
+  ignore (Dynamic.rebalance t);
+  let p, a = Dynamic.snapshot t in
+  Alcotest.(check (float 1e-6)) "objective consistent after recovery"
+    (Objective.max_interaction_path p a)
+    (Dynamic.objective t)
+
+let prop_random_operation_sequences_stay_consistent =
+  (* Model-based stress: a random sequence of joins / leaves / rebalances /
+     failures / recoveries must keep the incremental objective equal to the
+     snapshot-recomputed one, loads within capacity, and no client on a
+     failed server. *)
+  QCheck.Test.make ~name:"random op sequences keep invariants" ~count:25
+    QCheck.(pair (int_bound 1_000_000) (int_range 10 120))
+    (fun (seed, steps) ->
+      let rng = Random.State.make [| seed |] in
+      let t = Dynamic.create ~capacity:30 matrix ~servers in
+      let live = ref [] in
+      let failed = ref [] in
+      for _ = 1 to steps do
+        match Random.State.int rng 10 with
+        | 0 | 1 | 2 | 3 | 4 ->
+            (try live := Dynamic.join t ~node:(Random.State.int rng 80) :: !live
+             with Failure _ -> ())
+        | 5 | 6 -> (
+            match !live with
+            | [] -> ()
+            | id :: rest ->
+                Dynamic.leave t id;
+                live := rest)
+        | 7 -> ignore (Dynamic.rebalance ~max_moves:3 t)
+        | 8 ->
+            let s = Random.State.int rng 6 in
+            if not (List.mem s !failed) && List.length !failed < 4 then (
+              try
+                ignore (Dynamic.fail_server t s);
+                failed := s :: !failed
+              with Failure _ -> Dynamic.recover_server t s |> ignore)
+        | _ -> (
+            match !failed with
+            | [] -> ()
+            | s :: rest ->
+                Dynamic.recover_server t s;
+                failed := rest)
+      done;
+      if Dynamic.num_clients t = 0 then true
+      else begin
+        let p, a = Dynamic.snapshot t in
+        let objective_ok =
+          Float.abs
+            (Objective.max_interaction_path p a -. Dynamic.objective t)
+          < 1e-6
+        in
+        let capacity_ok = Assignment.respects_capacity p a in
+        let no_failed_hosting =
+          Array.for_all
+            (fun s -> not (List.mem s !failed))
+            (Assignment.to_array a)
+        in
+        objective_ok && capacity_ok && no_failed_hosting
+      end)
+
+let suite =
+  [
+    Alcotest.test_case "empty session" `Quick test_empty_session;
+    Alcotest.test_case "join tracks the objective" `Quick test_join_tracks_objective;
+    Alcotest.test_case "first join picks the nearest server" `Quick
+      test_single_join_picks_nearest;
+    Alcotest.test_case "snapshot matches incremental objective" `Quick
+      test_snapshot_matches_incremental_objective;
+    Alcotest.test_case "leave restores state" `Quick test_leave_restores_state;
+    Alcotest.test_case "double leave rejected" `Quick test_leave_twice_rejected;
+    Alcotest.test_case "capacity enforced on join" `Quick test_capacity_enforced;
+    Alcotest.test_case "rebalance improves after churn" `Quick
+      test_rebalance_improves_after_churn;
+    Alcotest.test_case "rebalance respects move budget" `Quick
+      test_rebalance_respects_move_budget;
+    Alcotest.test_case "online quality near offline" `Quick test_online_vs_offline_quality;
+    Alcotest.test_case "stats accumulate" `Quick test_stats_accumulate;
+    Alcotest.test_case "server failure migrates clients" `Quick
+      test_fail_server_migrates_clients;
+    Alcotest.test_case "double failure rejected" `Quick test_fail_server_twice_rejected;
+    Alcotest.test_case "failure with exhausted capacity rolls back" `Quick
+      test_fail_server_capacity_exhaustion;
+    Alcotest.test_case "server recovery" `Quick test_recover_server;
+    QCheck_alcotest.to_alcotest prop_random_operation_sequences_stay_consistent;
+  ]

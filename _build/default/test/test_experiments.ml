@@ -1,0 +1,214 @@
+(* Tests for Dia_experiments: config, runner, and the four figure
+   harnesses on a tiny profile. *)
+
+module Config = Dia_experiments.Config
+module Runner = Dia_experiments.Runner
+module Fig7 = Dia_experiments.Fig7
+module Fig8 = Dia_experiments.Fig8
+module Fig9 = Dia_experiments.Fig9
+module Fig10 = Dia_experiments.Fig10
+module Algorithm = Dia_core.Algorithm
+module Placement = Dia_placement.Placement
+
+let tiny =
+  {
+    Config.label = "tiny";
+    nodes = Some 80;
+    runs = 4;
+    server_counts = [ 5; 10 ];
+    fixed_servers = 8;
+    paper_capacities = [ 25; 250 ];
+  }
+
+let test_profile_names () =
+  List.iter
+    (fun name ->
+      match Config.profile_of_string name with
+      | Some p -> Alcotest.(check string) "label" name p.Config.label
+      | None -> Alcotest.fail ("missing profile " ^ name))
+    [ "quick"; "default"; "full" ];
+  Alcotest.(check bool) "unknown" true (Config.profile_of_string "huge" = None)
+
+let test_dataset_names () =
+  Alcotest.(check bool) "meridian" true
+    (Config.dataset_of_string "meridian" = Some Config.Meridian_like);
+  Alcotest.(check bool) "mit" true (Config.dataset_of_string "mit" = Some Config.Mit_like);
+  Alcotest.(check bool) "unknown" true (Config.dataset_of_string "x" = None)
+
+let test_load_dataset_subsamples () =
+  let m = Config.load_dataset Config.Mit_like tiny in
+  Alcotest.(check int) "subsampled" 80 (Dia_latency.Matrix.dim m);
+  let m' = Config.load_dataset Config.Mit_like tiny in
+  Alcotest.(check bool) "deterministic" true (Dia_latency.Matrix.equal m m')
+
+let test_full_profile_keeps_all_nodes () =
+  (* The full profile must not subsample (paper scale). *)
+  Alcotest.(check bool) "no subsampling" true (Config.full.Config.nodes = None);
+  Alcotest.(check int) "1000 runs" 1000 Config.full.Config.runs;
+  Alcotest.(check (list int)) "paper capacities" [ 25; 50; 100; 150; 200; 250 ]
+    Config.full.Config.paper_capacities
+
+let test_scaled_capacity () =
+  (* At paper size the capacity passes through; at half size it halves. *)
+  Alcotest.(check int) "paper size" 100 (Config.scaled_capacity ~clients:1796 100);
+  Alcotest.(check int) "half size" 50 (Config.scaled_capacity ~clients:898 100);
+  Alcotest.(check int) "floor of 1" 1 (Config.scaled_capacity ~clients:10 25)
+
+let matrix = Config.load_dataset Config.Meridian_like tiny
+
+let test_runner_evaluate () =
+  let servers = Placement.random ~seed:0 ~k:8 ~n:80 in
+  let evaluation = Runner.evaluate matrix ~servers in
+  Alcotest.(check int) "four algorithms" 4 (List.length evaluation.Runner.results);
+  Alcotest.(check bool) "lower bound positive" true (evaluation.Runner.lower_bound > 0.);
+  List.iter
+    (fun (_, norm) ->
+      Alcotest.(check bool) "normalized >= 1" true (norm >= 1. -. 1e-9))
+    (Runner.normalized evaluation)
+
+let test_runner_average () =
+  let summaries = Runner.average_normalized matrix ~runs:3 ~k:8 in
+  List.iter
+    (fun (_, summary) ->
+      Alcotest.(check int) "3 samples" 3 summary.Dia_stats.Summary.count;
+      Alcotest.(check bool) "mean >= 1" true (summary.Dia_stats.Summary.mean >= 1.))
+    summaries
+
+let test_fig7_structure () =
+  let result = Fig7.run ~profile:tiny () in
+  Alcotest.(check int) "three panels" 3 (List.length result.Fig7.panels);
+  List.iter
+    (fun panel ->
+      Alcotest.(check int) "points = counts x algorithms" (2 * 4)
+        (List.length panel.Fig7.points);
+      List.iter
+        (fun point ->
+          Alcotest.(check bool) "normalized >= 1" true (point.Fig7.normalized >= 1.))
+        panel.Fig7.points)
+    result.Fig7.panels;
+  Alcotest.(check bool) "render non-empty" true
+    (String.length (Fig7.render result) > 100)
+
+let test_fig7_greedy_beats_nearest_on_average () =
+  let result = Fig7.run ~profile:tiny () in
+  List.iter
+    (fun panel ->
+      let mean algorithm =
+        let values =
+          List.filter_map
+            (fun point ->
+              if point.Fig7.algorithm = algorithm then Some point.Fig7.normalized
+              else None)
+            panel.Fig7.points
+        in
+        List.fold_left ( +. ) 0. values /. float_of_int (List.length values)
+      in
+      Alcotest.(check bool)
+        (Placement.strategy_name panel.Fig7.strategy ^ ": greedy beats nearest")
+        true
+        (mean Algorithm.Greedy < mean Algorithm.Nearest_server))
+    result.Fig7.panels
+
+let test_fig8_structure () =
+  let result = Fig8.run ~profile:tiny () in
+  Alcotest.(check int) "four cdfs" 4 (List.length result.Fig8.cdfs);
+  List.iter
+    (fun (_, cdf) ->
+      Alcotest.(check int) "one sample per run" tiny.Config.runs
+        (Dia_stats.Cdf.count cdf))
+    result.Fig8.cdfs;
+  let below = Fig8.runs_below result 1000. in
+  List.iter
+    (fun (_, count) -> Alcotest.(check int) "all runs below huge x" tiny.Config.runs count)
+    below;
+  List.iter
+    (fun (_, over2, over3) ->
+      Alcotest.(check bool) "tail counts ordered" true (over3 <= over2))
+    (Fig8.tail_heaviness result)
+
+let test_fig9_structure () =
+  let result = Fig9.run ~profile:tiny () in
+  Alcotest.(check int) "three traces" 3 (List.length result.Fig9.traces);
+  List.iter
+    (fun trace ->
+      let t = trace.Fig9.normalized in
+      Alcotest.(check int) "trace length = modifications + 1"
+        (trace.Fig9.modifications + 1)
+        (Array.length t);
+      for i = 1 to Array.length t - 1 do
+        Alcotest.(check bool) "decreasing" true (t.(i) < t.(i - 1) +. 1e-12)
+      done;
+      Alcotest.(check (float 1e-9)) "full improvement at the end" 1.
+        (Fig9.improvement_fraction trace ~after:(Array.length t)))
+    result.Fig9.traces
+
+let test_fig10_filters_infeasible_capacities () =
+  (* With 80 clients and 8 servers, paper capacity 25 scales to 1 (8
+     slots < 80 clients) and must be dropped; 250 scales to 11 and
+     stays. *)
+  let result = Fig10.run ~profile:tiny () in
+  List.iter
+    (fun panel ->
+      let caps =
+        List.sort_uniq compare
+          (List.map (fun point -> point.Fig10.paper_capacity) panel.Fig10.points)
+      in
+      Alcotest.(check (list int)) "only feasible capacities" [ 250 ] caps;
+      List.iter
+        (fun point ->
+          Alcotest.(check int) "effective capacity" 11 point.Fig10.effective_capacity;
+          Alcotest.(check bool) "normalized >= 1" true (point.Fig10.normalized >= 1.))
+        panel.Fig10.points)
+    result.Fig10.panels
+
+let test_fig9_sweep () =
+  let points = Fig9.sweep ~profile:tiny () in
+  Alcotest.(check int) "one point per server count" 2 (List.length points);
+  List.iter
+    (fun point ->
+      Alcotest.(check bool) "moved fraction in [0,1]" true
+        (point.Fig9.moved_fraction >= 0. && point.Fig9.moved_fraction <= 1.);
+      Alcotest.(check bool) "improvement in [0,1]" true
+        (point.Fig9.improvement_at_80 >= 0. && point.Fig9.improvement_at_80 <= 1. +. 1e-9))
+    points;
+  Alcotest.(check bool) "render works" true
+    (String.length (Fig9.render_sweep points) > 50)
+
+let test_csv_exports () =
+  let fig7 = Fig7.csv (Fig7.run ~profile:tiny ()) in
+  let lines = String.split_on_char '\n' (String.trim fig7) in
+  Alcotest.(check int) "header + 3 panels x 2 counts x 4 algorithms" 25
+    (List.length lines);
+  Alcotest.(check string) "header" "placement,servers,algorithm,normalized,stddev"
+    (List.hd lines);
+  let fig9 = Fig9.csv (Fig9.run ~profile:tiny ()) in
+  Alcotest.(check bool) "fig9 csv non-trivial" true (String.length fig9 > 40)
+
+let test_renders_do_not_crash () =
+  let fig8 = Fig8.render (Fig8.run ~profile:tiny ()) in
+  let fig9 = Fig9.render (Fig9.run ~profile:tiny ()) in
+  let fig10 = Fig10.render (Fig10.run ~profile:tiny ()) in
+  Alcotest.(check bool) "non-empty" true
+    (String.length fig8 > 50 && String.length fig9 > 50 && String.length fig10 > 50)
+
+let suite =
+  [
+    Alcotest.test_case "profile names roundtrip" `Quick test_profile_names;
+    Alcotest.test_case "dataset names roundtrip" `Quick test_dataset_names;
+    Alcotest.test_case "load_dataset subsamples deterministically" `Quick
+      test_load_dataset_subsamples;
+    Alcotest.test_case "full profile is paper scale" `Quick test_full_profile_keeps_all_nodes;
+    Alcotest.test_case "capacity scaling" `Quick test_scaled_capacity;
+    Alcotest.test_case "runner evaluate" `Quick test_runner_evaluate;
+    Alcotest.test_case "runner averages over runs" `Quick test_runner_average;
+    Alcotest.test_case "fig7 structure" `Quick test_fig7_structure;
+    Alcotest.test_case "fig7 greedy beats nearest" `Quick
+      test_fig7_greedy_beats_nearest_on_average;
+    Alcotest.test_case "fig8 structure" `Quick test_fig8_structure;
+    Alcotest.test_case "fig9 structure" `Quick test_fig9_structure;
+    Alcotest.test_case "fig10 filters infeasible capacities" `Quick
+      test_fig10_filters_infeasible_capacities;
+    Alcotest.test_case "renders do not crash" `Quick test_renders_do_not_crash;
+    Alcotest.test_case "csv exports" `Quick test_csv_exports;
+    Alcotest.test_case "fig9 convergence sweep" `Quick test_fig9_sweep;
+  ]

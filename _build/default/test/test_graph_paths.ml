@@ -1,0 +1,133 @@
+(* Tests for Dia_latency.Graph and Dia_latency.Shortest_path. *)
+
+module Graph = Dia_latency.Graph
+module Shortest_path = Dia_latency.Shortest_path
+module Matrix = Dia_latency.Matrix
+
+let checkf = Alcotest.(check (float 1e-9))
+
+(* The network of the paper's Fig. 5: two clients, two servers.
+   c1 -5- s1, c1 -7- c2 (unused by routing once better paths exist),
+   s1 -4- s2, s1 -4- c2, c2 -3- s2. Node ids: c1=0, c2=1, s1=2, s2=3. *)
+let fig5_graph () =
+  Graph.of_edges 4
+    [ (0, 2, 5.); (0, 1, 7.); (2, 3, 4.); (2, 1, 4.); (1, 3, 3.) ]
+
+let test_of_edges_and_neighbors () =
+  let g = fig5_graph () in
+  Alcotest.(check int) "node count" 4 (Graph.n g);
+  Alcotest.(check int) "edge count" 5 (Graph.edge_count g);
+  let neighbor_ids = List.sort compare (List.map fst (Graph.neighbors g 2)) in
+  Alcotest.(check (list int)) "neighbors of s1" [ 0; 1; 3 ] neighbor_ids
+
+let test_duplicate_edge_keeps_min () =
+  let g = Graph.create 2 in
+  Graph.add_edge g 0 1 5.;
+  Graph.add_edge g 0 1 3.;
+  Graph.add_edge g 1 0 8.;
+  Alcotest.(check int) "still one edge" 1 (Graph.edge_count g);
+  match Graph.neighbors g 0 with
+  | [ (1, w) ] -> checkf "min weight kept" 3. w
+  | _ -> Alcotest.fail "expected exactly one neighbor"
+
+let test_rejects_bad_edges () =
+  let g = Graph.create 3 in
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_edge: self-loop")
+    (fun () -> Graph.add_edge g 1 1 1.);
+  Alcotest.check_raises "zero weight"
+    (Invalid_argument "Graph.add_edge: weight 0 must be positive") (fun () ->
+      Graph.add_edge g 0 1 0.)
+
+let test_connectivity () =
+  let g = Graph.create 3 in
+  Alcotest.(check bool) "edgeless disconnected" false (Graph.is_connected g);
+  Graph.add_edge g 0 1 1.;
+  Alcotest.(check bool) "still disconnected" false (Graph.is_connected g);
+  Graph.add_edge g 1 2 1.;
+  Alcotest.(check bool) "connected" true (Graph.is_connected g)
+
+let test_dijkstra_fig5 () =
+  let g = fig5_graph () in
+  let dist = Shortest_path.dijkstra g 0 in
+  checkf "c1 to itself" 0. dist.(0);
+  checkf "c1 to s1" 5. dist.(2);
+  checkf "c1 to c2 via direct edge" 7. dist.(1);
+  checkf "c1 to s2" 9. dist.(3)
+
+let test_dijkstra_unreachable () =
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1 2.;
+  let dist = Shortest_path.dijkstra g 0 in
+  Alcotest.(check bool) "unreachable infinite" true (dist.(2) = infinity)
+
+let test_all_pairs_symmetric_metric () =
+  let g = fig5_graph () in
+  let m = Shortest_path.all_pairs g in
+  checkf "c2 to s2" 3. (Matrix.get m 1 3);
+  checkf "c1 to s2" 9. (Matrix.get m 0 3);
+  Alcotest.(check bool) "shortest paths form a metric" true
+    (Dia_latency.Metric.is_metric m)
+
+let test_all_pairs_disconnected_raises () =
+  let g = Graph.create 2 in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Shortest_path.all_pairs g);
+       false
+     with Invalid_argument _ -> true)
+
+let test_floyd_warshall_closure () =
+  (* A 3-node matrix violating the triangle inequality: 0-2 direct is 10
+     but 0-1-2 costs 3. *)
+  let m = Matrix.create 3 in
+  Matrix.set m 0 1 1.;
+  Matrix.set m 1 2 2.;
+  Matrix.set m 0 2 10.;
+  let closure = Shortest_path.floyd_warshall m in
+  checkf "shortcut found" 3. (Matrix.get closure 0 2);
+  checkf "direct entries kept" 1. (Matrix.get closure 0 1);
+  Alcotest.(check bool) "closure is metric" true (Dia_latency.Metric.is_metric closure)
+
+let test_floyd_warshall_agrees_with_dijkstra () =
+  let g = fig5_graph () in
+  let via_dijkstra = Shortest_path.all_pairs g in
+  (* Feed the raw adjacency (missing edges as big values) through FW. *)
+  let m = Matrix.init 4 (fun i j ->
+      match List.assoc_opt j (Graph.neighbors g i) with
+      | Some w -> w
+      | None -> 1000.)
+  in
+  let closure = Shortest_path.floyd_warshall m in
+  Alcotest.(check bool) "same distances" true (Matrix.equal via_dijkstra closure)
+
+let test_path_reconstruction () =
+  let g = fig5_graph () in
+  match Shortest_path.path g 0 3 with
+  | Some route ->
+      Alcotest.(check (list int)) "route c1-s1-c2... shortest" [ 0; 2; 3 ] route
+  | None -> Alcotest.fail "expected a path"
+
+let test_path_none_when_disconnected () =
+  let g = Graph.create 2 in
+  Alcotest.(check bool) "no path" true (Shortest_path.path g 0 1 = None)
+
+let test_path_self () =
+  let g = fig5_graph () in
+  Alcotest.(check bool) "self path" true (Shortest_path.path g 2 2 = Some [ 2 ])
+
+let suite =
+  [
+    Alcotest.test_case "of_edges and neighbors" `Quick test_of_edges_and_neighbors;
+    Alcotest.test_case "duplicate edges keep minimum weight" `Quick test_duplicate_edge_keeps_min;
+    Alcotest.test_case "bad edges rejected" `Quick test_rejects_bad_edges;
+    Alcotest.test_case "connectivity check" `Quick test_connectivity;
+    Alcotest.test_case "dijkstra on the Fig. 5 network" `Quick test_dijkstra_fig5;
+    Alcotest.test_case "dijkstra marks unreachable nodes" `Quick test_dijkstra_unreachable;
+    Alcotest.test_case "all_pairs yields a symmetric metric" `Quick test_all_pairs_symmetric_metric;
+    Alcotest.test_case "all_pairs rejects disconnected graphs" `Quick test_all_pairs_disconnected_raises;
+    Alcotest.test_case "floyd_warshall closes triangle violations" `Quick test_floyd_warshall_closure;
+    Alcotest.test_case "floyd_warshall agrees with dijkstra" `Quick test_floyd_warshall_agrees_with_dijkstra;
+    Alcotest.test_case "shortest path reconstruction" `Quick test_path_reconstruction;
+    Alcotest.test_case "path is None across components" `Quick test_path_none_when_disconnected;
+    Alcotest.test_case "path to self" `Quick test_path_self;
+  ]

@@ -1,0 +1,125 @@
+(* Tests for Dia_core.Interaction. *)
+
+module Synthetic = Dia_latency.Synthetic
+module Problem = Dia_core.Problem
+module Assignment = Dia_core.Assignment
+module Objective = Dia_core.Objective
+module Interaction = Dia_core.Interaction
+
+let instance seed ~n ~k =
+  let m = Synthetic.internet_like ~seed n in
+  let servers = Dia_placement.Placement.random ~seed ~k ~n in
+  Problem.all_nodes_clients m ~servers
+
+let assignment p = Dia_core.Greedy.assign p
+
+let test_path_decomposition_sums () =
+  let p = instance 1 ~n:30 ~k:4 in
+  let a = assignment p in
+  for ci = 0 to 5 do
+    for cj = 0 to 5 do
+      let path = Interaction.path p a ci cj in
+      Alcotest.(check (float 1e-9)) "legs sum to length"
+        (path.Interaction.client_leg +. path.Interaction.server_leg
+        +. path.Interaction.exit_leg)
+        path.Interaction.length;
+      Alcotest.(check (float 1e-9)) "matches objective's path"
+        (Objective.path_length p a ci cj)
+        path.Interaction.length
+    done
+  done
+
+let test_worst_pair_is_objective () =
+  let p = instance 2 ~n:40 ~k:5 in
+  let a = assignment p in
+  match Interaction.worst_pairs ~count:3 p a with
+  | worst :: rest ->
+      Alcotest.(check (float 1e-9)) "head is D(A)"
+        (Objective.max_interaction_path p a)
+        worst.Interaction.length;
+      List.iter
+        (fun next ->
+          Alcotest.(check bool) "descending" true
+            (next.Interaction.length <= worst.Interaction.length +. 1e-9))
+        rest
+  | [] -> Alcotest.fail "no pairs"
+
+let test_client_worst_bounded_by_objective () =
+  let p = instance 3 ~n:30 ~k:4 in
+  let a = assignment p in
+  let d = Objective.max_interaction_path p a in
+  let achieved = ref false in
+  for c = 0 to Problem.num_clients p - 1 do
+    let worst = Interaction.client_worst p a c in
+    Alcotest.(check bool) "path involves c" true
+      (worst.Interaction.from_client = c || worst.Interaction.to_client = c);
+    Alcotest.(check bool) "bounded by D" true (worst.Interaction.length <= d +. 1e-9);
+    if worst.Interaction.length >= d -. 1e-9 then achieved := true
+  done;
+  Alcotest.(check bool) "some client realises D" true !achieved
+
+let test_client_worst_at_least_round_trip () =
+  let p = instance 4 ~n:20 ~k:3 in
+  let a = assignment p in
+  for c = 0 to Problem.num_clients p - 1 do
+    let worst = Interaction.client_worst p a c in
+    let s = Assignment.server_of a c in
+    Alcotest.(check bool) "at least the round trip" true
+      (worst.Interaction.length >= (2. *. Problem.d_cs p c s) -. 1e-9)
+  done
+
+let test_server_contribution () =
+  let p = instance 5 ~n:40 ~k:5 in
+  let a = assignment p in
+  let contributions = Interaction.server_contribution p a in
+  (match contributions with
+  | (_, top) :: _ ->
+      Alcotest.(check (float 1e-9)) "top contribution is D"
+        (Objective.max_interaction_path p a)
+        top
+  | [] -> Alcotest.fail "no servers");
+  let used = Array.to_list (Assignment.used_servers p a) in
+  Alcotest.(check int) "one entry per used server" (List.length used)
+    (List.length contributions)
+
+let test_breakdown_sums_to_objective () =
+  let p = instance 6 ~n:30 ~k:4 in
+  let a = assignment p in
+  let client_legs, server_leg = Interaction.breakdown p a in
+  Alcotest.(check (float 1e-9)) "sums to D"
+    (Objective.max_interaction_path p a)
+    (client_legs +. server_leg)
+
+let test_nearest_server_has_larger_server_share () =
+  (* The paper's critique, measured through the breakdown: NSA's worst
+     path is dominated by the inter-server leg more than Greedy's. *)
+  let shares algorithm =
+    let total_share = ref 0. in
+    for seed = 0 to 4 do
+      let p = instance seed ~n:60 ~k:8 in
+      let a = Dia_core.Algorithm.run algorithm p in
+      let client_legs, server_leg = Interaction.breakdown p a in
+      total_share := !total_share +. (server_leg /. (client_legs +. server_leg))
+    done;
+    !total_share /. 5.
+  in
+  let nsa = shares Dia_core.Algorithm.Nearest_server in
+  let greedy = shares Dia_core.Algorithm.Greedy in
+  Alcotest.(check bool)
+    (Printf.sprintf "NSA server share %.2f > greedy %.2f" nsa greedy)
+    true (nsa > greedy)
+
+let suite =
+  [
+    Alcotest.test_case "path decomposition sums" `Quick test_path_decomposition_sums;
+    Alcotest.test_case "worst pair equals the objective" `Quick test_worst_pair_is_objective;
+    Alcotest.test_case "client worst bounded by objective" `Quick
+      test_client_worst_bounded_by_objective;
+    Alcotest.test_case "client worst at least the round trip" `Quick
+      test_client_worst_at_least_round_trip;
+    Alcotest.test_case "server contributions" `Quick test_server_contribution;
+    Alcotest.test_case "breakdown sums to the objective" `Quick
+      test_breakdown_sums_to_objective;
+    Alcotest.test_case "NSA pays in the inter-server leg" `Quick
+      test_nearest_server_has_larger_server_share;
+  ]

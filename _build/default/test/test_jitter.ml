@@ -1,0 +1,101 @@
+(* Tests for Dia_latency.Jitter. *)
+
+module Jitter = Dia_latency.Jitter
+module Matrix = Dia_latency.Matrix
+module Synthetic = Dia_latency.Synthetic
+
+let base () = Synthetic.euclidean ~seed:2 ~n:15 ~side:100.
+
+let test_normal_quantile_known_values () =
+  let check p expected =
+    Alcotest.(check (float 1e-6))
+      (Printf.sprintf "quantile %.3f" p)
+      expected (Jitter.normal_quantile p)
+  in
+  check 0.5 0.;
+  check 0.975 1.959964;
+  check 0.025 (-1.959964);
+  check 0.99 2.326348;
+  check 0.001 (-3.090232)
+
+let test_normal_quantile_rejects_bounds () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Jitter.normal_quantile 0.);
+       false
+     with Invalid_argument _ -> true)
+
+let test_median_percentile_is_base () =
+  let b = base () in
+  let model = Jitter.make ~sigma:0.3 b in
+  let p50 = Jitter.percentile_matrix model 50. in
+  Alcotest.(check bool) "p50 = base" true (Matrix.equal ~eps:1e-6 b p50)
+
+let test_percentiles_monotone () =
+  let model = Jitter.make ~sigma:0.3 (base ()) in
+  let p90 = Jitter.percentile_matrix model 90. in
+  let p99 = Jitter.percentile_matrix model 99. in
+  let ok = ref true in
+  Matrix.iter_pairs p90 (fun i j v -> if Matrix.get p99 i j < v then ok := false);
+  Alcotest.(check bool) "p99 >= p90 everywhere" true !ok
+
+let test_zero_sigma_sample_is_base () =
+  let b = base () in
+  let model = Jitter.make ~sigma:0. b in
+  Alcotest.(check bool) "no jitter" true (Matrix.equal ~eps:1e-9 b (Jitter.sample model))
+
+let test_samples_vary () =
+  let model = Jitter.make ~sigma:0.3 (base ()) in
+  let s1 = Jitter.sample model in
+  let s2 = Jitter.sample model in
+  Alcotest.(check bool) "successive samples differ" false (Matrix.equal s1 s2)
+
+let test_sample_distribution_median () =
+  (* The empirical median of many samples of one entry should approach the
+     base value. *)
+  let b = base () in
+  let model = Jitter.make ~sigma:0.4 ~seed:3 b in
+  let values =
+    Array.init 801 (fun _ -> Matrix.get (Jitter.sample model) 0 1)
+  in
+  Array.sort Float.compare values;
+  let median = values.(400) in
+  let expected = Matrix.get b 0 1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "median %.2f near base %.2f" median expected)
+    true
+    (Float.abs (median -. expected) /. expected < 0.15)
+
+let test_breach_probability_extremes () =
+  let model = Jitter.make ~sigma:0.2 (base ()) in
+  let p_tight = Jitter.breach_probability model ~delta:1. ~d:100. in
+  let p_loose = Jitter.breach_probability model ~delta:10_000. ~d:100. in
+  Alcotest.(check bool) "tight budget breaches" true (p_tight > 0.99);
+  Alcotest.(check bool) "loose budget safe" true (p_loose < 0.01);
+  Alcotest.(check (float 1e-9)) "at the median it is a coin flip" 0.5
+    (Jitter.breach_probability model ~delta:100. ~d:100.)
+
+let test_breach_probability_zero_sigma () =
+  let model = Jitter.make ~sigma:0. (base ()) in
+  Alcotest.(check (float 0.)) "deterministic breach" 1.
+    (Jitter.breach_probability model ~delta:5. ~d:10.);
+  Alcotest.(check (float 0.)) "deterministic safe" 0.
+    (Jitter.breach_probability model ~delta:20. ~d:10.)
+
+let suite =
+  [
+    Alcotest.test_case "normal quantile matches known values" `Quick
+      test_normal_quantile_known_values;
+    Alcotest.test_case "normal quantile validates input" `Quick
+      test_normal_quantile_rejects_bounds;
+    Alcotest.test_case "50th percentile is the base matrix" `Quick
+      test_median_percentile_is_base;
+    Alcotest.test_case "percentile matrices are monotone" `Quick test_percentiles_monotone;
+    Alcotest.test_case "zero sigma samples equal the base" `Quick test_zero_sigma_sample_is_base;
+    Alcotest.test_case "samples vary between draws" `Quick test_samples_vary;
+    Alcotest.test_case "empirical median approaches the base" `Slow
+      test_sample_distribution_median;
+    Alcotest.test_case "breach probability extremes" `Quick test_breach_probability_extremes;
+    Alcotest.test_case "breach probability with zero sigma" `Quick
+      test_breach_probability_zero_sigma;
+  ]

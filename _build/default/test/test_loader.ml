@@ -1,0 +1,92 @@
+(* Tests for Dia_latency.Loader: parsing both on-disk formats and the
+   paper's node-discarding cleanup step. *)
+
+module Loader = Dia_latency.Loader
+module Matrix = Dia_latency.Matrix
+
+let write_temp contents =
+  let path = Filename.temp_file "dia_loader" ".txt" in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+let test_parse_dense_matrix () =
+  let path = write_temp "0 1 2\n1 0 3\n2 3 0\n" in
+  let raw = Loader.parse_matrix path in
+  Alcotest.(check int) "nodes" 3 raw.nodes;
+  Alcotest.(check bool) "entry" true (raw.entries.(0).(2) = Some 2.)
+
+let test_parse_dense_with_missing () =
+  let path = write_temp "0 -1 2\n-1 0 3\n2 3 0\n" in
+  let raw = Loader.parse_matrix path in
+  Alcotest.(check bool) "missing marked" true (raw.entries.(0).(1) = None)
+
+let test_parse_rejects_non_square () =
+  let path = write_temp "0 1\n1 0 2\n" in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Loader.parse_matrix path);
+       false
+     with Failure _ -> true)
+
+let test_parse_triples () =
+  let path = write_temp "# comment\n0 1 10\n0 2 20\n1 2 30\n2 3 5\n0 3 7\n1 3 9\n" in
+  let raw = Loader.parse_triples path in
+  Alcotest.(check int) "nodes" 4 raw.nodes;
+  Alcotest.(check bool) "value" true (raw.entries.(1).(2) = Some 30.);
+  Alcotest.(check bool) "symmetric" true (raw.entries.(2).(1) = Some 30.)
+
+let test_triples_duplicate_keeps_min () =
+  let path = write_temp "0 1 10\n1 0 4\n0 1 6\n" in
+  let raw = Loader.parse_triples path in
+  Alcotest.(check bool) "min kept" true (raw.entries.(0).(1) = Some 4.)
+
+let test_complete_subset_discards_missing () =
+  (* Node 1 is involved in the only missing measurements; it must go and
+     the others survive. *)
+  let path = write_temp "0 5 2\n5 0 -1\n2 -1 0\n" in
+  let raw = Loader.parse_matrix path in
+  let ids, m = Loader.complete_subset raw in
+  Alcotest.(check (array int)) "survivors" [| 0; 2 |] ids;
+  Alcotest.(check (float 1e-9)) "latency kept" 2. (Matrix.get m 0 1)
+
+let test_complete_subset_averages_asymmetry () =
+  let path = write_temp "0 4 1\n8 0 1\n1 1 0\n" in
+  let _, m = Loader.complete_subset (Loader.parse_matrix path) in
+  Alcotest.(check (float 1e-9)) "averaged" 6. (Matrix.get m 0 1)
+
+let test_load_sniffs_triples () =
+  let path =
+    write_temp "0 1 10\n0 2 20\n1 2 30\n0 3 5\n1 3 6\n2 3 7\n"
+  in
+  let m = Loader.load path in
+  Alcotest.(check int) "four nodes survive" 4 (Matrix.dim m)
+
+let test_save_load_roundtrip () =
+  let m = Dia_latency.Synthetic.euclidean ~seed:4 ~n:10 ~side:50. in
+  let path = Filename.temp_file "dia_roundtrip" ".txt" in
+  Loader.save_matrix path m;
+  let m' = Loader.load path in
+  Alcotest.(check bool) "roundtrip" true (Matrix.equal ~eps:1e-4 m m')
+
+let test_clamps_zero_entries () =
+  let path = write_temp "0 0 1\n0 0 1\n1 1 0\n" in
+  let _, m = Loader.complete_subset (Loader.parse_matrix path) in
+  Alcotest.(check bool) "clamped positive" true (Matrix.get m 0 1 > 0.)
+
+let suite =
+  [
+    Alcotest.test_case "parse dense matrix" `Quick test_parse_dense_matrix;
+    Alcotest.test_case "parse dense with missing entries" `Quick test_parse_dense_with_missing;
+    Alcotest.test_case "reject non-square dense input" `Quick test_parse_rejects_non_square;
+    Alcotest.test_case "parse triple files" `Quick test_parse_triples;
+    Alcotest.test_case "duplicate triples keep the minimum" `Quick test_triples_duplicate_keeps_min;
+    Alcotest.test_case "cleanup discards nodes with missing data" `Quick
+      test_complete_subset_discards_missing;
+    Alcotest.test_case "cleanup averages asymmetric pairs" `Quick
+      test_complete_subset_averages_asymmetry;
+    Alcotest.test_case "load sniffs the triple format" `Quick test_load_sniffs_triples;
+    Alcotest.test_case "save/load roundtrip" `Quick test_save_load_roundtrip;
+    Alcotest.test_case "cleanup clamps zero latencies" `Quick test_clamps_zero_entries;
+  ]

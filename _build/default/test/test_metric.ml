@@ -1,0 +1,58 @@
+(* Tests for Dia_latency.Metric. *)
+
+module Matrix = Dia_latency.Matrix
+module Metric = Dia_latency.Metric
+module Synthetic = Dia_latency.Synthetic
+
+let test_metric_matrix_has_no_violations () =
+  let m = Synthetic.euclidean ~seed:1 ~n:20 ~side:100. in
+  Alcotest.(check bool) "euclidean is metric" true (Metric.is_metric m);
+  let stats = Metric.triangle_violations m in
+  Alcotest.(check int) "no violations" 0 stats.violations;
+  Alcotest.(check bool) "triples were checked" true (stats.triples_checked > 0)
+
+let test_detects_violation () =
+  let m = Matrix.create 3 in
+  Matrix.set m 0 1 1.;
+  Matrix.set m 1 2 1.;
+  Matrix.set m 0 2 10.;
+  Alcotest.(check bool) "not metric" false (Metric.is_metric m);
+  let stats = Metric.triangle_violations m in
+  Alcotest.(check bool) "violations found" true (stats.violations > 0);
+  Alcotest.(check bool) "stretch is 5" true (Float.abs (stats.max_stretch -. 5.) < 1e-9)
+
+let test_sampled_mode_on_large_matrix () =
+  let m = Synthetic.internet_like ~seed:3 100 in
+  let stats = Metric.triangle_violations ~samples:5000 ~seed:1 m in
+  Alcotest.(check int) "sample count respected" 5000 stats.triples_checked;
+  Alcotest.(check bool) "fraction in [0,1]" true
+    (stats.violation_fraction >= 0. && stats.violation_fraction <= 1.)
+
+let test_sampling_deterministic () =
+  let m = Synthetic.internet_like ~seed:3 100 in
+  let a = Metric.triangle_violations ~samples:2000 ~seed:9 m in
+  let b = Metric.triangle_violations ~samples:2000 ~seed:9 m in
+  Alcotest.(check int) "same violations" a.violations b.violations
+
+let test_tiny_matrix_no_triples () =
+  let m = Matrix.create 2 in
+  let stats = Metric.triangle_violations m in
+  Alcotest.(check int) "no triples" 0 stats.triples_checked;
+  Alcotest.(check bool) "mean stretch nan" true (Float.is_nan stats.mean_stretch_violating)
+
+let test_spread () =
+  let m = Matrix.create 3 in
+  Matrix.set m 0 1 2.;
+  Matrix.set m 0 2 8.;
+  Matrix.set m 1 2 4.;
+  Alcotest.(check (float 1e-9)) "spread" 4. (Metric.spread m)
+
+let suite =
+  [
+    Alcotest.test_case "euclidean matrices are metric" `Quick test_metric_matrix_has_no_violations;
+    Alcotest.test_case "violations detected and measured" `Quick test_detects_violation;
+    Alcotest.test_case "sampled mode on large matrices" `Quick test_sampled_mode_on_large_matrix;
+    Alcotest.test_case "sampling is deterministic per seed" `Quick test_sampling_deterministic;
+    Alcotest.test_case "matrices too small for triples" `Quick test_tiny_matrix_no_triples;
+    Alcotest.test_case "spread ratio" `Quick test_spread;
+  ]

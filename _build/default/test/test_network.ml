@@ -1,0 +1,114 @@
+(* Tests for Dia_sim.Network. *)
+
+module Engine = Dia_sim.Engine
+module Network = Dia_sim.Network
+module Matrix = Dia_latency.Matrix
+
+let three_node_net engine =
+  let m = Matrix.create 3 in
+  Matrix.set m 0 1 10.;
+  Matrix.set m 0 2 20.;
+  Matrix.set m 1 2 5.;
+  Network.of_matrix engine m
+
+let test_delivery_after_latency () =
+  let engine = Engine.create () in
+  let net = three_node_net engine in
+  let received = ref None in
+  Network.on_receive net 1 (fun ~src payload ->
+      received := Some (src, payload, Engine.now engine));
+  Network.send net ~src:0 ~dst:1 "hello";
+  Engine.run engine;
+  match !received with
+  | Some (src, payload, at) ->
+      Alcotest.(check int) "source" 0 src;
+      Alcotest.(check string) "payload" "hello" payload;
+      Alcotest.(check (float 1e-9)) "arrival time" 10. at
+  | None -> Alcotest.fail "message not delivered"
+
+let test_messages_counted_even_unhandled () =
+  let engine = Engine.create () in
+  let net = three_node_net engine in
+  Network.send net ~src:0 ~dst:2 "dropped";
+  Engine.run engine;
+  Alcotest.(check int) "counted" 1 (Network.messages_sent net)
+
+let test_self_send_asynchronous () =
+  let engine = Engine.create () in
+  let net = three_node_net engine in
+  let order = ref [] in
+  Network.on_receive net 0 (fun ~src:_ _ -> order := "received" :: !order);
+  Network.send net ~src:0 ~dst:0 "self";
+  order := "sent" :: !order;
+  Engine.run engine;
+  Alcotest.(check (list string)) "send returns before delivery" [ "sent"; "received" ]
+    (List.rev !order)
+
+let test_jitter_applied () =
+  let engine = Engine.create () in
+  let m = Matrix.create 2 in
+  Matrix.set m 0 1 10. ;
+  let net =
+    Network.create
+      ~jitter:(fun ~src:_ ~dst:_ ~base -> base *. 2.)
+      engine ~actors:2 ~latency:(Matrix.get m)
+  in
+  let at = ref nan in
+  Network.on_receive net 1 (fun ~src:_ () -> at := Engine.now engine);
+  Network.send net ~src:0 ~dst:1 ();
+  Engine.run engine;
+  Alcotest.(check (float 1e-9)) "doubled latency" 20. !at;
+  Alcotest.(check (float 1e-9)) "last latency recorded" 20.
+    (Network.latency_of_last_message net)
+
+let test_negative_jitter_rejected () =
+  let engine = Engine.create () in
+  let net =
+    Network.create
+      ~jitter:(fun ~src:_ ~dst:_ ~base:_ -> -1.)
+      engine ~actors:2
+      ~latency:(fun _ _ -> 1.)
+  in
+  Alcotest.(check bool) "raises" true
+    (try
+       Network.send net ~src:0 ~dst:1 ();
+       false
+     with Invalid_argument _ -> true)
+
+let test_out_of_bounds_actor () =
+  let engine = Engine.create () in
+  let net = three_node_net engine in
+  Alcotest.(check bool) "send oob" true
+    (try
+       Network.send net ~src:0 ~dst:7 "x";
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "register oob" true
+    (try
+       Network.on_receive net (-1) (fun ~src:_ _ -> ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_concurrent_messages_ordered_by_arrival () =
+  let engine = Engine.create () in
+  let net = three_node_net engine in
+  let log = ref [] in
+  Network.on_receive net 2 (fun ~src _ -> log := src :: !log);
+  (* 0 -> 2 takes 20; 1 -> 2 takes 5: the later-sent message overtakes. *)
+  Network.send net ~src:0 ~dst:2 "slow";
+  Network.send net ~src:1 ~dst:2 "fast";
+  Engine.run engine;
+  Alcotest.(check (list int)) "fast first" [ 1; 0 ] (List.rev !log)
+
+let suite =
+  [
+    Alcotest.test_case "delivery after pairwise latency" `Quick test_delivery_after_latency;
+    Alcotest.test_case "unhandled messages counted and dropped" `Quick
+      test_messages_counted_even_unhandled;
+    Alcotest.test_case "self-sends are asynchronous" `Quick test_self_send_asynchronous;
+    Alcotest.test_case "jitter applied to every send" `Quick test_jitter_applied;
+    Alcotest.test_case "negative jittered latency rejected" `Quick test_negative_jitter_rejected;
+    Alcotest.test_case "out-of-bounds actors rejected" `Quick test_out_of_bounds_actor;
+    Alcotest.test_case "messages ordered by arrival not send" `Quick
+      test_concurrent_messages_ordered_by_arrival;
+  ]

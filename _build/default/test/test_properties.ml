@@ -1,0 +1,173 @@
+(* Cross-module property tests: random-input invariants that tie the
+   substrates together, plus paper-specific structural invariants. *)
+
+module Matrix = Dia_latency.Matrix
+module Graph = Dia_latency.Graph
+module Shortest_path = Dia_latency.Shortest_path
+module Synthetic = Dia_latency.Synthetic
+module Loader = Dia_latency.Loader
+module Problem = Dia_core.Problem
+module Assignment = Dia_core.Assignment
+module Clock = Dia_core.Clock
+
+let prop_synthetic_matrices_well_formed =
+  QCheck.Test.make ~name:"synthetic matrices are symmetric and positive" ~count:40
+    QCheck.(pair (int_bound 1_000_000) (int_range 2 40))
+    (fun (seed, n) ->
+      let m = Synthetic.internet_like ~seed n in
+      let ok = ref (Matrix.min_entry m > 0.) in
+      Matrix.iter_pairs m (fun i j v ->
+          if Float.abs (v -. Matrix.get m j i) > 1e-12 then ok := false;
+          if not (Float.is_finite v) then ok := false);
+      for i = 0 to n - 1 do
+        if Matrix.get m i i <> 0. then ok := false
+      done;
+      !ok)
+
+let prop_submatrix_inherits_structure =
+  QCheck.Test.make ~name:"principal submatrices stay well-formed" ~count:40
+    QCheck.(triple (int_bound 1_000_000) (int_range 3 30) (int_range 1 10))
+    (fun (seed, n, size) ->
+      let size = min size n in
+      let m = Synthetic.internet_like ~seed n in
+      let rng = Random.State.make [| seed |] in
+      let nodes =
+        Array.init size (fun _ -> Random.State.int rng n)
+        |> Array.to_list |> List.sort_uniq compare |> Array.of_list
+      in
+      let s = Matrix.sub m nodes in
+      let ok = ref true in
+      Matrix.iter_pairs s (fun i j v ->
+          if Float.abs (v -. Matrix.get m nodes.(i) nodes.(j)) > 1e-12 then
+            ok := false);
+      !ok)
+
+let prop_floyd_warshall_idempotent =
+  QCheck.Test.make ~name:"metric closure is idempotent and dominated" ~count:30
+    QCheck.(pair (int_bound 1_000_000) (int_range 2 18))
+    (fun (seed, n) ->
+      let m = Synthetic.uniform_random ~seed ~n ~lo:1. ~hi:100. in
+      let once = Shortest_path.floyd_warshall m in
+      let twice = Shortest_path.floyd_warshall once in
+      let dominated = ref true in
+      Matrix.iter_pairs m (fun i j v ->
+          if Matrix.get once i j > v +. 1e-9 then dominated := false);
+      Matrix.equal ~eps:1e-9 once twice && !dominated
+      && Dia_latency.Metric.is_metric once)
+
+let prop_dijkstra_agrees_with_closure =
+  QCheck.Test.make ~name:"dijkstra agrees with floyd-warshall" ~count:30
+    QCheck.(pair (int_bound 1_000_000) (int_range 2 14))
+    (fun (seed, n) ->
+      (* A random connected graph: a path backbone plus random chords. *)
+      let rng = Random.State.make [| seed |] in
+      let g = Graph.create n in
+      for v = 1 to n - 1 do
+        Graph.add_edge g (v - 1) v (1. +. Random.State.float rng 50.)
+      done;
+      for _ = 1 to n do
+        let a = Random.State.int rng n and b = Random.State.int rng n in
+        if a <> b then Graph.add_edge g a b (1. +. Random.State.float rng 50.)
+      done;
+      let via_dijkstra = Shortest_path.all_pairs g in
+      (* Same graph as a dense matrix with big entries for non-edges. *)
+      let dense =
+        Matrix.init n (fun i j ->
+            match List.assoc_opt j (Graph.neighbors g i) with
+            | Some w -> w
+            | None -> 1e6)
+      in
+      Matrix.equal ~eps:1e-6 via_dijkstra (Shortest_path.floyd_warshall dense))
+
+let prop_loader_cleanup_is_complete =
+  QCheck.Test.make ~name:"loader cleanup yields complete positive matrices" ~count:30
+    QCheck.(triple (int_bound 1_000_000) (int_range 2 20) (int_range 0 80))
+    (fun (seed, n, missing_pct) ->
+      let rng = Random.State.make [| seed |] in
+      let entries =
+        Array.init n (fun i ->
+            Array.init n (fun j ->
+                if i = j then Some 0.
+                else if Random.State.int rng 100 < missing_pct then None
+                else Some (1. +. Random.State.float rng 100.)))
+      in
+      let raw = { Loader.nodes = n; entries } in
+      let survivors, m = Loader.complete_subset raw in
+      Array.length survivors = Matrix.dim m
+      && (Matrix.dim m <= 1 || Matrix.min_entry m > 0.))
+
+let prop_workload_ids_dense_and_sorted =
+  QCheck.Test.make ~name:"workload ids dense, times sorted" ~count:50
+    QCheck.(pair (int_bound 1_000_000) (int_range 0 40))
+    (fun (seed, count) ->
+      let rng = Random.State.make [| seed |] in
+      let ops =
+        Dia_sim.Workload.of_list
+          (List.init count (fun _ ->
+               (Random.State.int rng 10, Random.State.float rng 100.)))
+      in
+      let ids = List.map (fun (o : Dia_sim.Workload.op) -> o.op_id) ops in
+      let times = List.map (fun (o : Dia_sim.Workload.op) -> o.issue_time) ops in
+      ids = List.init count Fun.id
+      && times = List.sort Float.compare times)
+
+let prop_clock_constraint_i_always_tight =
+  QCheck.Test.make ~name:"synthesized clocks are exactly tight" ~count:40
+    QCheck.(triple (int_bound 1_000_000) (int_range 1 6) (int_range 1 20))
+    (fun (seed, k, extra) ->
+      let n = k + extra in
+      let m = Synthetic.internet_like ~seed n in
+      let servers = Dia_placement.Placement.random ~seed ~k ~n in
+      let p = Problem.all_nodes_clients m ~servers in
+      let a = Dia_core.Nearest.assign p in
+      let clock = Clock.synthesize p a in
+      Float.abs (Clock.slack_i p a clock) < 1e-9 && Clock.slack_ii p a clock >= -1e-9)
+
+let prop_lfb_structural_invariant =
+  (* Section IV-B: "if a client is not assigned to its nearest server, it
+     must not be the farthest client to its assigned server" — this is
+     what makes LFB no worse than NSA. *)
+  QCheck.Test.make ~name:"LFB: non-nearest clients are never the farthest" ~count:60
+    QCheck.(triple (int_bound 1_000_000) (int_range 2 8) (int_range 2 40))
+    (fun (seed, k, extra) ->
+      let n = k + extra in
+      let m = Synthetic.internet_like ~seed n in
+      let servers = Dia_placement.Placement.random ~seed ~k ~n in
+      let p = Problem.all_nodes_clients m ~servers in
+      let a = Dia_core.Longest_first_batch.assign p in
+      let ecc = Dia_core.Objective.eccentricities p a in
+      let ok = ref true in
+      for c = 0 to Problem.num_clients p - 1 do
+        let s = Assignment.server_of a c in
+        let on_nearest = s = Problem.nearest_server p c in
+        let d = Problem.d_cs p c s in
+        (* Distance ties can make a non-nearest client share the
+           eccentricity; only a strict "farthest and strictly farther
+           than every nearest-assigned client" would break the
+           argument. *)
+        if (not on_nearest) && d > ecc.(s) -. 1e-12 then begin
+          (* c realises the eccentricity: some nearest-assigned client on
+             s must realise it too, otherwise the invariant is broken. *)
+          let witness = ref false in
+          for c' = 0 to Problem.num_clients p - 1 do
+            if Assignment.server_of a c' = s
+               && Problem.nearest_server p c' = s
+               && Problem.d_cs p c' s >= d -. 1e-12
+            then witness := true
+          done;
+          if not !witness then ok := false
+        end
+      done;
+      !ok)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_synthetic_matrices_well_formed;
+    QCheck_alcotest.to_alcotest prop_submatrix_inherits_structure;
+    QCheck_alcotest.to_alcotest prop_floyd_warshall_idempotent;
+    QCheck_alcotest.to_alcotest prop_dijkstra_agrees_with_closure;
+    QCheck_alcotest.to_alcotest prop_loader_cleanup_is_complete;
+    QCheck_alcotest.to_alcotest prop_workload_ids_dense_and_sorted;
+    QCheck_alcotest.to_alcotest prop_clock_constraint_i_always_tight;
+    QCheck_alcotest.to_alcotest prop_lfb_structural_invariant;
+  ]

@@ -1,0 +1,119 @@
+(* Tests for Dia_setcover.Reduction: Theorem 1's construction, exercised
+   in both directions on concrete instances. *)
+
+module Setcover = Dia_setcover.Setcover
+module Reduction = Dia_setcover.Reduction
+module Problem = Dia_core.Problem
+module Objective = Dia_core.Objective
+module Brute_force = Dia_core.Brute_force
+
+let fig3_instance () =
+  Setcover.make ~universe:4 ~subsets:[| [ 0 ]; [ 1 ]; [ 2; 3 ] |]
+
+let test_fig3_structure () =
+  (* Fig. 3: n = 4 clients, m = 3 subsets, K = 3 -> 9 servers. *)
+  let r = Reduction.build (fig3_instance ()) ~k:3 in
+  let p = Reduction.problem r in
+  Alcotest.(check int) "clients" 4 (Problem.num_clients p);
+  Alcotest.(check int) "servers" 9 (Problem.num_servers p);
+  Alcotest.(check (float 1e-9)) "bound" 3. (Reduction.bound r)
+
+let test_fig3_distances () =
+  let r = Reduction.build (fig3_instance ()) ~k:3 in
+  let p = Reduction.problem r in
+  (* Client p1 (index 0) is linked to the first server of every group
+     (subset Q1 = {p1}); group l's subset-j server has index l*3 + j. *)
+  Alcotest.(check (float 1e-9)) "linked client-server" 1. (Problem.d_cs p 0 0);
+  Alcotest.(check (float 1e-9)) "linked in group 2" 1. (Problem.d_cs p 0 3);
+  (* p1 is not in Q2: route via a server of another group. *)
+  Alcotest.(check (float 1e-9)) "unlinked client-server" 2. (Problem.d_cs p 0 1);
+  (* Servers in different groups: direct link. *)
+  Alcotest.(check (float 1e-9)) "cross-group servers" 1. (Problem.d_ss p 0 4);
+  (* Servers in the same group: via another group. *)
+  Alcotest.(check (float 1e-9)) "same-group servers" 2. (Problem.d_ss p 0 1)
+
+let test_fig3_cover_to_assignment () =
+  let r = Reduction.build (fig3_instance ()) ~k:3 in
+  let a = Reduction.assignment_of_cover r [ 0; 1; 2 ] in
+  let d = Objective.max_interaction_path (Reduction.problem r) a in
+  Alcotest.(check bool) "D <= 3" true (d <= 3. +. 1e-9)
+
+let test_fig3_assignment_to_cover () =
+  let r = Reduction.build (fig3_instance ()) ~k:3 in
+  let a = Reduction.assignment_of_cover r [ 0; 1; 2 ] in
+  let cover = Reduction.cover_of_assignment r a in
+  Alcotest.(check bool) "is a cover" true (Setcover.is_cover (fig3_instance ()) cover);
+  Alcotest.(check bool) "size <= K" true (List.length cover <= 3)
+
+let test_assignment_of_cover_validation () =
+  let r = Reduction.build (fig3_instance ()) ~k:3 in
+  Alcotest.(check bool) "non-cover rejected" true
+    (try
+       ignore (Reduction.assignment_of_cover r [ 0; 1 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_equivalence_on_fig3 () =
+  let sc = fig3_instance () in
+  (* Q has a cover of size 3 but not of size 2; the equivalence must hold
+     on both sides of the threshold. *)
+  Alcotest.(check bool) "holds at k=3" true (Reduction.holds sc ~k:3);
+  Alcotest.(check bool) "holds at k=2" true (Reduction.holds sc ~k:2)
+
+let test_equivalence_various_instances () =
+  let instances =
+    [
+      (* Overlapping subsets, optimum 2. *)
+      Setcover.make ~universe:4 ~subsets:[| [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 0; 3 ] |];
+      (* One subset covers everything. *)
+      Setcover.make ~universe:3 ~subsets:[| [ 0; 1; 2 ]; [ 0 ]; [ 1 ] |];
+      (* Disjoint singletons: optimum = universe size. *)
+      Setcover.make ~universe:3 ~subsets:[| [ 0 ]; [ 1 ]; [ 2 ] |];
+    ]
+  in
+  List.iteri
+    (fun idx sc ->
+      for k = 1 to 3 do
+        Alcotest.(check bool)
+          (Printf.sprintf "instance %d, k=%d" idx k)
+          true
+          (Reduction.holds sc ~k)
+      done)
+    instances
+
+let test_server_role () =
+  let r = Reduction.build (fig3_instance ()) ~k:2 in
+  Alcotest.(check (pair int int)) "role of server 0" (0, 0) (Reduction.server_role r 0);
+  Alcotest.(check (pair int int)) "role of server 5" (1, 2) (Reduction.server_role r 5)
+
+let test_optimal_assignment_for_coverable_instance_is_3_or_less () =
+  let sc = Setcover.make ~universe:4 ~subsets:[| [ 0; 1 ]; [ 2; 3 ] |] in
+  let r = Reduction.build sc ~k:2 in
+  let opt = Brute_force.optimal_value (Reduction.problem r) in
+  Alcotest.(check bool) "coverable: D* <= 3" true (opt <= 3. +. 1e-9)
+
+let test_uncoverable_bound_exceeded () =
+  (* Three disjoint singletons but only K = 2 groups: no size-2 cover, so
+     every assignment must exceed 3. *)
+  let sc = Setcover.make ~universe:3 ~subsets:[| [ 0 ]; [ 1 ]; [ 2 ] |] in
+  let r = Reduction.build sc ~k:2 in
+  let opt = Brute_force.optimal_value (Reduction.problem r) in
+  Alcotest.(check bool) "D* > 3" true (opt > 3. +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "Fig. 3 instance structure" `Quick test_fig3_structure;
+    Alcotest.test_case "Fig. 3 routing distances" `Quick test_fig3_distances;
+    Alcotest.test_case "cover -> assignment with D <= 3" `Quick test_fig3_cover_to_assignment;
+    Alcotest.test_case "assignment -> cover" `Quick test_fig3_assignment_to_cover;
+    Alcotest.test_case "assignment_of_cover validation" `Quick
+      test_assignment_of_cover_validation;
+    Alcotest.test_case "equivalence on Fig. 3" `Quick test_equivalence_on_fig3;
+    Alcotest.test_case "equivalence on assorted instances" `Slow
+      test_equivalence_various_instances;
+    Alcotest.test_case "server role decoding" `Quick test_server_role;
+    Alcotest.test_case "coverable instances stay within the bound" `Quick
+      test_optimal_assignment_for_coverable_instance_is_3_or_less;
+    Alcotest.test_case "uncoverable instances exceed the bound" `Quick
+      test_uncoverable_bound_exceeded;
+  ]

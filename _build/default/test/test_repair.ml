@@ -1,0 +1,218 @@
+(* Tests for Dia_sim.Timewarp, Dia_sim.Tss, and Dia_sim.Repair. *)
+
+module State = Dia_sim.State
+module Workload = Dia_sim.Workload
+module Timewarp = Dia_sim.Timewarp
+module Tss = Dia_sim.Tss
+module Repair = Dia_sim.Repair
+module Protocol = Dia_sim.Protocol
+module Problem = Dia_core.Problem
+module Algorithm = Dia_core.Algorithm
+module Clock = Dia_core.Clock
+
+let op id issuer = { Workload.op_id = id; issuer; issue_time = float_of_int id }
+
+let canonical clients ops_list =
+  State.apply_all (State.initial ~clients) ops_list
+
+(* -- Timewarp ----------------------------------------------------------- *)
+
+let test_timewarp_in_order_no_rollbacks () =
+  let warp = Timewarp.create ~clients:2 () in
+  for i = 0 to 9 do
+    let depth = Timewarp.execute warp ~timestamp:(float_of_int i) (op i (i mod 2)) in
+    Alcotest.(check int) "no rollback" 0 depth
+  done;
+  Alcotest.(check int) "zero rollbacks" 0 (Timewarp.rollbacks warp);
+  Alcotest.(check string) "canonical state"
+    (State.digest (canonical 2 (List.init 10 (fun i -> op i (i mod 2)))))
+    (State.digest (Timewarp.state warp))
+
+let test_timewarp_straggler_repaired () =
+  let warp = Timewarp.create ~clients:1 () in
+  (* Deliver 0, 2, then the straggler 1. *)
+  ignore (Timewarp.execute warp ~timestamp:0. (op 0 0));
+  ignore (Timewarp.execute warp ~timestamp:2. (op 2 0));
+  let depth = Timewarp.execute warp ~timestamp:1. (op 1 0) in
+  Alcotest.(check int) "rolled back one entry" 1 depth;
+  Alcotest.(check int) "one rollback" 1 (Timewarp.rollbacks warp);
+  Alcotest.(check string) "state repaired to canonical order"
+    (State.digest (canonical 1 [ op 0 0; op 1 0; op 2 0 ]))
+    (State.digest (Timewarp.state warp))
+
+let test_timewarp_without_repair_would_diverge () =
+  (* Sanity: out-of-order application really is different (otherwise the
+     repair tests prove nothing). *)
+  let in_order = canonical 1 [ op 0 0; op 1 0; op 2 0 ] in
+  let out_of_order = canonical 1 [ op 0 0; op 2 0; op 1 0 ] in
+  Alcotest.(check bool) "orders differ" false (State.equal in_order out_of_order)
+
+let test_timewarp_deep_rollback_across_snapshots () =
+  let warp = Timewarp.create ~snapshot_every:8 ~clients:1 () in
+  (* 100 in-order ops, then a straggler older than all of them. *)
+  for i = 1 to 100 do
+    ignore (Timewarp.execute warp ~timestamp:(float_of_int i) (op i 0))
+  done;
+  let depth = Timewarp.execute warp ~timestamp:0. (op 0 0) in
+  Alcotest.(check int) "full depth" 100 depth;
+  Alcotest.(check int) "max depth recorded" 100 (Timewarp.max_rollback_depth warp);
+  Alcotest.(check string) "canonical after deep repair"
+    (State.digest (canonical 1 (List.init 101 (fun i -> op i 0))))
+    (State.digest (Timewarp.state warp))
+
+let test_timewarp_random_arrival_orders () =
+  (* Property: any arrival permutation converges to the canonical state. *)
+  let rng = Random.State.make [| 12 |] in
+  for _ = 1 to 20 do
+    let n = 2 + Random.State.int rng 30 in
+    let ops_list = List.init n (fun i -> op i (i mod 3)) in
+    let shuffled =
+      List.map (fun o -> (Random.State.float rng 1., o)) ops_list
+      |> List.sort compare |> List.map snd
+    in
+    let warp = Timewarp.create ~snapshot_every:4 ~clients:3 () in
+    List.iter
+      (fun (o : Workload.op) ->
+        ignore (Timewarp.execute warp ~timestamp:o.issue_time o))
+      shuffled;
+    Alcotest.(check string) "converged"
+      (State.digest (canonical 3 ops_list))
+      (State.digest (Timewarp.state warp))
+  done
+
+(* -- TSS ---------------------------------------------------------------- *)
+
+let test_tss_in_order_no_divergence () =
+  let sync = Tss.create ~clients:2 ~lag:5. in
+  for i = 0 to 9 do
+    Tss.advance sync ~now:(float_of_int i);
+    Tss.deliver sync ~timestamp:(float_of_int i) (op i (i mod 2))
+  done;
+  let final = Tss.finish sync in
+  Alcotest.(check int) "no divergences" 0 (Tss.divergences sync);
+  Alcotest.(check int) "no drops" 0 (Tss.dropped sync);
+  Alcotest.(check string) "canonical"
+    (State.digest (canonical 2 (List.init 10 (fun i -> op i (i mod 2)))))
+    (State.digest final)
+
+let test_tss_detects_and_repairs_misordering () =
+  let sync = Tss.create ~clients:1 ~lag:10. in
+  (* Arrivals: op0, op2, op1 (all within the lag). Leading state goes
+     wrong; when the trailing point passes them, it must be caught. *)
+  Tss.advance sync ~now:0.;
+  Tss.deliver sync ~timestamp:0. (op 0 0);
+  Tss.deliver sync ~timestamp:2. (op 2 0);
+  Tss.deliver sync ~timestamp:1. (op 1 0);
+  let final = Tss.finish sync in
+  Alcotest.(check bool) "divergence detected" true (Tss.divergences sync > 0);
+  Alcotest.(check string) "trailing state canonical"
+    (State.digest (canonical 1 [ op 0 0; op 1 0; op 2 0 ]))
+    (State.digest final);
+  Alcotest.(check string) "leading state repaired too"
+    (State.digest final)
+    (State.digest (Tss.leading sync))
+
+let test_tss_drops_beyond_lag () =
+  let sync = Tss.create ~clients:1 ~lag:1. in
+  Tss.advance sync ~now:0.;
+  Tss.deliver sync ~timestamp:0. (op 0 0);
+  Tss.advance sync ~now:10.;
+  (* An operation stamped 2 arrives when the trailing point is 9. *)
+  Tss.deliver sync ~timestamp:2. (op 1 0);
+  Alcotest.(check int) "dropped" 1 (Tss.dropped sync)
+
+let test_tss_time_monotonicity_enforced () =
+  let sync = Tss.create ~clients:1 ~lag:1. in
+  Tss.advance sync ~now:5.;
+  Alcotest.(check bool) "raises" true
+    (try
+       Tss.advance sync ~now:4.;
+       false
+     with Invalid_argument _ -> true)
+
+let test_tss_validates_lag () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Tss.create ~clients:1 ~lag:0.);
+       false
+     with Invalid_argument _ -> true)
+
+(* -- Repair over protocol reports ---------------------------------------- *)
+
+let tight_report seed ~delta_scale =
+  let matrix = Dia_latency.Synthetic.internet_like ~seed 14 in
+  let servers = Dia_placement.Placement.random ~seed ~k:4 ~n:14 in
+  let p = Problem.all_nodes_clients matrix ~servers in
+  let a = Algorithm.run Algorithm.Greedy p in
+  let clock = Clock.synthesize p a in
+  let clock = { clock with Clock.delta = clock.Clock.delta *. delta_scale } in
+  (* Distinct issue times: simultaneous operations arrive in engine order
+     rather than id order and would trigger (correct but noisy)
+     tie-break rollbacks even in a clean run. *)
+  let workload =
+    Workload.of_list (List.init 56 (fun i -> (i mod 14, float_of_int i *. 7.3)))
+  in
+  (p, Protocol.run p a clock workload)
+
+let test_repair_clean_run_costs_nothing () =
+  let _, report = tight_report 1 ~delta_scale:1.0 in
+  let outcomes = Repair.timewarp report in
+  Alcotest.(check int) "no rollbacks" 0 (Repair.total_rollbacks outcomes);
+  Alcotest.(check bool) "all converged" true (Repair.all_converged_timewarp outcomes)
+
+let test_repair_tight_delta_needs_rollbacks_but_converges () =
+  let _, report = tight_report 2 ~delta_scale:0.4 in
+  let outcomes = Repair.timewarp report in
+  Alcotest.(check bool) "rollbacks happened" true (Repair.total_rollbacks outcomes > 0);
+  Alcotest.(check bool) "still all converge" true
+    (Repair.all_converged_timewarp outcomes)
+
+let test_repair_tss_with_generous_lag_converges () =
+  let _, report = tight_report 3 ~delta_scale:0.4 in
+  let outcomes = Repair.tss ~lag:10_000. report in
+  Alcotest.(check bool) "all converge" true (Repair.all_converged_tss outcomes)
+
+let test_repair_tss_with_tiny_lag_drops () =
+  let _, report = tight_report 4 ~delta_scale:0.2 in
+  let outcomes = Repair.tss ~lag:0.001 report in
+  Alcotest.(check bool) "some server drops operations" true
+    (List.exists (fun (o : Repair.tss_outcome) -> o.Repair.dropped > 0) outcomes)
+
+let test_canonical_state_matches_checker () =
+  let _, report = tight_report 5 ~delta_scale:1.0 in
+  let states = Dia_sim.Checker.replicated_states report in
+  let canonical = Repair.canonical_state report in
+  List.iter
+    (fun (_, state) ->
+      Alcotest.(check string) "checker states = canonical" (State.digest canonical)
+        (State.digest state))
+    states
+
+let suite =
+  [
+    Alcotest.test_case "timewarp: in-order costs nothing" `Quick
+      test_timewarp_in_order_no_rollbacks;
+    Alcotest.test_case "timewarp: straggler repaired" `Quick test_timewarp_straggler_repaired;
+    Alcotest.test_case "out-of-order execution really diverges" `Quick
+      test_timewarp_without_repair_would_diverge;
+    Alcotest.test_case "timewarp: deep rollback across snapshots" `Quick
+      test_timewarp_deep_rollback_across_snapshots;
+    Alcotest.test_case "timewarp: random arrival orders converge" `Quick
+      test_timewarp_random_arrival_orders;
+    Alcotest.test_case "tss: in-order costs nothing" `Quick test_tss_in_order_no_divergence;
+    Alcotest.test_case "tss: misordering detected and repaired" `Quick
+      test_tss_detects_and_repairs_misordering;
+    Alcotest.test_case "tss: drops beyond the lag" `Quick test_tss_drops_beyond_lag;
+    Alcotest.test_case "tss: time must be monotone" `Quick test_tss_time_monotonicity_enforced;
+    Alcotest.test_case "tss: lag validated" `Quick test_tss_validates_lag;
+    Alcotest.test_case "repair: clean run costs nothing" `Quick
+      test_repair_clean_run_costs_nothing;
+    Alcotest.test_case "repair: tight delta rolls back but converges" `Quick
+      test_repair_tight_delta_needs_rollbacks_but_converges;
+    Alcotest.test_case "repair: tss with generous lag converges" `Quick
+      test_repair_tss_with_generous_lag_converges;
+    Alcotest.test_case "repair: tss with tiny lag drops" `Quick
+      test_repair_tss_with_tiny_lag_drops;
+    Alcotest.test_case "canonical state matches checker" `Quick
+      test_canonical_state_matches_checker;
+  ]

@@ -1,0 +1,103 @@
+(* Tests for Dia_setcover.Setcover. *)
+
+module Setcover = Dia_setcover.Setcover
+
+let fig3_instance () =
+  (* The paper's Fig. 3: P = {p1..p4}, Q1 = {p1}, Q2 = {p2}, Q3 = {p3, p4}. *)
+  Setcover.make ~universe:4 ~subsets:[| [ 0 ]; [ 1 ]; [ 2; 3 ] |]
+
+let test_make_validates () =
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "element out of range" true
+    (raises (fun () -> Setcover.make ~universe:2 ~subsets:[| [ 0; 5 ] |]));
+  Alcotest.(check bool) "empty subset" true
+    (raises (fun () -> Setcover.make ~universe:1 ~subsets:[| [] |]));
+  Alcotest.(check bool) "non-covering collection" true
+    (raises (fun () -> Setcover.make ~universe:3 ~subsets:[| [ 0; 1 ] |]))
+
+let test_accessors () =
+  let t = fig3_instance () in
+  Alcotest.(check int) "universe" 4 (Setcover.universe t);
+  Alcotest.(check int) "subsets" 3 (Setcover.num_subsets t);
+  Alcotest.(check (list int)) "subset contents" [ 2; 3 ] (Setcover.subset t 2)
+
+let test_is_cover () =
+  let t = fig3_instance () in
+  Alcotest.(check bool) "full collection covers" true (Setcover.is_cover t [ 0; 1; 2 ]);
+  Alcotest.(check bool) "partial does not" false (Setcover.is_cover t [ 0; 2 ])
+
+let test_greedy_on_fig3 () =
+  let t = fig3_instance () in
+  let cover = Setcover.greedy t in
+  Alcotest.(check bool) "is a cover" true (Setcover.is_cover t cover);
+  Alcotest.(check int) "size 3 (forced)" 3 (List.length cover);
+  Alcotest.(check int) "largest subset first" 2 (List.hd cover)
+
+let test_optimal_beats_greedy_on_adversarial_instance () =
+  (* Classic adversarial family: greedy picks the big staircase subset,
+     optimal covers with the two halves. *)
+  let t =
+    Setcover.make ~universe:6
+      ~subsets:[| [ 0; 1; 2 ]; [ 3; 4; 5 ]; [ 0; 3 ]; [ 1; 4 ]; [ 2; 5; 0; 3 ] |]
+  in
+  let optimal = Setcover.optimal t in
+  Alcotest.(check bool) "optimal is a cover" true (Setcover.is_cover t optimal);
+  Alcotest.(check int) "optimal size 2" 2 (List.length optimal)
+
+let test_optimal_never_worse_than_greedy () =
+  (* Pseudo-random instances. *)
+  let rng = Random.State.make [| 17 |] in
+  for _ = 1 to 20 do
+    let universe = 2 + Random.State.int rng 7 in
+    let num_subsets = 2 + Random.State.int rng 5 in
+    let subsets =
+      Array.init num_subsets (fun _ ->
+          List.filter (fun _ -> Random.State.bool rng) (List.init universe Fun.id))
+    in
+    (* Force coverage and non-emptiness by adding the full set. *)
+    let subsets = Array.append subsets [| List.init universe Fun.id |] in
+    let subsets = Array.map (function [] -> [ 0 ] | s -> s) subsets in
+    let t = Setcover.make ~universe ~subsets in
+    let greedy = Setcover.greedy t in
+    let optimal = Setcover.optimal t in
+    Alcotest.(check bool) "both cover" true
+      (Setcover.is_cover t greedy && Setcover.is_cover t optimal);
+    Alcotest.(check bool) "optimal <= greedy" true
+      (List.length optimal <= List.length greedy)
+  done
+
+let test_covers_of_size () =
+  let t = fig3_instance () in
+  Alcotest.(check bool) "size 3 exists" true (Setcover.covers_of_size t 3);
+  Alcotest.(check bool) "size 2 impossible" false (Setcover.covers_of_size t 2)
+
+let test_node_limit () =
+  let t =
+    Setcover.make ~universe:12
+      ~subsets:(Array.init 12 (fun i -> [ i; (i + 1) mod 12 ]))
+  in
+  Alcotest.(check bool) "limit enforced" true
+    (try
+       ignore (Setcover.optimal ~node_limit:3 t);
+       false
+     with Failure _ -> true)
+
+let test_single_subset_instance () =
+  let t = Setcover.make ~universe:3 ~subsets:[| [ 0; 1; 2 ] |] in
+  Alcotest.(check (list int)) "greedy" [ 0 ] (Setcover.greedy t);
+  Alcotest.(check (list int)) "optimal" [ 0 ] (Setcover.optimal t)
+
+let suite =
+  [
+    Alcotest.test_case "constructor validation" `Quick test_make_validates;
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "is_cover" `Quick test_is_cover;
+    Alcotest.test_case "greedy on the Fig. 3 instance" `Quick test_greedy_on_fig3;
+    Alcotest.test_case "optimal beats greedy when possible" `Quick
+      test_optimal_beats_greedy_on_adversarial_instance;
+    Alcotest.test_case "optimal never worse than greedy" `Quick
+      test_optimal_never_worse_than_greedy;
+    Alcotest.test_case "covers_of_size decision" `Quick test_covers_of_size;
+    Alcotest.test_case "node limit enforced" `Quick test_node_limit;
+    Alcotest.test_case "single-subset instance" `Quick test_single_subset_instance;
+  ]

@@ -1,0 +1,113 @@
+(* Tests for Dia_sim.State and the state-machine consistency check in
+   Dia_sim.Checker. *)
+
+module State = Dia_sim.State
+module Workload = Dia_sim.Workload
+module Checker = Dia_sim.Checker
+module Protocol = Dia_sim.Protocol
+module Problem = Dia_core.Problem
+module Algorithm = Dia_core.Algorithm
+module Clock = Dia_core.Clock
+
+let ops pairs = Workload.of_list pairs
+
+let test_apply_moves_issuer_only () =
+  let s0 = State.initial ~clients:3 in
+  let s1 = State.apply_all s0 (ops [ (1, 0.) ]) in
+  Alcotest.(check (pair (float 1e-9) (float 1e-9))) "others unmoved" (0., 0.)
+    (State.position s1 0);
+  let x, y = State.position s1 1 in
+  Alcotest.(check bool) "issuer moved by a unit step" true
+    (Float.abs (sqrt ((x *. x) +. (y *. y)) -. 1.) < 1e-9)
+
+let test_determinism () =
+  let workload = ops [ (0, 0.); (1, 1.); (0, 2.); (2, 3.) ] in
+  let a = State.apply_all (State.initial ~clients:3) workload in
+  let b = State.apply_all (State.initial ~clients:3) workload in
+  Alcotest.(check bool) "equal" true (State.equal a b);
+  Alcotest.(check string) "same digest" (State.digest a) (State.digest b)
+
+let test_order_sensitivity () =
+  (* Same-issuer operations must not commute (rotate-then-translate), so
+     out-of-order execution is detectable. *)
+  let o1 = { Workload.op_id = 0; issuer = 0; issue_time = 0. } in
+  let o2 = { Workload.op_id = 1; issuer = 0; issue_time = 1. } in
+  let forward = State.apply (State.apply (State.initial ~clients:1) o1) o2 in
+  let backward = State.apply (State.apply (State.initial ~clients:1) o2) o1 in
+  Alcotest.(check bool) "order matters" false (State.equal forward backward);
+  (* Different-issuer operations commute: they touch different avatars. *)
+  let a = { Workload.op_id = 0; issuer = 0; issue_time = 0. } in
+  let b = { Workload.op_id = 1; issuer = 1; issue_time = 1. } in
+  let ab = State.apply (State.apply (State.initial ~clients:2) a) b in
+  let ba = State.apply (State.apply (State.initial ~clients:2) b) a in
+  Alcotest.(check bool) "different issuers commute" true (State.equal ab ba)
+
+let test_apply_validates_issuer () =
+  let s = State.initial ~clients:2 in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (State.apply s { Workload.op_id = 0; issuer = 9; issue_time = 0. });
+       false
+     with Invalid_argument _ -> true)
+
+let test_digest_distinguishes_positions () =
+  let a = State.apply_all (State.initial ~clients:2) (ops [ (0, 0.) ]) in
+  let b = State.apply_all (State.initial ~clients:2) (ops [ (1, 0.) ]) in
+  Alcotest.(check bool) "different digests" false (State.digest a = State.digest b)
+
+(* End-to-end: the protocol's replicated states agree across servers. *)
+let run_protocol ~delta_scale seed =
+  let matrix = Dia_latency.Synthetic.internet_like ~seed 15 in
+  let servers = Dia_placement.Placement.random ~seed ~k:4 ~n:15 in
+  let p = Problem.all_nodes_clients matrix ~servers in
+  let a = Algorithm.run Algorithm.Greedy p in
+  let clock = Clock.synthesize p a in
+  let clock = { clock with Clock.delta = clock.Clock.delta *. delta_scale } in
+  let workload = Dia_sim.Workload.rounds ~clients:15 ~rounds:3 ~period:80. in
+  Protocol.run p a clock workload
+
+let test_replicated_states_consistent_at_delta () =
+  let report = run_protocol ~delta_scale:1.0 3 in
+  Alcotest.(check bool) "state consistent" true (Checker.state_consistent report);
+  let states = Checker.replicated_states report in
+  Alcotest.(check int) "one state per server" report.Protocol.servers
+    (List.length states)
+
+let test_replicated_states_match_canonical_workload () =
+  let report = run_protocol ~delta_scale:1.0 4 in
+  (* Each server's state must equal the state from applying the whole
+     workload in issue order (ids are issue-ordered and delta constant,
+     so canonical execution order = id order). *)
+  let expected =
+    State.apply_all
+      (State.initial ~clients:report.Protocol.clients)
+      report.Protocol.operations
+  in
+  List.iter
+    (fun (_, state) ->
+      Alcotest.(check string) "matches canonical" (State.digest expected)
+        (State.digest state))
+    (Checker.replicated_states report)
+
+let test_empty_run_vacuously_consistent () =
+  let matrix = Dia_latency.Synthetic.internet_like ~seed:5 8 in
+  let p = Problem.all_nodes_clients matrix ~servers:[| 0; 1 |] in
+  let a = Algorithm.run Algorithm.Greedy p in
+  let report = Protocol.run p a (Clock.synthesize p a) [] in
+  Alcotest.(check bool) "consistent" true (Checker.state_consistent report)
+
+let suite =
+  [
+    Alcotest.test_case "apply moves only the issuer" `Quick test_apply_moves_issuer_only;
+    Alcotest.test_case "state machine is deterministic" `Quick test_determinism;
+    Alcotest.test_case "same-issuer order sensitivity" `Quick test_order_sensitivity;
+    Alcotest.test_case "issuer validated" `Quick test_apply_validates_issuer;
+    Alcotest.test_case "digest distinguishes positions" `Quick
+      test_digest_distinguishes_positions;
+    Alcotest.test_case "replicated states consistent at delta = D" `Quick
+      test_replicated_states_consistent_at_delta;
+    Alcotest.test_case "replicated states match the canonical workload" `Quick
+      test_replicated_states_match_canonical_workload;
+    Alcotest.test_case "empty runs vacuously consistent" `Quick
+      test_empty_run_vacuously_consistent;
+  ]

@@ -1,0 +1,182 @@
+(* Tests for Dia_stats. *)
+
+module Summary = Dia_stats.Summary
+module Percentile = Dia_stats.Percentile
+module Cdf = Dia_stats.Cdf
+module Table = Dia_stats.Table
+module Ascii_plot = Dia_stats.Ascii_plot
+
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_summary_known_values () =
+  let s = Summary.of_array [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  Alcotest.(check int) "count" 8 s.Summary.count;
+  checkf "mean" 5. s.Summary.mean;
+  checkf "stddev" 2. s.Summary.stddev;
+  checkf "min" 2. s.Summary.min;
+  checkf "max" 9. s.Summary.max;
+  checkf "median" 4.5 s.Summary.median
+
+let test_summary_odd_median () =
+  let s = Summary.of_list [ 3.; 1.; 2. ] in
+  checkf "median" 2. s.Summary.median
+
+let test_summary_empty_and_nan () =
+  let s = Summary.of_array [||] in
+  Alcotest.(check int) "count" 0 s.Summary.count;
+  Alcotest.(check bool) "mean nan" true (Float.is_nan s.Summary.mean);
+  Alcotest.(check bool) "nan rejected" true
+    (try
+       ignore (Summary.of_array [| nan |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_percentile_interpolation () =
+  let data = [| 10.; 20.; 30.; 40. |] in
+  checkf "p0" 10. (Percentile.compute data 0.);
+  checkf "p100" 40. (Percentile.compute data 100.);
+  checkf "p50" 25. (Percentile.compute data 50.);
+  checkf "p25" 17.5 (Percentile.compute data 25.)
+
+let test_percentile_many_shares_sort () =
+  let data = [| 3.; 1.; 2. |] in
+  let pairs = Percentile.many data [ 0.; 50.; 100. ] in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "pairs"
+    [ (0., 1.); (50., 2.); (100., 3.) ]
+    pairs
+
+let test_percentile_validation () =
+  Alcotest.(check bool) "empty" true
+    (try ignore (Percentile.compute [||] 50.); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "out of range" true
+    (try ignore (Percentile.compute [| 1. |] 101.); false with Invalid_argument _ -> true)
+
+let test_cdf_eval_and_count () =
+  let cdf = Cdf.of_samples [| 1.; 2.; 2.; 3. |] in
+  Alcotest.(check int) "count" 4 (Cdf.count cdf);
+  Alcotest.(check int) "below 2" 3 (Cdf.count_below cdf 2.);
+  Alcotest.(check int) "below 0" 0 (Cdf.count_below cdf 0.);
+  Alcotest.(check int) "below 10" 4 (Cdf.count_below cdf 10.);
+  checkf "eval mid" 0.75 (Cdf.eval cdf 2.);
+  checkf "eval max" 1. (Cdf.eval cdf 3.)
+
+let test_cdf_quantile () =
+  let cdf = Cdf.of_samples [| 10.; 20.; 30. |] in
+  checkf "q0" 10. (Cdf.quantile cdf 0.);
+  checkf "q0.5" 20. (Cdf.quantile cdf 0.5);
+  checkf "q1" 30. (Cdf.quantile cdf 1.)
+
+let test_cdf_curve_monotone () =
+  let cdf = Cdf.of_samples (Array.init 50 (fun i -> float_of_int (i * i))) in
+  let curve = Cdf.curve cdf ~points:10 in
+  Alcotest.(check int) "points" 10 (List.length curve);
+  let ys = List.map snd curve in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone" true (monotone ys);
+  checkf "ends at 1" 1. (List.nth ys 9)
+
+let test_table_rendering () =
+  let t = Table.make ~columns:[ "algo"; "D" ] in
+  Table.add_row t [ "greedy"; "1.05" ];
+  Table.add_floats t ~label:"nearest" [ 1.82 ];
+  let rendered = Table.render t in
+  Alcotest.(check bool) "has header" true
+    (String.length rendered > 0
+    && String.split_on_char '\n' rendered |> List.exists (fun l ->
+           String.length l >= 2 && l.[0] = '|'));
+  Alcotest.(check bool) "contains values" true
+    (let contains needle haystack =
+       let nl = String.length needle and hl = String.length haystack in
+       let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+       scan 0
+     in
+     contains "greedy" rendered && contains "1.820" rendered)
+
+let test_table_arity_checked () =
+  let t = Table.make ~columns:[ "a"; "b" ] in
+  Alcotest.(check bool) "raises" true
+    (try Table.add_row t [ "only one" ]; false with Invalid_argument _ -> true)
+
+let test_ascii_plot_renders () =
+  let series =
+    [
+      ("rising", List.init 20 (fun i -> (float_of_int i, float_of_int i)));
+      ("falling", List.init 20 (fun i -> (float_of_int i, float_of_int (20 - i))));
+    ]
+  in
+  let plot = Ascii_plot.render ~width:40 ~height:10 series in
+  let lines = String.split_on_char '\n' plot in
+  Alcotest.(check bool) "several lines" true (List.length lines > 10);
+  Alcotest.(check bool) "legend present" true
+    (List.exists (fun l ->
+         let contains needle haystack =
+           let nl = String.length needle and hl = String.length haystack in
+           let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+           scan 0
+         in
+         contains "rising" l && contains "falling" l)
+       lines)
+
+let test_ascii_plot_validation () =
+  Alcotest.(check bool) "no points" true
+    (try ignore (Ascii_plot.render [ ("empty", []) ]); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "too small" true
+    (try ignore (Ascii_plot.render ~width:2 [ ("x", [ (0., 0.) ]) ]); false
+     with Invalid_argument _ -> true)
+
+let test_ascii_plot_constant_series () =
+  (* A flat series must not divide by zero. *)
+  let plot = Ascii_plot.render [ ("flat", [ (0., 5.); (1., 5.); (2., 5.) ]) ] in
+  Alcotest.(check bool) "rendered" true (String.length plot > 0)
+
+module Csv = Dia_stats.Csv
+
+let test_csv_escaping () =
+  Alcotest.(check string) "plain" "abc" (Csv.escape "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Csv.escape "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Csv.escape "a\"b")
+
+let test_csv_render () =
+  let doc = Csv.render ~header:[ "x"; "y" ] [ [ "1"; "2" ]; [ "3"; "4,5" ] ] in
+  Alcotest.(check string) "document" "x,y\n1,2\n3,\"4,5\"\n" doc
+
+let test_csv_arity_checked () =
+  Alcotest.(check bool) "raises" true
+    (try ignore (Csv.render ~header:[ "a" ] [ [ "1"; "2" ] ]); false
+     with Invalid_argument _ -> true)
+
+let test_csv_write_roundtrip () =
+  let path = Filename.temp_file "dia_csv" ".csv" in
+  Csv.write ~path ~header:[ "a" ] [ [ "1" ]; [ "2" ] ];
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  Alcotest.(check string) "file contents" "a\n1\n2\n" contents
+
+let suite =
+  [
+    Alcotest.test_case "summary known values" `Quick test_summary_known_values;
+    Alcotest.test_case "summary odd median" `Quick test_summary_odd_median;
+    Alcotest.test_case "summary empty and NaN" `Quick test_summary_empty_and_nan;
+    Alcotest.test_case "percentile interpolation" `Quick test_percentile_interpolation;
+    Alcotest.test_case "percentile many" `Quick test_percentile_many_shares_sort;
+    Alcotest.test_case "percentile validation" `Quick test_percentile_validation;
+    Alcotest.test_case "cdf eval and counts" `Quick test_cdf_eval_and_count;
+    Alcotest.test_case "cdf quantile" `Quick test_cdf_quantile;
+    Alcotest.test_case "cdf curve monotone" `Quick test_cdf_curve_monotone;
+    Alcotest.test_case "table rendering" `Quick test_table_rendering;
+    Alcotest.test_case "table arity checked" `Quick test_table_arity_checked;
+    Alcotest.test_case "ascii plot renders with legend" `Quick test_ascii_plot_renders;
+    Alcotest.test_case "ascii plot validation" `Quick test_ascii_plot_validation;
+    Alcotest.test_case "ascii plot constant series" `Quick test_ascii_plot_constant_series;
+    Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
+    Alcotest.test_case "csv render" `Quick test_csv_render;
+    Alcotest.test_case "csv arity checked" `Quick test_csv_arity_checked;
+    Alcotest.test_case "csv write roundtrip" `Quick test_csv_write_roundtrip;
+  ]

@@ -1,0 +1,94 @@
+(* Tests for Dia_latency.Topology. *)
+
+module Topology = Dia_latency.Topology
+module Graph = Dia_latency.Graph
+module Matrix = Dia_latency.Matrix
+module Metric = Dia_latency.Metric
+
+let small_params =
+  {
+    Topology.default_params with
+    Topology.transit_domains = 3;
+    transit_nodes_per_domain = 2;
+    stubs_per_transit_node = 2;
+    stub_nodes_per_domain = 4;
+  }
+
+let test_node_count () =
+  (* 3x2 = 6 transit nodes; 6 x 2 stubs x 4 nodes = 48 stub nodes. *)
+  Alcotest.(check int) "node count" 54 (Topology.node_count small_params);
+  let g = Topology.generate ~params:small_params ~seed:1 () in
+  Alcotest.(check int) "graph size" 54 (Graph.n g)
+
+let test_connected () =
+  for seed = 0 to 9 do
+    let g = Topology.generate ~params:small_params ~seed () in
+    Alcotest.(check bool) (Printf.sprintf "seed %d connected" seed) true
+      (Graph.is_connected g)
+  done
+
+let test_deterministic () =
+  let a = Topology.generate ~params:small_params ~seed:3 () in
+  let b = Topology.generate ~params:small_params ~seed:3 () in
+  Alcotest.(check int) "same edges" (Graph.edge_count a) (Graph.edge_count b);
+  Alcotest.(check bool) "same matrix" true
+    (Matrix.equal
+       (Topology.latency_matrix ~params:small_params ~seed:3 ())
+       (Topology.latency_matrix ~params:small_params ~seed:3 ()))
+
+let test_matrix_is_metric () =
+  (* Shortest-path routing cannot violate the triangle inequality. *)
+  let m = Topology.latency_matrix ~params:small_params ~seed:5 () in
+  Alcotest.(check bool) "metric" true (Metric.is_metric m);
+  Alcotest.(check bool) "positive" true (Matrix.min_entry m > 0.)
+
+let test_stub_to_stub_crosses_core () =
+  (* Nodes in stubs of different transit domains must be far apart
+     compared to nodes within one stub. *)
+  let m = Topology.latency_matrix ~params:small_params ~seed:7 () in
+  (* Stub nodes start at index 6; stub 0 spans 6..9 and sponsors transit
+     node 0 (domain 0); the LAST stub spans 50..53 and sponsors transit
+     node 5 (domain 2). *)
+  let within = Matrix.get m 6 9 in
+  let across = Matrix.get m 6 53 in
+  Alcotest.(check bool)
+    (Printf.sprintf "across %.1f > within %.1f" across within)
+    true (across > within)
+
+let test_default_size_and_assignability () =
+  let g = Topology.generate ~seed:1 () in
+  Alcotest.(check int) "default node count" 400 (Graph.n g);
+  (* The matrix works end-to-end with the assignment stack. *)
+  let m = Topology.latency_matrix ~params:small_params ~seed:2 () in
+  let servers = Dia_placement.Placement.place Dia_placement.Placement.K_center_b m ~k:4 in
+  let p = Dia_core.Problem.all_nodes_clients m ~servers in
+  let a = Dia_core.Algorithm.(run Greedy) p in
+  let d = Dia_core.Objective.max_interaction_path p a in
+  let lb = Dia_core.Lower_bound.compute p in
+  Alcotest.(check bool) "sane objective" true (Float.is_finite d && d >= lb -. 1e-9)
+
+let test_validation () =
+  let bad params =
+    try
+      ignore (Topology.generate ~params ~seed:0 ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "zero domains" true
+    (bad { small_params with Topology.transit_domains = 0 });
+  Alcotest.(check bool) "negative latency" true
+    (bad { small_params with Topology.stub_link_latency = -1. });
+  Alcotest.(check bool) "bad fraction" true
+    (bad { small_params with Topology.extra_edge_fraction = 2. })
+
+let suite =
+  [
+    Alcotest.test_case "node count" `Quick test_node_count;
+    Alcotest.test_case "always connected" `Quick test_connected;
+    Alcotest.test_case "deterministic per seed" `Quick test_deterministic;
+    Alcotest.test_case "routed matrix is metric" `Quick test_matrix_is_metric;
+    Alcotest.test_case "stub-to-stub crosses the core" `Quick test_stub_to_stub_crosses_core;
+    Alcotest.test_case "default size; end-to-end assignability" `Quick
+      test_default_size_and_assignability;
+    Alcotest.test_case "parameter validation" `Quick test_validation;
+  ]

@@ -1,0 +1,129 @@
+(* Tests for Dia_latency.Vivaldi. *)
+
+module Matrix = Dia_latency.Matrix
+module Synthetic = Dia_latency.Synthetic
+module Vivaldi = Dia_latency.Vivaldi
+module Loader = Dia_latency.Loader
+
+let test_euclidean_embeds_accurately () =
+  (* Pure 2-D data must embed with low error: that is the model. *)
+  let m = Synthetic.euclidean ~seed:3 ~n:40 ~side:200. in
+  let t = Vivaldi.embed_matrix ~rounds:60 m in
+  let err = Vivaldi.median_relative_error t m in
+  Alcotest.(check bool)
+    (Printf.sprintf "median error %.3f below 0.12" err)
+    true (err < 0.12)
+
+let test_internet_like_embeds_reasonably () =
+  let m = Synthetic.internet_like ~seed:8 60 in
+  let t = Vivaldi.embed_matrix ~rounds:60 m in
+  let err = Vivaldi.median_relative_error t m in
+  Alcotest.(check bool)
+    (Printf.sprintf "median error %.3f below 0.45" err)
+    true (err < 0.45)
+
+let test_deterministic () =
+  let m = Synthetic.euclidean ~seed:1 ~n:20 ~side:100. in
+  let a = Vivaldi.embed_matrix ~seed:5 m in
+  let b = Vivaldi.embed_matrix ~seed:5 m in
+  Alcotest.(check (float 1e-12)) "same prediction" (Vivaldi.predict a 0 1)
+    (Vivaldi.predict b 0 1)
+
+let test_predict_properties () =
+  let m = Synthetic.euclidean ~seed:2 ~n:15 ~side:100. in
+  let t = Vivaldi.embed_matrix m in
+  Alcotest.(check (float 0.)) "diagonal zero" 0. (Vivaldi.predict t 3 3);
+  Alcotest.(check (float 1e-12)) "symmetric" (Vivaldi.predict t 2 9)
+    (Vivaldi.predict t 9 2);
+  Alcotest.(check bool) "positive" true (Vivaldi.predict t 0 1 > 0.);
+  Alcotest.(check int) "nodes" 15 (Vivaldi.nodes t);
+  let _, _, h = Vivaldi.coordinates t 0 in
+  Alcotest.(check bool) "height non-negative" true (h >= 0.)
+
+let drop_entries ~seed ~fraction m =
+  (* Make a raw data set by deleting a random fraction of the pairs. *)
+  let n = Matrix.dim m in
+  let rng = Random.State.make [| seed |] in
+  let entries = Array.init n (fun i -> Array.init n (fun j ->
+      if i = j then Some 0. else Some (Matrix.get m i j)))
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Random.State.float rng 1. < fraction then begin
+        entries.(i).(j) <- None;
+        entries.(j).(i) <- None
+      end
+    done
+  done;
+  { Loader.nodes = n; entries }
+
+let test_complete_keeps_all_nodes () =
+  let m = Synthetic.euclidean ~seed:4 ~n:30 ~side:100. in
+  let raw = drop_entries ~seed:1 ~fraction:0.2 m in
+  let completed = Vivaldi.complete ~rounds:60 raw in
+  Alcotest.(check int) "all nodes kept" 30 (Matrix.dim completed);
+  Alcotest.(check bool) "strictly positive" true (Matrix.min_entry completed > 0.)
+
+let test_complete_preserves_measured_entries () =
+  let m = Synthetic.euclidean ~seed:5 ~n:25 ~side:100. in
+  let raw = drop_entries ~seed:2 ~fraction:0.3 m in
+  let completed = Vivaldi.complete raw in
+  for i = 0 to 24 do
+    for j = i + 1 to 24 do
+      match raw.Loader.entries.(i).(j) with
+      | Some v when v > 0.05 ->
+          Alcotest.(check (float 1e-9)) "measured entry kept" v
+            (Matrix.get completed i j)
+      | _ -> ()
+    done
+  done
+
+let test_complete_fills_with_sensible_values () =
+  let m = Synthetic.euclidean ~seed:6 ~n:30 ~side:100. in
+  let raw = drop_entries ~seed:3 ~fraction:0.25 m in
+  let completed = Vivaldi.complete ~rounds:80 raw in
+  (* Filled entries should be close to the (known) ground truth. *)
+  let errors = ref [] in
+  for i = 0 to 29 do
+    for j = i + 1 to 29 do
+      if raw.Loader.entries.(i).(j) = None then begin
+        let truth = Matrix.get m i j in
+        if truth > 1. then
+          errors := (Float.abs (Matrix.get completed i j -. truth) /. truth) :: !errors
+      end
+    done
+  done;
+  let sorted = Array.of_list !errors in
+  Array.sort Float.compare sorted;
+  let median = sorted.(Array.length sorted / 2) in
+  Alcotest.(check bool)
+    (Printf.sprintf "median fill error %.3f below 0.25" median)
+    true (median < 0.25)
+
+let test_completion_beats_discarding_on_node_count () =
+  let m = Synthetic.euclidean ~seed:7 ~n:30 ~side:100. in
+  let raw = drop_entries ~seed:4 ~fraction:0.3 m in
+  let survivors, _ = Loader.complete_subset raw in
+  let completed = Vivaldi.complete raw in
+  Alcotest.(check bool)
+    (Printf.sprintf "discarding keeps %d of 30, completion keeps 30"
+       (Array.length survivors))
+    true
+    (Matrix.dim completed = 30 && Array.length survivors < 30)
+
+let suite =
+  [
+    Alcotest.test_case "euclidean data embeds accurately" `Quick
+      test_euclidean_embeds_accurately;
+    Alcotest.test_case "internet-like data embeds reasonably" `Quick
+      test_internet_like_embeds_reasonably;
+    Alcotest.test_case "embedding deterministic per seed" `Quick test_deterministic;
+    Alcotest.test_case "prediction properties" `Quick test_predict_properties;
+    Alcotest.test_case "completion keeps all nodes" `Quick test_complete_keeps_all_nodes;
+    Alcotest.test_case "completion preserves measured entries" `Quick
+      test_complete_preserves_measured_entries;
+    Alcotest.test_case "completion fills sensible values" `Quick
+      test_complete_fills_with_sensible_values;
+    Alcotest.test_case "completion keeps nodes discarding drops" `Quick
+      test_completion_beats_discarding_on_node_count;
+  ]

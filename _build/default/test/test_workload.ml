@@ -1,0 +1,76 @@
+(* Tests for Dia_sim.Workload. *)
+
+module Workload = Dia_sim.Workload
+
+let test_of_list_sorted_ids () =
+  let ops = Workload.of_list [ (2, 5.); (0, 1.); (1, 3.) ] in
+  let ids = List.map (fun (op : Workload.op) -> op.op_id) ops in
+  let times = List.map (fun (op : Workload.op) -> op.issue_time) ops in
+  Alcotest.(check (list int)) "dense ids" [ 0; 1; 2 ] ids;
+  Alcotest.(check (list (float 1e-9))) "sorted times" [ 1.; 3.; 5. ] times
+
+let test_of_list_rejects_negative_time () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Workload.of_list [ (0, -1.) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_rounds_shape () =
+  let ops = Workload.rounds ~clients:3 ~rounds:4 ~period:10. in
+  Alcotest.(check int) "count" 12 (Workload.count ops);
+  Alcotest.(check (list int)) "all clients issue" [ 0; 1; 2 ] (Workload.issuers ops);
+  let last = List.nth ops 11 in
+  Alcotest.(check (float 1e-9)) "last round time" 30. last.Workload.issue_time
+
+let test_poisson_deterministic_and_bounded () =
+  let ops = Workload.poisson ~seed:3 ~clients:5 ~rate:0.5 ~horizon:20. in
+  let ops' = Workload.poisson ~seed:3 ~clients:5 ~rate:0.5 ~horizon:20. in
+  Alcotest.(check int) "deterministic" (Workload.count ops) (Workload.count ops');
+  List.iter
+    (fun (op : Workload.op) ->
+      Alcotest.(check bool) "within horizon" true
+        (op.issue_time >= 0. && op.issue_time <= 20.))
+    ops
+
+let test_poisson_rate_scales_volume () =
+  let low = Workload.poisson ~seed:1 ~clients:10 ~rate:0.1 ~horizon:100. in
+  let high = Workload.poisson ~seed:1 ~clients:10 ~rate:1.0 ~horizon:100. in
+  Alcotest.(check bool)
+    (Printf.sprintf "low %d << high %d" (Workload.count low) (Workload.count high))
+    true
+    (Workload.count high > 3 * Workload.count low)
+
+let test_burst_simultaneous () =
+  let ops = Workload.burst ~clients:4 ~at:7. in
+  Alcotest.(check int) "count" 4 (Workload.count ops);
+  List.iter
+    (fun (op : Workload.op) ->
+      Alcotest.(check (float 1e-9)) "same instant" 7. op.issue_time)
+    ops;
+  let ids = List.sort_uniq compare (List.map (fun (op : Workload.op) -> op.op_id) ops) in
+  Alcotest.(check int) "ids still unique" 4 (List.length ids)
+
+let test_validation () =
+  Alcotest.(check bool) "bad rate" true
+    (try
+       ignore (Workload.poisson ~seed:0 ~clients:1 ~rate:0. ~horizon:1.);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad period" true
+    (try
+       ignore (Workload.rounds ~clients:1 ~rounds:1 ~period:0.);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "of_list sorts and numbers" `Quick test_of_list_sorted_ids;
+    Alcotest.test_case "of_list validates times" `Quick test_of_list_rejects_negative_time;
+    Alcotest.test_case "rounds shape" `Quick test_rounds_shape;
+    Alcotest.test_case "poisson deterministic and bounded" `Quick
+      test_poisson_deterministic_and_bounded;
+    Alcotest.test_case "poisson rate scales volume" `Quick test_poisson_rate_scales_volume;
+    Alcotest.test_case "burst is simultaneous with unique ids" `Quick test_burst_simultaneous;
+    Alcotest.test_case "generator validation" `Quick test_validation;
+  ]
