@@ -262,6 +262,43 @@ let fail_server t s =
     orphans;
   List.length orphans
 
+type degradation = {
+  failed_server : int;
+  migrated : int;
+  objective_before : float;
+  objective_after : float;
+  objective_resolve : float;
+  factor : float;
+}
+
+let fail_server_report t s =
+  let objective_before = objective t in
+  let migrated = fail_server t s in
+  let objective_after = objective t in
+  (* Fresh greedy re-solve over the surviving servers, same clients —
+     the quality a from-scratch assignment would reach, against which
+     the incremental migration is judged. *)
+  let survivors = Array.of_list (List.map (fun s' -> t.servers.(s')) (active_servers t)) in
+  let entries =
+    Hashtbl.fold (fun id member acc -> (id, member) :: acc) t.members []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let clients = Array.of_list (List.map (fun (_, m) -> m.node) entries) in
+  let objective_resolve =
+    if Array.length clients = 0 then neg_infinity
+    else begin
+      let capacity = if t.capacity = max_int then None else Some t.capacity in
+      let p = Problem.make ?capacity ~latency:t.matrix ~servers:survivors ~clients () in
+      Objective.max_interaction_path p (Greedy.assign p)
+    end
+  in
+  let factor =
+    if Array.length clients = 0 || objective_resolve <= 0. then 1.
+    else objective_after /. objective_resolve
+  in
+  { failed_server = s; migrated; objective_before; objective_after;
+    objective_resolve; factor }
+
 let recover_server t s =
   if s < 0 || s >= k t then
     invalid_arg (Printf.sprintf "Dynamic.recover_server: server %d out of range" s);

@@ -81,6 +81,30 @@ val fail_server : t -> int -> int
     @raise Invalid_argument if [s] is out of range or already failed.
     @raise Failure if the surviving capacity cannot host the orphans. *)
 
+type degradation = {
+  failed_server : int;
+  migrated : int;  (** orphans re-homed by the failover *)
+  objective_before : float;  (** D(A) just before the failure *)
+  objective_after : float;  (** D(A) after greedy migration *)
+  objective_resolve : float;
+      (** D of a fresh Greedy re-solve on the surviving servers with the
+          same clients — the from-scratch baseline *)
+  factor : float;
+      (** [objective_after /. objective_resolve]: how far the surviving
+          incremental assignment is from a full re-solve (1.0 when empty
+          or the baseline is non-positive) *)
+}
+
+val fail_server_report : t -> int -> degradation
+(** {!fail_server} plus a degradation report: the surviving objective is
+    compared against a fresh {!Greedy.assign} re-solve over the
+    remaining servers, quantifying the cost of repairing incrementally
+    instead of reassigning everyone.
+
+    @raise Invalid_argument if [s] is out of range or already failed.
+    @raise Failure if the surviving capacity cannot host the orphans
+    (the session is left unchanged). *)
+
 val recover_server : t -> int -> unit
 (** Bring a failed server back into service (existing clients stay where
     they are; {!rebalance} will start using it again).

@@ -73,6 +73,34 @@ let analyze ?(eps = 1e-6) (report : Protocol.report) =
     uniform_interaction;
   }
 
+let validate_assignment ?(live = fun _ -> true) p a =
+  let n = Dia_core.Problem.num_clients p in
+  let k = Dia_core.Problem.num_servers p in
+  if Dia_core.Assignment.num_clients a <> n then
+    Error
+      (Printf.sprintf "assignment covers %d clients, instance has %d"
+         (Dia_core.Assignment.num_clients a) n)
+  else begin
+    let arr = Dia_core.Assignment.to_array a in
+    let bad_range = ref None and dead = ref None in
+    Array.iteri
+      (fun c s ->
+        if s < 0 || s >= k then
+          if !bad_range = None then bad_range := Some (c, s) else ()
+        else if not (live s) then
+          if !dead = None then dead := Some (c, s))
+      arr;
+    match (!bad_range, !dead) with
+    | Some (c, s), _ ->
+        Error (Printf.sprintf "client %d assigned to invalid server %d" c s)
+    | None, Some (c, s) ->
+        Error (Printf.sprintf "client %d assigned to failed server %d" c s)
+    | None, None ->
+        if not (Dia_core.Assignment.respects_capacity p a) then
+          Error "a server exceeds its capacity"
+        else Ok ()
+  end
+
 let breach_rate (report : Protocol.report) =
   let events = List.length report.executions + List.length report.visibilities in
   if events = 0 then nan

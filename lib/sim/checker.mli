@@ -33,6 +33,17 @@ val analyze : ?eps:float -> Protocol.report -> verdict
     comparing simulation times. For an empty run every boolean is [true]
     and the statistics are [nan]. *)
 
+val validate_assignment :
+  ?live:(int -> bool) ->
+  Dia_core.Problem.t ->
+  Dia_core.Assignment.t ->
+  (unit, string) result
+(** Structural validity of an assignment against an instance: right
+    client count, every client on an in-range server, capacity
+    respected. [live] (default: everyone) marks which servers survived —
+    a client assigned to a dead server is an error. Used to audit the
+    assignment a faulty protocol run terminates with. *)
+
 val breach_rate : Protocol.report -> float
 (** Fraction of (operation, server/client) events that missed their
     deadline — the empirical counterpart of

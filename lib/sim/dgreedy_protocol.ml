@@ -1,6 +1,16 @@
 module Problem = Dia_core.Problem
 module Assignment = Dia_core.Assignment
 
+type fault_stats = {
+  dropped : int;
+  duplicated : int;
+  undeliverable : int;
+  retransmissions : int;
+  give_ups : int;
+  regenerations : int;
+  failovers : int;
+}
+
 type result = {
   assignment : Assignment.t;
   objective : float;
@@ -8,18 +18,54 @@ type result = {
   modifications : int;
   messages : int;
   wall_duration : float;
+  faults : fault_stats;
 }
 
+type tuning = {
+  rto : float;
+  rto_cap : float;
+  backoff : float;
+  max_attempts : int;
+  ping_period : float;
+  regen_timeout : float;
+  max_regenerations : int;
+  deadline : float;
+}
+
+let base_settle_time p =
+  let k = Problem.num_servers p in
+  let max_latency = Dia_latency.Matrix.max_entry (Problem.latency p) in
+  2. *. Float.max 1. max_latency *. float_of_int (k + 3)
+
+let settle_time = base_settle_time
+
+let default_tuning p =
+  let max_latency = Float.max 1. (Dia_latency.Matrix.max_entry (Problem.latency p)) in
+  let rto = 4. *. max_latency in
+  {
+    rto;
+    rto_cap = 4. *. rto;
+    backoff = 1.5;
+    max_attempts = 10;
+    ping_period = 3. *. rto;
+    regen_timeout = 40. *. rto;
+    max_regenerations = 32;
+    deadline = (3. *. base_settle_time p) +. (500. *. rto);
+  }
+
 type payload =
-  | Probe
-  | Probe_reply
+  | Probe of float  (** transmit time, echoed back for an NTP-style RTT *)
+  | Probe_reply of { t1 : float; hold : float }
+      (** [t1] echoed; [hold] = time the replier sat on the probe, so
+          retransmission waits cancel out of the RTT on both legs *)
   | Join of float  (** the client's measured distance to this server *)
   | Join_accept
   | Join_reject
   | Init_info of { inter : float array; longest : float }
   | Ready
-  | Candidate of { client : int; l_minus : float }
-  | Candidate_reply of { l_value : float; distance : float }
+  | Ecc_update of float  (** a late join grew this server's eccentricity *)
+  | Candidate of { client : int; l_minus : float; epoch : int }
+  | Candidate_reply of { l_value : float; distance : float; epoch : int }
   | Commit of {
       client : int;
       from_server : int;
@@ -27,10 +73,19 @@ type payload =
       l_from : float;
       l_to : float;
       distance : float;
+      epoch : int;
     }
-  | Commit_ack
+  | Commit_ack of int  (** epoch *)
+  | Token of { count : int; epoch : int }
   | Reassign
-  | Token of int  (** consecutive no-commit possessions *)
+  | Ping
+
+(* Reliable-transport frame: every protocol payload travels as [Data]
+   with a per-channel sequence number, acknowledged per frame and
+   retransmitted with backoff until acked or the retry budget runs out.
+   Receivers deduplicate by (src, dst, seq), so loss and duplication
+   faults are masked and retry exhaustion doubles as failure detection. *)
+type frame = Data of { seq : int; body : payload } | Ack of int
 
 (* Per-client protocol state. *)
 type client_state = {
@@ -40,6 +95,7 @@ type client_state = {
   mutable join_order : int array;  (** servers by measured distance *)
   mutable join_attempt : int;
   mutable my_server : int;
+  dead : bool array;  (** this client's view of crashed servers *)
 }
 
 (* Per-server protocol state. *)
@@ -51,33 +107,42 @@ type server_state = {
   mutable init_infos : int;
   mutable readys : int;
   mutable inter_awaiting : int;
+  mutable inited : bool;
+  peer_down : bool array;  (** this server's view of crashed peers *)
+  mutable epoch : int;  (** newest token epoch seen *)
   (* token-holding state *)
   mutable untried : int list;
   mutable pending_replies : int;
+  mutable replied : int list;
   mutable replies : (int * float * float) list;  (** (server, L, distance) *)
   mutable current_candidate : (int * float) option;  (** (client, l_minus) *)
   mutable pending_acks : int;
+  mutable acked : int list;
   mutable token_count : int;
   mutable committed_this_possession : bool;
 }
 
 let eps = 1e-9
 
-let run ?jitter p =
+let run ?jitter ?fault ?tuning p =
   let k = Problem.num_servers p in
   let n = Problem.num_clients p in
   if n = 0 then invalid_arg "Dgreedy_protocol.run: no clients";
+  let tuning = match tuning with Some t -> t | None -> default_tuning p in
   let capacity = match Problem.capacity p with None -> max_int | Some c -> c in
   let engine = Engine.create () in
   let node actor =
     if actor < k then (Problem.servers p).(actor) else (Problem.clients p).(actor - k)
   in
   let latency a b = Dia_latency.Matrix.get (Problem.latency p) (node a) (node b) in
-  let net = Network.create ?jitter engine ~actors:(k + n) ~latency in
-  let max_latency = Dia_latency.Matrix.max_entry (Problem.latency p) in
+  let net = Network.create ?jitter ?fault engine ~actors:(k + n) ~latency in
   (* Every join (probe + retries across up to k full servers) completes
-     within this horizon; servers broadcast their initial state then. *)
-  let settle_time = 2. *. Float.max 1. max_latency *. float_of_int (k + 3) in
+     within this horizon; servers broadcast their initial state then.
+     Under faults, stretch it so most first-round retransmissions have
+     resolved — late joins are still absorbed via Ecc_update. *)
+  let settle_time =
+    base_settle_time p *. (match fault with None -> 1. | Some _ -> 3.)
+  in
 
   let clients =
     Array.init n (fun c ->
@@ -88,6 +153,7 @@ let run ?jitter p =
           join_order = [||];
           join_attempt = 0;
           my_server = -1;
+          dead = Array.make k false;
         })
   in
   let servers =
@@ -100,34 +166,101 @@ let run ?jitter p =
           init_infos = 0;
           readys = 0;
           inter_awaiting = k - 1;
+          inited = false;
+          peer_down = Array.make k false;
+          epoch = 0;
           untried = [];
           pending_replies = 0;
+          replied = [];
           replies = [];
           current_candidate = None;
           pending_acks = 0;
+          acked = [];
           token_count = 0;
           committed_this_possession = false;
         })
   in
   let initial_objective = ref nan in
   let modifications = ref 0 in
+  let retransmissions = ref 0 in
+  let give_ups = ref 0 in
+  let regenerations = ref 0 in
+  let failovers = ref 0 in
+  let epoch_counter = ref 0 in
+  let halted = ref false in
+  let completion = ref 0. in
+  let last_activity = ref settle_time in
+  let finish () =
+    if not !halted then begin
+      halted := true;
+      completion := Engine.now engine
+    end
+  in
+  let touch () = last_activity := Engine.now engine in
 
-  (* Outstanding probe send-times, keyed by (prober actor, target actor). *)
-  let probes : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
+  (* -- Reliable transport over the (possibly faulty) network ------------ *)
+  let next_seq : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let unacked : (int * int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let seen : (int * int * int, unit) Hashtbl.t = Hashtbl.create 256 in
+  (* Forward reference: retry exhaustion feeds back into protocol-level
+     failure handling, defined after the handlers. *)
+  let on_give_up : (src:int -> dst:int -> payload -> unit) ref =
+    ref (fun ~src:_ ~dst:_ _ -> ())
+  in
+  let wait attempt =
+    Float.min tuning.rto_cap (tuning.rto *. (tuning.backoff ** float_of_int attempt))
+  in
+  (* [mk] builds the body per transmission, so probes can stamp their
+     actual departure time into each copy. *)
+  let send_reliable ~src ~dst mk =
+    let seq = Option.value ~default:0 (Hashtbl.find_opt next_seq (src, dst)) in
+    Hashtbl.replace next_seq (src, dst) (seq + 1);
+    Hashtbl.replace unacked (src, dst, seq) ();
+    let rec attempt i =
+      if (not !halted) && Hashtbl.mem unacked (src, dst, seq) then
+        if i >= tuning.max_attempts then begin
+          Hashtbl.remove unacked (src, dst, seq);
+          incr give_ups;
+          !on_give_up ~src ~dst (mk ())
+        end
+        else begin
+          if i > 0 then incr retransmissions;
+          Network.send net ~src ~dst (Data { seq; body = mk () });
+          Engine.schedule_after engine (wait i) (fun () -> attempt (i + 1))
+        end
+    in
+    attempt 0
+  in
+  let rsend ~src ~dst body = send_reliable ~src ~dst (fun () -> body) in
+  let frame_handler actor handle ~src frame =
+    if not !halted then
+      match frame with
+      | Ack seq -> Hashtbl.remove unacked (actor, src, seq)
+      | Data { seq; body } ->
+          Network.send net ~src:actor ~dst:src (Ack seq);
+          if not (Hashtbl.mem seen (src, actor, seq)) then begin
+            Hashtbl.add seen (src, actor, seq) ();
+            handle ~src body
+          end
+  in
+
   let send_probe ~from ~target =
-    Hashtbl.replace probes (from, target) (Engine.now engine);
-    Network.send net ~src:from ~dst:target Probe
+    send_reliable ~src:from ~dst:target (fun () -> Probe (Engine.now engine))
   in
-  let probe_distance ~from ~target =
-    let sent = Hashtbl.find probes (from, target) in
-    Hashtbl.remove probes (from, target);
-    (Engine.now engine -. sent) /. 2.
+  let reply_probe ~from ~target t1 =
+    let t2 = Engine.now engine in
+    send_reliable ~src:from ~dst:target (fun () ->
+        Probe_reply { t1; hold = Engine.now engine -. t2 })
   in
+  let probe_distance t1 hold = Float.max 0. ((Engine.now engine -. t1 -. hold) /. 2.) in
 
-  let broadcast ~from payload =
-    for s = 0 to k - 1 do
-      if s <> from then Network.send net ~src:from ~dst:s payload
-    done
+  let live_peers st =
+    List.filter
+      (fun s -> s <> st.server_index && not st.peer_down.(s))
+      (List.init k Fun.id)
+  in
+  let broadcast_live st payload =
+    List.iter (fun s -> rsend ~src:st.server_index ~dst:s payload) (live_peers st)
   in
 
   (* Distance between two servers as believed by [st] (symmetrised). *)
@@ -177,24 +310,58 @@ let run ?jitter p =
         (List.sort compare st.members)
   in
 
+  (* A token epoch newer than ours supersedes whatever round we were
+     running: a regenerated token is circulating and our state is stale. *)
+  let observe_epoch st epoch =
+    if epoch > st.epoch then begin
+      st.epoch <- epoch;
+      if epoch > !epoch_counter then epoch_counter := epoch;
+      st.untried <- [];
+      st.current_candidate <- None;
+      st.pending_replies <- 0;
+      st.replied <- [];
+      st.replies <- [];
+      st.pending_acks <- 0;
+      st.acked <- []
+    end
+  in
+
   (* Forward declaration: token-possession driver. *)
   let rec work st =
     match st.untried with
     | [] ->
-        let next_count = if st.committed_this_possession then 0 else st.token_count + 1 in
-        if next_count >= k then () (* every server failed to improve: stop *)
-        else begin
-          let next = (st.server_index + 1) mod k in
-          Network.send net ~src:st.server_index ~dst:next (Token next_count)
-        end
+        let next_count =
+          if st.committed_this_possession then 0 else st.token_count + 1
+        in
+        let live = 1 + List.length (live_peers st) in
+        if next_count >= live then finish () (* every live server failed to improve *)
+        else pass_token st next_count
     | c :: rest ->
         st.untried <- rest;
         let l_minus = longest_without st c in
         st.current_candidate <- Some (c, l_minus);
-        st.pending_replies <- k - 1;
+        let peers = live_peers st in
+        st.pending_replies <- List.length peers;
+        st.replied <- [];
         st.replies <- [];
-        if k = 1 then decide st
-        else broadcast ~from:st.server_index (Candidate { client = c; l_minus })
+        if peers = [] then decide st
+        else
+          List.iter
+            (fun s ->
+              rsend ~src:st.server_index ~dst:s
+                (Candidate { client = c; l_minus; epoch = st.epoch }))
+            peers
+
+  and pass_token st count =
+    (* Next live server in ring order after us. *)
+    let rec next i =
+      if i = st.server_index then None
+      else if not st.peer_down.(i) then Some i
+      else next ((i + 1) mod k)
+    in
+    match next ((st.server_index + 1) mod k) with
+    | None -> finish () (* alone; work already ruled out improvement *)
+    | Some s -> rsend ~src:st.server_index ~dst:s (Token { count; epoch = st.epoch })
 
   and decide st =
     match st.current_candidate with
@@ -209,14 +376,14 @@ let run ?jitter p =
               (fun (_, la, _) (_, lb, _) -> Float.compare la lb)
               st.replies
           with
-        | [] -> None
-        | (target, l_value, distance) :: _ when l_value < d -. eps ->
-            let trial = Array.copy st.longest in
-            trial.(st.server_index) <- l_minus;
-            trial.(target) <- Float.max trial.(target) distance;
-            let d' = objective_of st trial in
-            if d' < d -. eps then Some (target, distance) else None
-        | _ -> None
+          | [] -> None
+          | (target, l_value, distance) :: _ when l_value < d -. eps ->
+              let trial = Array.copy st.longest in
+              trial.(st.server_index) <- l_minus;
+              trial.(target) <- Float.max trial.(target) distance;
+              let d' = objective_of st trial in
+              if d' < d -. eps then Some (target, distance) else None
+          | _ -> None
         in
         (match improving with
         | Some (target, distance) ->
@@ -236,9 +403,12 @@ let run ?jitter p =
                   l_from = l_minus;
                   l_to;
                   distance;
+                  epoch = st.epoch;
                 }
             in
-            st.pending_acks <- k - 1;
+            let peers = live_peers st in
+            st.pending_acks <- List.length peers;
+            st.acked <- [];
             st.committed_this_possession <- true;
             incr modifications;
             (* Apply locally: drop the client, update the table. *)
@@ -246,35 +416,72 @@ let run ?jitter p =
             st.longest.(st.server_index) <- l_minus;
             st.longest.(target) <- l_to;
             st.current_candidate <- None;
-            if k = 1 then after_commit st else broadcast ~from:st.server_index commit
+            if peers = [] then after_commit st else broadcast_live st commit
         | None ->
             st.current_candidate <- None;
             work st)
 
   and after_commit st =
-    (* All servers acknowledged: candidates are stale, recompute. *)
+    (* All live servers acknowledged: candidates are stale, recompute. *)
+    st.untried <- compute_candidates st;
+    work st
+
+  (* Failure handling: a peer that exhausted our retry budget is treated
+     as crashed — removed from the believed state and from any round we
+     are waiting on, so a wedged possession completes without it. *)
+  and mark_peer_dead st s =
+    if s <> st.server_index && not st.peer_down.(s) then begin
+      st.peer_down.(s) <- true;
+      st.longest.(s) <- neg_infinity;
+      (match st.current_candidate with
+      | Some _ when st.pending_replies > 0 && not (List.mem s st.replied) ->
+          st.replied <- s :: st.replied;
+          st.pending_replies <- st.pending_replies - 1;
+          if st.pending_replies = 0 then decide st
+      | _ -> ());
+      if st.pending_acks > 0 && not (List.mem s st.acked) then begin
+        st.acked <- s :: st.acked;
+        st.pending_acks <- st.pending_acks - 1;
+        if st.pending_acks = 0 then after_commit st
+      end
+    end
+  in
+
+  let start_token st =
+    st.token_count <- 0;
+    st.committed_this_possession <- false;
     st.untried <- compute_candidates st;
     work st
   in
 
-  (* Server message handler. *)
+  (* Server message handler (the candidate wrapper below intercepts
+     client-probe replies first). *)
   let server_handle st ~src payload =
     match payload with
-    | Probe -> Network.send net ~src:st.server_index ~dst:src Probe_reply
-    | Probe_reply ->
+    | Probe t1 -> reply_probe ~from:st.server_index ~target:src t1
+    | Probe_reply { t1; hold } ->
         (* Inter-server measurement during initialisation; client-probe
            replies (src >= k) are intercepted by the wrapper handler. *)
         if src < k then begin
-          let distance = probe_distance ~from:st.server_index ~target:src in
-          st.inter_rows.(st.server_index).(src) <- distance;
+          st.inter_rows.(st.server_index).(src) <- probe_distance t1 hold;
           st.inter_awaiting <- st.inter_awaiting - 1
         end
     | Join distance ->
-        if List.length st.members < capacity then begin
+        if List.mem_assoc (src - k) st.members then
+          (* A duplicate join (e.g. re-join after a spurious failure
+             verdict on us): idempotent accept. *)
+          rsend ~src:st.server_index ~dst:src Join_accept
+        else if List.length st.members < capacity then begin
           st.members <- (src - k, distance) :: st.members;
-          Network.send net ~src:st.server_index ~dst:src Join_accept
+          rsend ~src:st.server_index ~dst:src Join_accept;
+          if st.inited && distance > st.longest.(st.server_index) then begin
+            (* A fail-over (or loss-delayed) join landed after the state
+               exchange: our eccentricity grew; tell the live peers. *)
+            st.longest.(st.server_index) <- distance;
+            broadcast_live st (Ecc_update distance)
+          end
         end
-        else Network.send net ~src:st.server_index ~dst:src Join_reject
+        else rsend ~src:st.server_index ~dst:src Join_reject
     | Init_info { inter = row; longest } ->
         st.inter_rows.(src) <- Array.copy row;
         st.longest.(src) <- longest;
@@ -282,61 +489,84 @@ let run ?jitter p =
         if st.init_infos = k - 1 then
           if st.server_index = 0 then begin
             st.readys <- st.readys + 1;
-            if st.readys = k then begin
-              st.token_count <- 0;
-              st.committed_this_possession <- false;
-              st.untried <- compute_candidates st;
-              work st
-            end
+            if st.readys = k then start_token st
           end
-          else Network.send net ~src:st.server_index ~dst:0 Ready
+          else rsend ~src:st.server_index ~dst:0 Ready
     | Ready ->
         st.readys <- st.readys + 1;
-        if st.readys = k && st.init_infos = k - 1 then begin
-          st.token_count <- 0;
+        if st.readys = k && st.init_infos = k - 1 then start_token st
+    | Ecc_update value ->
+        touch ();
+        st.longest.(src) <- Float.max st.longest.(src) value
+    | Candidate _ -> () (* handled in the wrapper below *)
+    | Candidate_reply { l_value; distance; epoch } ->
+        touch ();
+        if
+          epoch = st.epoch
+          && st.current_candidate <> None
+          && not (List.mem src st.replied)
+        then begin
+          st.replied <- src :: st.replied;
+          st.replies <- (src, l_value, distance) :: st.replies;
+          st.pending_replies <- st.pending_replies - 1;
+          if st.pending_replies = 0 then decide st
+        end
+    | Commit { client; from_server; to_server; l_from; l_to; distance; epoch } ->
+        touch ();
+        observe_epoch st epoch;
+        if epoch = st.epoch then begin
+          st.longest.(from_server) <- l_from;
+          st.longest.(to_server) <- l_to;
+          if st.server_index = to_server then begin
+            st.members <- (client, distance) :: st.members;
+            rsend ~src:st.server_index ~dst:(k + client) Reassign
+          end;
+          rsend ~src:st.server_index ~dst:src (Commit_ack st.epoch)
+        end
+    | Commit_ack epoch ->
+        touch ();
+        if epoch = st.epoch && st.pending_acks > 0 && not (List.mem src st.acked)
+        then begin
+          st.acked <- src :: st.acked;
+          st.pending_acks <- st.pending_acks - 1;
+          if st.pending_acks = 0 then after_commit st
+        end
+    | Token { count; epoch } ->
+        touch ();
+        if epoch >= st.epoch then begin
+          observe_epoch st epoch;
+          st.token_count <- count;
           st.committed_this_possession <- false;
           st.untried <- compute_candidates st;
           work st
         end
-    | Candidate _ -> () (* handled in the wrapper below *)
-    | Candidate_reply { l_value; distance } ->
-        st.replies <- (src, l_value, distance) :: st.replies;
-        st.pending_replies <- st.pending_replies - 1;
-        if st.pending_replies = 0 then decide st
-    | Commit { client; from_server; to_server; l_from; l_to; distance } ->
-        st.longest.(from_server) <- l_from;
-        st.longest.(to_server) <- l_to;
-        if st.server_index = to_server then begin
-          st.members <- (client, distance) :: st.members;
-          Network.send net ~src:st.server_index ~dst:(k + client) Reassign
-        end;
-        Network.send net ~src:st.server_index ~dst:src Commit_ack
-    | Commit_ack ->
-        st.pending_acks <- st.pending_acks - 1;
-        if st.pending_acks = 0 then after_commit st
-    | Token count ->
-        st.token_count <- count;
-        st.committed_this_possession <- false;
-        st.untried <- compute_candidates st;
-        work st
-    | Join_accept | Join_reject | Reassign -> ()
+    | Ping | Join_accept | Join_reject | Reassign -> ()
   in
 
   (* Candidate handling needs a small state machine of its own per
      server: probe the client, then reply with L computed from the
      measured distance. *)
-  let candidate_context : (int, int * float) Hashtbl.t = Hashtbl.create 16 in
-  (* server index -> (holder server, l_minus); the probed client id is in
-     the probes table key. *)
+  let candidate_context : (int, int * float * int * int) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  (* server index -> (holder server, l_minus, epoch, probed client). *)
   let server_handle st ~src payload =
     match payload with
-    | Candidate { client; l_minus } ->
-        Hashtbl.replace candidate_context st.server_index (src, l_minus);
-        send_probe ~from:st.server_index ~target:(k + client)
-    | Probe_reply when src >= k && Hashtbl.mem candidate_context st.server_index ->
-        let holder, l_minus = Hashtbl.find candidate_context st.server_index in
+    | Candidate { client; l_minus; epoch } ->
+        touch ();
+        observe_epoch st epoch;
+        if epoch = st.epoch then begin
+          Hashtbl.replace candidate_context st.server_index
+            (src, l_minus, epoch, client);
+          send_probe ~from:st.server_index ~target:(k + client)
+        end
+    | Probe_reply { t1; hold }
+      when src >= k && Hashtbl.mem candidate_context st.server_index ->
+        let holder, l_minus, epoch, _ =
+          Hashtbl.find candidate_context st.server_index
+        in
         Hashtbl.remove candidate_context st.server_index;
-        let distance = probe_distance ~from:st.server_index ~target:src in
+        let distance = probe_distance t1 hold in
         let l_value =
           if List.length st.members >= capacity then infinity
           else begin
@@ -352,53 +582,114 @@ let run ?jitter p =
             !worst
           end
         in
-        Network.send net ~src:st.server_index ~dst:holder
-          (Candidate_reply { l_value; distance })
+        rsend ~src:st.server_index ~dst:holder
+          (Candidate_reply { l_value; distance; epoch })
     | other -> server_handle st ~src other
   in
 
   (* Client message handler. *)
-  let try_join cs =
+  let rec try_join cs =
     if cs.join_attempt < Array.length cs.join_order then begin
       let target = cs.join_order.(cs.join_attempt) in
-      let distance = List.assoc target cs.measured in
-      Network.send net ~src:(k + cs.client_index) ~dst:target (Join distance)
+      if cs.dead.(target) then begin
+        cs.join_attempt <- cs.join_attempt + 1;
+        try_join cs
+      end
+      else
+        rsend ~src:(k + cs.client_index) ~dst:target
+          (Join (List.assoc target cs.measured))
     end
+  in
+  let build_join_order cs =
+    let measured = List.sort compare (List.map fst cs.measured) in
+    let order = Array.of_list measured in
+    Array.sort
+      (fun a b ->
+        match Float.compare (List.assoc a cs.measured) (List.assoc b cs.measured) with
+        | 0 -> compare a b
+        | cmp -> cmp)
+      order;
+    cs.join_order <- order;
+    cs.join_attempt <- 0;
+    try_join cs
   in
   let client_handle cs ~src payload =
     match payload with
-    | Probe -> Network.send net ~src:(k + cs.client_index) ~dst:src Probe_reply
-    | Probe_reply ->
-        let distance = probe_distance ~from:(k + cs.client_index) ~target:src in
-        cs.measured <- (src, distance) :: cs.measured;
-        cs.awaiting <- cs.awaiting - 1;
-        if cs.awaiting = 0 then begin
-          let order = Array.init k Fun.id in
-          Array.sort
-            (fun a b ->
-              match Float.compare (List.assoc a cs.measured) (List.assoc b cs.measured) with
-              | 0 -> compare a b
-              | cmp -> cmp)
-            order;
-          cs.join_order <- order;
-          cs.join_attempt <- 0;
-          try_join cs
+    | Probe t1 -> reply_probe ~from:(k + cs.client_index) ~target:src t1
+    | Probe_reply { t1; hold } ->
+        if not (List.mem_assoc src cs.measured) then begin
+          cs.measured <- (src, probe_distance t1 hold) :: cs.measured;
+          if cs.awaiting > 0 then begin
+            cs.awaiting <- cs.awaiting - 1;
+            if cs.awaiting = 0 then build_join_order cs
+          end
         end
     | Join_accept -> cs.my_server <- cs.join_order.(cs.join_attempt)
     | Join_reject ->
         cs.join_attempt <- cs.join_attempt + 1;
         try_join cs
     | Reassign -> cs.my_server <- src
-    | Join _ | Init_info _ | Ready | Candidate _ | Candidate_reply _ | Commit _
-    | Commit_ack | Token _ ->
+    | Ping | Join _ | Init_info _ | Ready | Ecc_update _ | Candidate _
+    | Candidate_reply _ | Commit _ | Commit_ack _ | Token _ ->
         ()
   in
 
+  (* Retry exhaustion: the protocol-level failure detector. *)
+  let give_up ~src ~dst body =
+    if src < k then begin
+      let st = servers.(src) in
+      if dst < k then begin
+        mark_peer_dead st dst;
+        match body with
+        | Token { count; epoch } when epoch = st.epoch ->
+            (* The token died with its recipient: route it onward. *)
+            pass_token st count
+        | _ -> ()
+      end
+      else begin
+        (* An unreachable client: if we were probing it for the token
+           holder, answer for it so the round completes. *)
+        match Hashtbl.find_opt candidate_context src with
+        | Some (holder, _, epoch, client) when k + client = dst -> (
+            match body with
+            | Probe _ ->
+                Hashtbl.remove candidate_context src;
+                rsend ~src ~dst:holder
+                  (Candidate_reply { l_value = infinity; distance = infinity; epoch })
+            | _ -> ())
+        | _ -> ()
+      end
+    end
+    else begin
+      let cs = clients.(src - k) in
+      if dst < k then begin
+        cs.dead.(dst) <- true;
+        match body with
+        | Probe _ ->
+            (* Bootstrap probe to a dead server: proceed without it. *)
+            if cs.awaiting > 0 then begin
+              cs.awaiting <- cs.awaiting - 1;
+              if cs.awaiting = 0 then build_join_order cs
+            end
+        | Join _ -> try_join cs (* skips the newly dead target *)
+        | Ping when cs.my_server = dst ->
+            (* Our server crashed: fail over via the ordinary join rule,
+               starting again from the nearest live server. *)
+            incr failovers;
+            cs.my_server <- -1;
+            cs.join_attempt <- 0;
+            try_join cs
+        | _ -> ()
+      end
+    end
+  in
+  on_give_up := give_up;
+
   for s = 0 to k - 1 do
-    Network.on_receive net s (server_handle servers.(s))
+    Network.on_receive net s (frame_handler s (server_handle servers.(s)))
   done;
   for c = 0 to n - 1 do
-    Network.on_receive net (k + c) (client_handle clients.(c))
+    Network.on_receive net (k + c) (frame_handler (k + c) (client_handle clients.(c)))
   done;
 
   (* Kick-off: clients probe all servers; servers probe each other; at
@@ -415,28 +706,123 @@ let run ?jitter p =
         done
       done);
   Engine.schedule engine settle_time (fun () ->
-      Array.iter
-        (fun st ->
-          st.longest.(st.server_index) <- my_longest st;
-          if k = 1 then begin
-            (* Single server: no exchange; start (and finish) directly. *)
-            st.untried <- compute_candidates st;
-            work st
-          end
-          else
-            broadcast ~from:st.server_index
-              (Init_info
-                 { inter = Array.copy st.inter_rows.(st.server_index);
-                   longest = st.longest.(st.server_index) }))
-        servers);
-  Engine.run engine;
+      if not !halted then
+        Array.iter
+          (fun st ->
+            st.longest.(st.server_index) <- my_longest st;
+            st.inited <- true;
+            if k = 1 then
+              (* Single server: no exchange; start (and finish) directly. *)
+              start_token st
+            else
+              broadcast_live st
+                (Init_info
+                   {
+                     inter = Array.copy st.inter_rows.(st.server_index);
+                     longest = st.longest.(st.server_index);
+                   }))
+          servers);
 
+  (* Fault-mode periphery: client keepalives (crash detection for
+     fail-over) and the token watchdog (regeneration when the holder
+     dies, and a hard deadline so every run terminates). *)
+  (match fault with
+  | None -> ()
+  | Some fault_state ->
+      for c = 0 to n - 1 do
+        let cs = clients.(c) in
+        let rec ping () =
+          if not !halted then begin
+            if cs.my_server >= 0 && not cs.dead.(cs.my_server) then
+              rsend ~src:(k + c) ~dst:cs.my_server Ping;
+            Engine.schedule_after engine tuning.ping_period ping
+          end
+        in
+        Engine.schedule engine (settle_time +. tuning.ping_period) ping
+      done;
+      let rec watchdog () =
+        if not !halted then begin
+          let now = Engine.now engine in
+          if now >= tuning.deadline then finish ()
+          else begin
+            if now -. !last_activity >= tuning.regen_timeout then begin
+              if !regenerations >= tuning.max_regenerations then finish ()
+              else begin
+                (* The token went quiet: its holder crashed (or it was
+                   never started). The lowest-indexed live server mints a
+                   fresh token under a new epoch; stale rounds are
+                   discarded on first contact with the higher epoch. *)
+                let live = ref None in
+                for s = k - 1 downto 0 do
+                  if
+                    not (Fault.down fault_state ~now s)
+                  then live := Some s
+                done;
+                match !live with
+                | None -> finish ()
+                | Some s ->
+                    incr regenerations;
+                    incr epoch_counter;
+                    let st = servers.(s) in
+                    observe_epoch st !epoch_counter;
+                    last_activity := now;
+                    start_token st
+              end
+            end;
+            Engine.schedule_after engine tuning.regen_timeout watchdog
+          end
+        end
+      in
+      Engine.schedule engine (settle_time +. tuning.regen_timeout) watchdog);
+  Engine.run engine;
+  if not !halted then completion := Engine.now engine;
+
+  (* Final assignment: live servers' member lists are authoritative;
+     clients' own beliefs fill the gaps; anyone still attached to a
+     crashed server is re-homed to its nearest live server — the same
+     rule the bootstrap join uses. *)
+  let down_at_end s =
+    match fault with
+    | None -> false
+    | Some fault_state -> Fault.down fault_state ~now:!completion s
+  in
   let assignment = Array.make n (-1) in
   Array.iteri
-    (fun s st -> List.iter (fun (c, _) -> assignment.(c) <- s) st.members)
+    (fun s st ->
+      if not (down_at_end s) then
+        List.iter (fun (c, _) -> assignment.(c) <- s) st.members)
     servers;
   Array.iteri
-    (fun c s -> if s < 0 then assignment.(c) <- clients.(c).my_server) assignment;
+    (fun c s ->
+      if s < 0 then begin
+        let believed = clients.(c).my_server in
+        if believed >= 0 && not (down_at_end believed) then
+          assignment.(c) <- believed
+      end)
+    assignment;
+  let candidates =
+    let live = List.filter (fun s -> not (down_at_end s)) (List.init k Fun.id) in
+    if live = [] then List.init k Fun.id else live
+  in
+  let loads = Array.make k 0 in
+  Array.iter (fun s -> if s >= 0 then loads.(s) <- loads.(s) + 1) assignment;
+  for c = 0 to n - 1 do
+    if assignment.(c) < 0 || down_at_end assignment.(c) then begin
+      incr failovers;
+      let best = ref (-1) and best_d = ref infinity in
+      let consider s =
+        let d = Problem.d_cs p c s in
+        if d < !best_d then begin
+          best_d := d;
+          best := s
+        end
+      in
+      List.iter (fun s -> if loads.(s) < capacity then consider s) candidates;
+      if !best < 0 then List.iter consider candidates;
+      assignment.(c) <- !best;
+      loads.(!best) <- loads.(!best) + 1
+    end
+  done;
   let assignment = Assignment.of_array p assignment in
   {
     assignment;
@@ -444,5 +830,15 @@ let run ?jitter p =
     initial_objective = !initial_objective;
     modifications = !modifications;
     messages = Network.messages_sent net;
-    wall_duration = Engine.now engine;
+    wall_duration = !completion;
+    faults =
+      {
+        dropped = Network.messages_dropped net;
+        duplicated = Network.messages_duplicated net;
+        undeliverable = Network.undeliverable net;
+        retransmissions = !retransmissions;
+        give_ups = !give_ups;
+        regenerations = !regenerations;
+        failovers = !failovers;
+      };
   }

@@ -1,0 +1,98 @@
+type action = Deliver | Drop | Duplicate of int | Delay of float
+
+type rule =
+  | Loss of { src : int option; dst : int option; rate : float }
+  | Dup of { src : int option; dst : int option; rate : float; copies : int }
+  | Spike of { src : int option; dst : int option; rate : float; extra : float }
+  | Partition of { at : float; until : float; side : int list }
+  | Crash of { actor : int; at : float; recover_at : float option }
+
+type plan = rule list
+
+let reliable = []
+
+let check_rate label rate =
+  if not (Float.is_finite rate) || rate < 0. || rate > 1. then
+    invalid_arg (Printf.sprintf "Fault.%s: rate %g outside [0, 1]" label rate)
+
+let loss ?src ?dst ~rate () =
+  check_rate "loss" rate;
+  [ Loss { src; dst; rate } ]
+
+let duplication ?src ?dst ?(copies = 1) ~rate () =
+  check_rate "duplication" rate;
+  if copies < 1 then invalid_arg "Fault.duplication: copies must be >= 1";
+  [ Dup { src; dst; rate; copies } ]
+
+let spike ?src ?dst ~rate ~extra () =
+  check_rate "spike" rate;
+  if extra < 0. || not (Float.is_finite extra) then
+    invalid_arg (Printf.sprintf "Fault.spike: extra delay %g invalid" extra);
+  [ Spike { src; dst; rate; extra } ]
+
+let partition ~at ~until ~side =
+  if not (Float.is_finite at && Float.is_finite until) || at < 0. || until <= at
+  then invalid_arg (Printf.sprintf "Fault.partition: window [%g, %g) malformed" at until);
+  [ Partition { at; until; side } ]
+
+let crash ?recover_at ~at actor =
+  if not (Float.is_finite at) || at < 0. then
+    invalid_arg (Printf.sprintf "Fault.crash: time %g invalid" at);
+  (match recover_at with
+  | Some r when (not (Float.is_finite r)) || r <= at ->
+      invalid_arg (Printf.sprintf "Fault.crash: recovery %g not after crash %g" r at)
+  | _ -> ());
+  [ Crash { actor; at; recover_at } ]
+
+let all plans = List.concat plans
+
+type t = { rules : rule list; rng : Random.State.t }
+
+let instantiate ?(seed = 0) plan = { rules = plan; rng = Random.State.make [| seed |] }
+
+let down t ~now actor =
+  List.exists
+    (function
+      | Crash { actor = a; at; recover_at } ->
+          a = actor
+          && now >= at
+          && (match recover_at with None -> true | Some r -> now < r)
+      | _ -> false)
+    t.rules
+
+let matches side x = match side with None -> true | Some y -> y = x
+
+let decide t ~now ~src ~dst =
+  if down t ~now src || down t ~now dst then Drop
+  else begin
+    (* Every probabilistic rule draws exactly once whether or not an
+       earlier rule already sealed the message's fate, so the decision
+       stream stays aligned across plan variations with the same rule
+       list shape — and replay-identical for a fixed plan and seed. *)
+    let dropped = ref false in
+    let copies = ref 0 in
+    let extra = ref 0. in
+    List.iter
+      (fun rule ->
+        match rule with
+        | Loss { src = s; dst = d; rate } ->
+            if matches s src && matches d dst then
+              if Random.State.float t.rng 1. < rate then dropped := true
+        | Dup { src = s; dst = d; rate; copies = n } ->
+            if matches s src && matches d dst then
+              if Random.State.float t.rng 1. < rate then copies := !copies + n
+        | Spike { src = s; dst = d; rate; extra = e } ->
+            if matches s src && matches d dst then
+              if Random.State.float t.rng 1. < rate then extra := !extra +. e
+        | Partition { at; until; side } ->
+            if now >= at && now < until then begin
+              let in_side a = List.mem a side in
+              if in_side src <> in_side dst then dropped := true
+            end
+        | Crash _ -> ())
+      t.rules;
+    if !dropped then Drop
+    else if !copies > 0 then Duplicate !copies
+    else if !extra > 0. then Delay !extra
+    else Deliver
+  end

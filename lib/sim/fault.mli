@@ -1,0 +1,81 @@
+(** Deterministic, seeded fault injection for the simulated {!Network}.
+
+    A {e plan} is a composable, declarative description of how a network
+    misbehaves: per-link message loss and duplication, latency spikes,
+    time-windowed partitions, and server crash/recover schedules. A plan
+    is pure data; {!instantiate} pairs it with an explicit PRNG seed,
+    producing a fault {e state} whose decisions are a deterministic
+    function of the seed and the query sequence — so every faulty
+    simulation run is exactly replayable.
+
+    The {!Network} consults {!decide} once per transmission and
+    {!down} at both send and delivery time; protocols never see the
+    fault state directly, only its consequences (silence, duplicates,
+    delay). *)
+
+type action =
+  | Deliver  (** deliver normally after the (jittered) latency *)
+  | Drop  (** the message vanishes *)
+  | Duplicate of int  (** deliver [1 + n] independent copies *)
+  | Delay of float  (** deliver after an extra latency spike (ms) *)
+
+type plan
+(** A composable fault description. Pure data, no randomness yet. *)
+
+val reliable : plan
+(** The empty plan: every message is delivered, nothing crashes. *)
+
+val loss : ?src:int -> ?dst:int -> rate:float -> unit -> plan
+(** Each matching transmission is dropped with probability [rate].
+    [src]/[dst] restrict the rule to one endpoint (omitted = any);
+    giving both restricts it to a single directed link.
+
+    @raise Invalid_argument if [rate] is outside [0, 1]. *)
+
+val duplication : ?src:int -> ?dst:int -> ?copies:int -> rate:float -> unit -> plan
+(** Each matching transmission is duplicated ([copies] extra deliveries,
+    default 1) with probability [rate].
+
+    @raise Invalid_argument if [rate] is outside [0, 1] or [copies < 1]. *)
+
+val spike : ?src:int -> ?dst:int -> rate:float -> extra:float -> unit -> plan
+(** Each matching transmission suffers an [extra]-ms latency spike with
+    probability [rate]. Spikes from several matching rules accumulate.
+
+    @raise Invalid_argument if [rate] is outside [0, 1] or [extra] is
+    negative or not finite. *)
+
+val partition : at:float -> until:float -> side:int list -> plan
+(** During the window [\[at, until)], every message crossing the cut
+    between the actors in [side] and everyone else is dropped — a clean
+    network partition that heals at [until].
+
+    @raise Invalid_argument if the window is empty or malformed. *)
+
+val crash : ?recover_at:float -> at:float -> int -> plan
+(** [crash actor ~at] takes the actor down from time [at] on — it
+    neither sends nor receives; in-flight messages addressed to it are
+    lost. With [recover_at] it comes back up at that time (its protocol
+    state is whatever the protocol kept for it).
+
+    @raise Invalid_argument if [at] is negative or [recover_at <= at]. *)
+
+val all : plan list -> plan
+(** Compose plans. Rules apply in order; the first [Drop] wins, then
+    duplication, then accumulated delay (a dropped message is never also
+    duplicated or delayed). *)
+
+type t
+(** An instantiated plan: rules plus a private PRNG state. *)
+
+val instantiate : ?seed:int -> plan -> t
+(** Bind a plan to a PRNG seed (default 0). Two states built from the
+    same plan and seed answer identical query sequences identically. *)
+
+val decide : t -> now:float -> src:int -> dst:int -> action
+(** The fate of one transmission from [src] to [dst] at time [now].
+    Consumes randomness; call exactly once per transmission. *)
+
+val down : t -> now:float -> int -> bool
+(** Whether the actor is crashed at time [now], per the plan's crash
+    schedules. Pure; consumes no randomness. *)

@@ -6,12 +6,20 @@
     are dense integers chosen by the caller — typically matrix node
     indices, or a role-split address space when one network node hosts
     both a server and a client (as in the paper, where a client sits at
-    every node). Counts messages for protocol-cost reporting. *)
+    every node). Counts messages for protocol-cost reporting.
+
+    An optional {!Fault} state makes the network unreliable: each
+    transmission is resolved to deliver / drop / duplicate / delay, and
+    actors can be down — explicitly via {!set_down} or on the fault
+    plan's crash schedule. Messages to or from a down actor are dropped,
+    including messages already in flight when the destination goes down.
+    All losses are counted, never silent. *)
 
 type 'payload t
 
 val create :
   ?jitter:(src:int -> dst:int -> base:float -> float) ->
+  ?fault:Fault.t ->
   Engine.t ->
   actors:int ->
   latency:(int -> int -> float) ->
@@ -19,10 +27,13 @@ val create :
 (** [create engine ~actors ~latency] is a network over actor ids
     [0 .. actors-1]. [latency src dst] must be non-negative and finite;
     [jitter] maps each transmission's base latency to the realised one
-    (default: identity) and must also return a non-negative value. *)
+    (default: identity) and must also return a non-negative value.
+    [fault] (default: none) injects seeded loss, duplication, latency
+    spikes, partitions, and crashes — see {!Fault}. *)
 
 val of_matrix :
   ?jitter:(src:int -> dst:int -> base:float -> float) ->
+  ?fault:Fault.t ->
   Engine.t ->
   Dia_latency.Matrix.t ->
   'payload t
@@ -34,13 +45,37 @@ val on_receive : 'payload t -> int -> (src:int -> 'payload -> unit) -> unit
 
 val send : 'payload t -> src:int -> dst:int -> 'payload -> unit
 (** Send a message; it is delivered to [dst]'s handler after the (possibly
-    jittered) latency. Self-sends deliver after the self-latency (usually
-    zero), still asynchronously. Messages to actors with no handler are
-    counted but dropped.
+    jittered) latency, unless the fault state drops, delays, or duplicates
+    it. Self-sends deliver after the self-latency (usually zero), still
+    asynchronously. Jitter is drawn independently for each duplicate copy.
 
     @raise Invalid_argument on out-of-bounds actors or invalid latency. *)
 
+val is_down : 'payload t -> int -> bool
+(** Whether the actor is currently down — explicitly, or per the fault
+    plan's crash schedule at the engine's current time.
+
+    @raise Invalid_argument on out-of-bounds actors. *)
+
+val set_down : 'payload t -> int -> bool -> unit
+(** Explicitly take an actor down (or bring it back up). Orthogonal to —
+    and OR-ed with — the fault plan's crash schedule.
+
+    @raise Invalid_argument on out-of-bounds actors. *)
+
 val messages_sent : 'payload t -> int
+(** Total [send] calls (duplicate copies not included). *)
+
+val messages_dropped : 'payload t -> int
+(** Messages lost to faults or down actors (at send or delivery time). *)
+
+val messages_duplicated : 'payload t -> int
+(** Extra copies delivered beyond the original transmissions. *)
+
+val undeliverable : 'payload t -> int
+(** Messages that arrived at an actor with no registered handler —
+    previously dropped silently, now observable. *)
 
 val latency_of_last_message : 'payload t -> float
-(** Realised latency of the most recent [send] ([nan] before any). *)
+(** Realised latency of the most recent scheduled delivery ([nan] before
+    any; unchanged by dropped sends). *)

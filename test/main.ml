@@ -32,6 +32,7 @@ let () =
       ("experiments", Test_experiments.suite);
       ("state", Test_state.suite);
       ("dgreedy-protocol", Test_dgreedy_protocol.suite);
+      ("fault", Test_fault.suite);
       ("repair", Test_repair.suite);
       ("bucket", Test_bucket.suite);
     ]
