@@ -24,6 +24,7 @@ module Objective = Dia_core.Objective
 module Lower_bound = Dia_core.Lower_bound
 module Placement = Dia_placement.Placement
 module Config = Dia_experiments.Config
+module Pool = Dia_parallel.Pool
 
 let profile =
   match Sys.getenv_opt "DIA_PROFILE" with
@@ -272,7 +273,12 @@ let achievable_gap_ablation () =
         if greedy <= dgreedy then Dia_core.Greedy.assign p
         else Dia_core.Distributed_greedy.assign p
       in
-      let _, annealed = Dia_core.Local_search.anneal ~seed p start in
+      (* Restarts fan out over the DIA_JOBS pool; the selected result is
+         identical for any pool size. *)
+      let _, annealed =
+        Pool.with_pool (fun pool ->
+            Dia_core.Local_search.anneal_restarts ~pool ~restarts:4 p start)
+      in
       Dia_stats.Table.add_row table
         [
           Printf.sprintf "n=%d k=%d seed=%d" n k seed;
@@ -286,20 +292,18 @@ let achievable_gap_ablation () =
     [ (1, 150, 10); (2, 150, 10); (3, 200, 15); (4, 250, 20) ];
   Dia_stats.Table.print table
 
-let run_benchmarks () =
-  section "Micro-benchmarks (bechamel; time per run, OLS on monotonic clock)";
+let measure_benchmarks () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
-  let table = Dia_stats.Table.make ~columns:[ "benchmark"; "time/run"; "r^2" ] in
-  List.iter
+  List.concat_map
     (fun test ->
       let results = Benchmark.all cfg instances test in
       let analyzed = Analyze.all ols (List.hd instances) results in
-      Hashtbl.iter
-        (fun name ols_result ->
+      Hashtbl.fold
+        (fun name ols_result acc ->
           let time_ns =
             match Analyze.OLS.estimates ols_result with
             | Some [ est ] -> est
@@ -308,23 +312,158 @@ let run_benchmarks () =
           let r2 =
             match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
           in
-          let pretty =
-            if time_ns >= 1e9 then Printf.sprintf "%.3f s" (time_ns /. 1e9)
-            else if time_ns >= 1e6 then Printf.sprintf "%.3f ms" (time_ns /. 1e6)
-            else if time_ns >= 1e3 then Printf.sprintf "%.3f us" (time_ns /. 1e3)
-            else Printf.sprintf "%.1f ns" time_ns
-          in
-          Dia_stats.Table.add_row table [ name; pretty; Printf.sprintf "%.4f" r2 ])
-        analyzed)
-    tests;
+          (name, time_ns, r2) :: acc)
+        analyzed [])
+    tests
+
+let run_benchmarks measurements =
+  section "Micro-benchmarks (bechamel; time per run, OLS on monotonic clock)";
+  let table = Dia_stats.Table.make ~columns:[ "benchmark"; "time/run"; "r^2" ] in
+  List.iter
+    (fun (name, time_ns, r2) ->
+      let pretty =
+        if time_ns >= 1e9 then Printf.sprintf "%.3f s" (time_ns /. 1e9)
+        else if time_ns >= 1e6 then Printf.sprintf "%.3f ms" (time_ns /. 1e6)
+        else if time_ns >= 1e3 then Printf.sprintf "%.3f us" (time_ns /. 1e3)
+        else Printf.sprintf "%.1f ns" time_ns
+      in
+      Dia_stats.Table.add_row table [ name; pretty; Printf.sprintf "%.4f" r2 ])
+    measurements;
   Dia_stats.Table.print table
 
+(* -- Parallel scaling: the lib/parallel ablation -------------------------- *)
+
+(* Wall-clock (not CPU) time: the whole point is the fan-out across
+   domains. Best of [reps] to shave scheduler noise. *)
+let wall_best ?(reps = 3) f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+type scaling_row = {
+  kernel : string;
+  sjobs : int;
+  wall_s : float;
+  speedup : float;  (* vs the jobs = 1 row of the same kernel *)
+}
+
+let scaling_jobs = [ 1; 2; 4 ]
+
+(* Two wall-time-dominant kernels from the acceptance list: the pruned
+   lower bound on a 600-node instance, and the Fig 8 seed sweep. *)
+let measure_scaling () =
+  let n = 600 in
+  let matrix = Dia_latency.Synthetic.internet_like ~seed:11 n in
+  let servers = Placement.random ~seed:11 ~k:30 ~n in
+  let p = Problem.all_nodes_clients matrix ~servers in
+  let sweep_profile =
+    { Config.quick with Config.label = "bench-sweep"; nodes = Some 120;
+      runs = 12; fixed_servers = 12 }
+  in
+  let kernels =
+    [
+      ("lower-bound(n=600,k=30)",
+       fun pool -> ignore (Lower_bound.compute ~pool p));
+      ("fig8-seed-sweep(n=120,runs=12)",
+       fun pool ->
+         ignore
+           (Dia_experiments.Fig8.run ~profile:sweep_profile
+              ~jobs:(Pool.jobs pool) ()));
+    ]
+  in
+  List.concat_map
+    (fun (kernel, f) ->
+      let base = ref nan in
+      List.map
+        (fun jobs ->
+          let wall = Pool.with_pool ~jobs (fun pool -> wall_best (fun () -> f pool)) in
+          if jobs = 1 then base := wall;
+          { kernel; sjobs = jobs; wall_s = wall; speedup = !base /. wall })
+        scaling_jobs)
+    kernels
+
+let print_scaling rows =
+  section "Extension — lib/parallel scaling (wall seconds, best of 3)";
+  Printf.printf "(host reports %d usable core(s))\n"
+    (Domain.recommended_domain_count ());
+  let table =
+    Dia_stats.Table.make ~columns:[ "kernel"; "jobs"; "wall (s)"; "speedup" ]
+  in
+  List.iter
+    (fun r ->
+      Dia_stats.Table.add_row table
+        [ r.kernel; string_of_int r.sjobs; Printf.sprintf "%.3f" r.wall_s;
+          Printf.sprintf "%.2f" r.speedup ])
+    rows;
+  Dia_stats.Table.print table
+
+(* -- Machine-readable output: BENCH.json ---------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let write_bench_json ~path measurements scaling =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema\": 1,\n";
+  out "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
+  out "  \"kernels\": [\n";
+  List.iteri
+    (fun i (name, ns, r2) ->
+      out "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}%s\n"
+        (json_escape name) (json_float ns) (json_float r2)
+        (if i = List.length measurements - 1 then "" else ","))
+    measurements;
+  out "  ],\n";
+  out "  \"parallel_scaling\": [\n";
+  List.iteri
+    (fun i r ->
+      out
+        "    {\"kernel\": \"%s\", \"jobs\": %d, \"wall_s\": %s, \"speedup\": %s}%s\n"
+        (json_escape r.kernel) r.sjobs (json_float r.wall_s) (json_float r.speedup)
+        (if i = List.length scaling - 1 then "" else ","))
+    scaling;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d kernels, %d scaling rows)\n" path
+    (List.length measurements) (List.length scaling)
+
 let () =
-  Printf.printf "dia bench harness (profile: %s)\n" profile.Config.label;
-  regenerate_figures ();
-  dgreedy_init_ablation ();
-  achievable_gap_ablation ();
-  related_work_comparison ();
-  fault_sweep ();
-  scaling_table ();
-  run_benchmarks ()
+  let json_mode = Array.exists (( = ) "json") Sys.argv in
+  if json_mode then begin
+    (* Machine-readable mode: skip figure regeneration, emit BENCH.json
+       for the PR-over-PR perf trajectory. *)
+    Printf.printf "dia bench harness (json mode)\n%!";
+    let measurements = measure_benchmarks () in
+    let scaling = measure_scaling () in
+    print_scaling scaling;
+    write_bench_json ~path:"BENCH.json" measurements scaling
+  end
+  else begin
+    Printf.printf "dia bench harness (profile: %s)\n" profile.Config.label;
+    regenerate_figures ();
+    dgreedy_init_ablation ();
+    achievable_gap_ablation ();
+    related_work_comparison ();
+    fault_sweep ();
+    scaling_table ();
+    print_scaling (measure_scaling ());
+    run_benchmarks (measure_benchmarks ())
+  end

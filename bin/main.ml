@@ -19,6 +19,7 @@ module Lower_bound = Dia_core.Lower_bound
 module Clock = Dia_core.Clock
 module Placement = Dia_placement.Placement
 module Config = Dia_experiments.Config
+module Pool = Dia_parallel.Pool
 
 (* Shared argument converters. *)
 
@@ -73,6 +74,15 @@ let matrix_file_arg =
 let seed_arg =
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+let jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains for the parallel subsystem (default: the \
+                 $(b,DIA_JOBS) environment variable, then 1). Results are \
+                 identical for any value.")
+
+let resolve_jobs = function Some j -> j | None -> Pool.default_jobs ()
+
 let load_matrix ~matrix_file ~dataset ~profile ~seed =
   match matrix_file with
   | Some path -> Dia_latency.Loader.load path
@@ -90,13 +100,14 @@ let experiment_cmd =
          & info [ "csv" ] ~docv:"FILE"
              ~doc:"Also write the figure's data series as CSV to $(docv).")
   in
-  let run figure dataset profile csv_path =
+  let run figure dataset profile csv_path jobs =
+    let jobs = resolve_jobs jobs in
     let dispatch = function
       | "fig7" ->
-          let r = Dia_experiments.Fig7.run ~dataset ~profile () in
+          let r = Dia_experiments.Fig7.run ~dataset ~profile ~jobs () in
           Ok (Dia_experiments.Fig7.render r, Dia_experiments.Fig7.csv r)
       | "fig8" ->
-          let r = Dia_experiments.Fig8.run ~dataset ~profile () in
+          let r = Dia_experiments.Fig8.run ~dataset ~profile ~jobs () in
           Ok (Dia_experiments.Fig8.render r, Dia_experiments.Fig8.csv r)
       | "fig9" ->
           let r = Dia_experiments.Fig9.run ~dataset ~profile () in
@@ -129,7 +140,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce one of the paper's figures.")
-    Term.(ret (const run $ figure_arg $ dataset_arg $ profile_arg $ csv_arg))
+    Term.(ret (const run $ figure_arg $ dataset_arg $ profile_arg $ csv_arg $ jobs_arg))
 
 (* dia assign *)
 
@@ -155,11 +166,12 @@ let assign_cmd =
          & info [ "explain" ]
              ~doc:"Also print the worst interaction paths and per-server contributions for each algorithm.")
   in
-  let run dataset profile matrix_file seed k placement algorithm capacity explain =
+  let run dataset profile matrix_file seed k placement algorithm capacity explain jobs =
     let matrix = load_matrix ~matrix_file ~dataset ~profile ~seed in
-    let servers = Placement.place placement ~seed matrix ~k in
+    Pool.with_pool ~jobs:(resolve_jobs jobs) @@ fun pool ->
+    let servers = Placement.place placement ~seed ~pool matrix ~k in
     let p = Problem.all_nodes_clients ?capacity matrix ~servers in
-    let lb = Lower_bound.compute p in
+    let lb = Lower_bound.compute ~pool p in
     let algorithms =
       match algorithm with Some a -> [ a ] | None -> Algorithm.heuristics
     in
@@ -218,7 +230,7 @@ let assign_cmd =
     (Cmd.info "assign" ~doc:"Assign clients to servers on a data set and report interactivity.")
     Term.(const run $ dataset_arg $ profile_arg $ matrix_file_arg $ seed_arg
           $ servers_arg $ placement_arg $ algorithm_arg $ capacity_arg
-          $ explain_arg)
+          $ explain_arg $ jobs_arg)
 
 (* dia dataset *)
 

@@ -127,3 +127,19 @@ let anneal ?(params = default_annealing) ?(seed = 0) p a =
     done;
   (* Polish the best-ever state with hill climbing. *)
   hill_climb p (Assignment.unsafe_of_array !best_assignment)
+
+let anneal_restarts ?pool ?(params = default_annealing) ?(restarts = 4) p a =
+  if restarts < 1 then invalid_arg "Local_search.anneal_restarts: restarts must be >= 1";
+  let run seed = anneal ~params ~seed p a in
+  let results =
+    match pool with
+    | None -> Array.init restarts run
+    | Some pool -> Dia_parallel.Pool.run_seeds pool ~seeds:restarts run
+  in
+  (* Lowest objective wins; ties go to the lowest seed, so the choice is
+     independent of scheduling. *)
+  let best = ref results.(0) in
+  for seed = 1 to restarts - 1 do
+    if snd results.(seed) < snd !best then best := results.(seed)
+  done;
+  !best

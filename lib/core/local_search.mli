@@ -40,3 +40,18 @@ val anneal :
     it. Deterministic per [seed] (default 0).
 
     @raise Invalid_argument on invalid parameters. *)
+
+val anneal_restarts :
+  ?pool:Dia_parallel.Pool.t ->
+  ?params:annealing_params ->
+  ?restarts:int ->
+  Problem.t ->
+  Assignment.t ->
+  Assignment.t * float
+(** [anneal_restarts p a] runs {!anneal} from [a] under seeds
+    [0 .. restarts - 1] (default 4) and returns the best result (lowest
+    objective, ties to the lowest seed). With [pool], restarts run on
+    the pool's domains; each restart derives its own [Random.State] from
+    its seed, so the result is identical for any pool size.
+
+    @raise Invalid_argument if [restarts < 1]. *)

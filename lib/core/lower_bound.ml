@@ -5,48 +5,89 @@
    Pruning: with ns(c') the nearest server to c' and nd(c') its distance,
    g(c, c') <= f_c(ns(c')) + nd(c'), so whenever that upper bound does not
    beat the best pair found so far the O(|S|) inner minimisation is
-   skipped. *)
+   skipped.
 
-let reach_costs p =
+   Parallel path: rows of f and rows of the pair scan are independent, so
+   both fan out over a Pool. Pruning against a shared best is sound even
+   when the shared value is read racily — a skipped pair satisfies
+   g <= upper <= best-so-far <= final best, so it can never change the
+   max — and the per-row bests are combined with Float.max (exact), which
+   makes the result bit-identical to the sequential scan. *)
+
+module Pool = Dia_parallel.Pool
+
+let fill_reach_row p ~servers:k f c =
+  let row = f.(c) in
+  for s = 0 to k - 1 do
+    let dcs = Problem.d_cs p c s in
+    for s' = 0 to k - 1 do
+      let cost = dcs +. Problem.d_ss p s s' in
+      if cost < row.(s') then row.(s') <- cost
+    done
+  done
+
+let reach_costs ?pool p =
   let k = Problem.num_servers p in
   let n = Problem.num_clients p in
   let f = Array.make_matrix n k infinity in
-  for c = 0 to n - 1 do
-    let row = f.(c) in
-    for s = 0 to k - 1 do
-      let dcs = Problem.d_cs p c s in
-      for s' = 0 to k - 1 do
-        let cost = dcs +. Problem.d_ss p s s' in
-        if cost < row.(s') then row.(s') <- cost
+  (match pool with
+  | None ->
+      for c = 0 to n - 1 do
+        fill_reach_row p ~servers:k f c
       done
-    done
-  done;
+  | Some pool -> Pool.parallel_for pool ~n (fill_reach_row p ~servers:k f));
   f
 
-let compute p =
+(* Best pair value over rows [lo, hi): c in the range, c' >= c. [seed] is
+   a sound lower bound on the final answer used to prime the pruning. *)
+let scan_rows p ~f ~nearest ~nearest_dist ~seed lo hi =
+  let k = Problem.num_servers p in
+  let n = Problem.num_clients p in
+  let best = ref seed in
+  for c = lo to hi - 1 do
+    let row = f.(c) in
+    for c' = c to n - 1 do
+      let upper = row.(nearest.(c')) +. nearest_dist.(c') in
+      if upper > !best then begin
+        let g = ref upper in
+        for s' = 0 to k - 1 do
+          let len = row.(s') +. Problem.d_cs p c' s' in
+          if len < !g then g := len
+        done;
+        if !g > !best then best := !g
+      end
+    done
+  done;
+  !best
+
+let compute ?pool p =
   let n = Problem.num_clients p in
   if n = 0 then neg_infinity
   else begin
-    let k = Problem.num_servers p in
-    let f = reach_costs p in
+    let f = reach_costs ?pool p in
     let nearest = Array.init n (fun c -> Problem.nearest_server p c) in
     let nearest_dist = Array.init n (fun c -> Problem.d_cs p c nearest.(c)) in
-    let best = ref neg_infinity in
-    for c = 0 to n - 1 do
-      let row = f.(c) in
-      for c' = c to n - 1 do
-        let upper = row.(nearest.(c')) +. nearest_dist.(c') in
-        if upper > !best then begin
-          let g = ref upper in
-          for s' = 0 to k - 1 do
-            let len = row.(s') +. Problem.d_cs p c' s' in
-            if len < !g then g := len
-          done;
-          if !g > !best then best := !g
-        end
-      done
-    done;
-    !best
+    match pool with
+    | None -> scan_rows p ~f ~nearest ~nearest_dist ~seed:neg_infinity 0 n
+    | Some pool ->
+        let shared = Atomic.make neg_infinity in
+        let publish v =
+          let rec go () =
+            let cur = Atomic.get shared in
+            if v > cur && not (Atomic.compare_and_set shared cur v) then go ()
+          in
+          go ()
+        in
+        let chunk_bests =
+          Pool.chunk_map pool ~n (fun ~lo ~hi ->
+              let b =
+                scan_rows p ~f ~nearest ~nearest_dist
+                  ~seed:(Atomic.get shared) lo hi
+              in
+              publish b;
+              b)
+        in
+        Array.fold_left Float.max neg_infinity chunk_bests
   end
 
 let naive p =
@@ -66,7 +107,7 @@ let naive p =
   done;
   !best
 
-let normalized p a =
-  let lb = compute p in
+let normalized ?pool p a =
+  let lb = compute ?pool p in
   if not (Float.is_finite lb) || lb <= 0. then nan
   else Objective.max_interaction_path p a /. lb

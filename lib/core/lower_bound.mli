@@ -7,16 +7,22 @@
     generally unachievable by any single assignment ("super-optimum"), but
     [LB <= D(A)] for every assignment [A]. *)
 
-val compute : Problem.t -> float
+val compute : ?pool:Dia_parallel.Pool.t -> Problem.t -> float
 (** The lower bound. [neg_infinity] for instances with no clients.
     Runs in O(|C| |S|² + |C|² |S|) with an O(1)-per-pair pruning test
-    that skips most inner scans on Internet-like data. *)
+    that skips most inner scans on Internet-like data.
+
+    With [pool], both the reach-cost table and the client-pair scan fan
+    out over the pool's domains, one contiguous block of client rows per
+    chunk; the result is bit-identical to the sequential scan for any
+    pool size (pruning never changes the max, and per-chunk bests are
+    combined with exact [Float.max] in chunk order). *)
 
 val naive : Problem.t -> float
 (** Direct four-way loop, O(|C|² |S|²) — correctness oracle for tests and
     the ablation bench. *)
 
-val normalized : Problem.t -> Assignment.t -> float
+val normalized : ?pool:Dia_parallel.Pool.t -> Problem.t -> Assignment.t -> float
 (** [normalized p a] is [D(A) / LB], the paper's "normalized
     interactivity" (1.0 is ideal). [nan] when the bound is zero or the
     instance has no clients. *)

@@ -1,5 +1,6 @@
 module Algorithm = Dia_core.Algorithm
 module Placement = Dia_placement.Placement
+module Pool = Dia_parallel.Pool
 
 type point = {
   servers : int;
@@ -16,37 +17,50 @@ type result = {
   panels : panel list;
 }
 
-let run_panel ~profile matrix strategy =
-  let points =
-    List.concat_map
-      (fun k ->
-        match strategy with
-        | Placement.Random_placement ->
-            List.map
-              (fun (algorithm, summary) ->
-                {
-                  servers = k;
-                  algorithm;
-                  normalized = summary.Dia_stats.Summary.mean;
-                  stddev = summary.Dia_stats.Summary.stddev;
-                })
-              (Runner.average_normalized matrix ~runs:profile.Config.runs ~k)
-        | Placement.K_center_a | Placement.K_center_b ->
-            let evaluation = Runner.place_and_evaluate matrix ~strategy ~k in
-            List.map
-              (fun (algorithm, normalized) ->
-                { servers = k; algorithm; normalized; stddev = 0. })
-              (Runner.normalized evaluation))
-      profile.Config.server_counts
+let run_panel ~profile ?pool matrix strategy =
+  let jobs = match pool with None -> 1 | Some pool -> Pool.jobs pool in
+  let points_for k =
+    match strategy with
+    | Placement.Random_placement ->
+        List.map
+          (fun (algorithm, summary) ->
+            {
+              servers = k;
+              algorithm;
+              normalized = summary.Dia_stats.Summary.mean;
+              stddev = summary.Dia_stats.Summary.stddev;
+            })
+          (Runner.average_normalized ?pool matrix ~runs:profile.Config.runs ~k)
+    | Placement.K_center_a | Placement.K_center_b ->
+        let evaluation = Runner.place_and_evaluate ?pool matrix ~strategy ~k in
+        List.map
+          (fun (algorithm, normalized) ->
+            { servers = k; algorithm; normalized; stddev = 0. })
+          (Runner.normalized evaluation)
   in
-  { strategy; points }
+  (* Fan the k-sweep out; concatenating per-k results in k order matches
+     the sequential List.concat_map exactly. *)
+  let per_k =
+    Runner.with_timing
+      ~label:(Printf.sprintf "fig7 panel (%s)" (Placement.strategy_name strategy))
+      ~jobs
+      (fun () ->
+        let ks = Array.of_list profile.Config.server_counts in
+        match pool with
+        | None -> Array.map points_for ks
+        | Some pool -> Pool.map_array pool points_for ks)
+  in
+  { strategy; points = List.concat (Array.to_list per_k) }
 
-let run ?(dataset = Config.Meridian_like) ?(profile = Config.default) () =
-  let matrix = Config.load_dataset dataset profile in
-  let panels =
-    List.map (run_panel ~profile matrix) Placement.all_strategies
-  in
-  { dataset; profile; panels }
+let run ?(dataset = Config.Meridian_like) ?(profile = Config.default) ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  Pool.with_pool ~jobs (fun pool ->
+      let matrix = Config.load_dataset dataset profile in
+      let panels =
+        Runner.with_timing ~label:"fig7" ~jobs (fun () ->
+            List.map (run_panel ~profile ~pool matrix) Placement.all_strategies)
+      in
+      { dataset; profile; panels })
 
 let panel_table panel =
   let columns =

@@ -24,15 +24,23 @@ type result = {
 }
 
 val run :
-  ?dataset:Config.dataset -> ?profile:Config.profile -> unit -> result
-(** Defaults: Meridian-like data, [Config.default] profile. *)
+  ?dataset:Config.dataset ->
+  ?profile:Config.profile ->
+  ?jobs:int ->
+  unit ->
+  result
+(** Defaults: Meridian-like data, [Config.default] profile, [jobs] from
+    [DIA_JOBS] (then 1). The k-sweep of each panel fans out over the
+    worker pool; results are bit-identical for any [jobs]. *)
 
 val run_panel :
   profile:Config.profile ->
+  ?pool:Dia_parallel.Pool.t ->
   Dia_latency.Matrix.t ->
   Dia_placement.Placement.strategy ->
   panel
-(** One placement strategy on a prepared matrix. *)
+(** One placement strategy on a prepared matrix, parallel over the
+    k-sweep when [pool] is given. *)
 
 val render : result -> string
 (** Tables plus an ASCII plot per panel. *)

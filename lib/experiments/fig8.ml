@@ -1,6 +1,7 @@
 module Algorithm = Dia_core.Algorithm
 module Placement = Dia_placement.Placement
 module Cdf = Dia_stats.Cdf
+module Pool = Dia_parallel.Pool
 
 type result = {
   dataset : Config.dataset;
@@ -9,20 +10,29 @@ type result = {
   cdfs : (Algorithm.t * Cdf.t) list;
 }
 
-let run ?(dataset = Config.Meridian_like) ?(profile = Config.default) () =
+let run ?(dataset = Config.Meridian_like) ?(profile = Config.default) ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   let matrix = Config.load_dataset dataset profile in
   let k = profile.Config.fixed_servers in
+  (* The paper's 1000 independent runs: one seed per run, fanned out to
+     the pool and aggregated in seed order (same bits as the sequential
+     loop for any [jobs]). *)
+  let evaluations =
+    Pool.with_pool ~jobs (fun pool ->
+        Runner.with_timing ~label:"fig8 seed sweep" ~jobs (fun () ->
+            Pool.run_seeds pool ~seeds:profile.Config.runs (fun seed ->
+                Runner.place_and_evaluate ~seed ~pool matrix
+                  ~strategy:Placement.Random_placement ~k)))
+  in
   let samples = Hashtbl.create 8 in
-  for seed = 0 to profile.Config.runs - 1 do
-    let evaluation =
-      Runner.place_and_evaluate ~seed matrix ~strategy:Placement.Random_placement ~k
-    in
-    List.iter
-      (fun (algorithm, value) ->
-        let previous = Option.value ~default:[] (Hashtbl.find_opt samples algorithm) in
-        Hashtbl.replace samples algorithm (value :: previous))
-      (Runner.normalized evaluation)
-  done;
+  Array.iter
+    (fun evaluation ->
+      List.iter
+        (fun (algorithm, value) ->
+          let previous = Option.value ~default:[] (Hashtbl.find_opt samples algorithm) in
+          Hashtbl.replace samples algorithm (value :: previous))
+        (Runner.normalized evaluation))
+    evaluations;
   let cdfs =
     List.map
       (fun algorithm ->

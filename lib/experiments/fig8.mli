@@ -14,7 +14,14 @@ type result = {
 }
 
 val run :
-  ?dataset:Config.dataset -> ?profile:Config.profile -> unit -> result
+  ?dataset:Config.dataset ->
+  ?profile:Config.profile ->
+  ?jobs:int ->
+  unit ->
+  result
+(** [jobs] defaults to [DIA_JOBS] (then 1); the independent per-seed
+    runs fan out over a worker pool and are aggregated in seed order, so
+    the CDFs are bit-identical for any [jobs]. *)
 
 val runs_below : result -> float -> (Dia_core.Algorithm.t * int) list
 (** Number of runs at or below a normalized-interactivity threshold —

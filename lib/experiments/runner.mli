@@ -2,7 +2,11 @@
 
     One "evaluation" places servers, runs each requested algorithm, and
     normalises its objective against the super-optimal lower bound —
-    exactly the quantity on the y-axis of every figure in Section V. *)
+    exactly the quantity on the y-axis of every figure in Section V.
+
+    Every entry point takes an optional {!Dia_parallel.Pool.t}; results
+    are bit-identical to the sequential path for any pool size (see
+    [lib/parallel]). *)
 
 type evaluation = {
   servers : int array;  (** node ids of the placed servers *)
@@ -15,6 +19,7 @@ val algorithms : Dia_core.Algorithm.t list
 
 val evaluate :
   ?capacity:int ->
+  ?pool:Dia_parallel.Pool.t ->
   ?algorithms:Dia_core.Algorithm.t list ->
   Dia_latency.Matrix.t ->
   servers:int array ->
@@ -27,6 +32,7 @@ val normalized : evaluation -> (Dia_core.Algorithm.t * float) list
 val place_and_evaluate :
   ?capacity:int ->
   ?seed:int ->
+  ?pool:Dia_parallel.Pool.t ->
   Dia_latency.Matrix.t ->
   strategy:Dia_placement.Placement.strategy ->
   k:int ->
@@ -36,10 +42,18 @@ val place_and_evaluate :
 
 val average_normalized :
   ?capacity:int ->
+  ?pool:Dia_parallel.Pool.t ->
   Dia_latency.Matrix.t ->
   runs:int ->
   k:int ->
   (Dia_core.Algorithm.t * Dia_stats.Summary.t) list
 (** Random placement repeated over seeds [0 .. runs-1]: the per-algorithm
     distribution of normalized interactivity (Fig. 7a / Fig. 10a style
-    averaging). *)
+    averaging). With [pool], seeds are evaluated on worker domains and
+    aggregated in seed order — same bits as the sequential loop. *)
+
+val with_timing : label:string -> jobs:int -> (unit -> 'a) -> 'a
+(** Run a thunk, logging its wall time and worker count on the
+    [dia.experiments] log source — only when the [DIA_VERBOSE]
+    environment variable is set (which also installs a stderr reporter
+    if none is configured). *)

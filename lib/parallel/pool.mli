@@ -1,0 +1,82 @@
+(** Deterministic multicore execution for the assignment pipeline.
+
+    A fixed-size pool of worker {!Domain}s (stdlib only — no domainslib)
+    over which embarrassingly parallel loops are fanned out in chunks.
+
+    {b Determinism contract.} Every primitive returns results that are
+    bit-identical to a sequential execution of the same loop, for any
+    pool size:
+
+    - chunk boundaries are a pure function of the input size and the
+      pool size — never of scheduling;
+    - each chunk writes only its own disjoint slots, and results are
+      combined on the caller's domain in chunk (= index) order;
+    - {!map_reduce} folds the mapped values strictly in index order, so
+      even non-associative reductions (floating-point sums) match the
+      sequential fold exactly;
+    - stochastic tasks run under {!run_seeds} must derive their own
+      [Random.State] from the seed they are handed, never share one.
+
+    A pool with [jobs = 1] spawns no domains and runs every primitive as
+    straight sequential code. Nested submissions (a task running on the
+    pool calling back into the same — or any — pool) are detected and
+    run inline sequentially, so pipelines can thread one pool through
+    every layer without deadlock. *)
+
+type t
+
+val default_jobs : unit -> int
+(** The [DIA_JOBS] environment variable if set to a positive integer,
+    else [1]. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains (the submitting
+    domain participates in every batch, so [jobs] domains cooperate).
+    [jobs] defaults to {!default_jobs}.
+
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+(** The pool size it was created with. *)
+
+val shutdown : t -> unit
+(** Stop and join all worker domains. Idempotent. Any later submission
+    raises [Invalid_argument]. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and shuts it down
+    afterwards, also on exceptions. *)
+
+val parallel_for : t -> n:int -> (int -> unit) -> unit
+(** [parallel_for t ~n f] runs [f i] for [i = 0 .. n-1]. [f] must only
+    write state owned by index [i] (e.g. row [i] of a matrix). *)
+
+val init : t -> int -> (int -> 'a) -> 'a array
+(** Order-preserving parallel [Array.init]. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel [Array.map]. *)
+
+val map_reduce :
+  t -> map:('a -> 'b) -> reduce:('acc -> 'b -> 'acc) -> init:'acc ->
+  'a array -> 'acc
+(** Map in parallel, then fold the mapped values in index order on the
+    caller's domain: bit-identical to
+    [Array.fold_left reduce init (Array.map map arr)] for any [jobs]. *)
+
+val run_seeds : t -> seeds:int -> (int -> 'a) -> 'a array
+(** [run_seeds t ~seeds f] fans [f 0 .. f (seeds - 1)] out to the
+    workers and collects the results in seed order. Each task must seed
+    its own [Random.State] from its argument. *)
+
+val chunk_map : t -> n:int -> (lo:int -> hi:int -> 'a) -> 'a array
+(** [chunk_map t ~n f] splits [0 .. n-1] into contiguous chunks and
+    returns [f ~lo ~hi] per chunk, in chunk order. The number of chunks
+    depends on the pool size (sequentially it is a single chunk), so the
+    caller's combine step must be chunking-invariant — exact operations
+    such as [max] or first-strict-improvement argmin qualify, float
+    addition does not (use {!map_reduce} for those). *)
+
+val exercised : t -> int
+(** Number of batches that actually ran on worker domains — exposed so
+    tests can assert the parallel path was taken. *)

@@ -1,11 +1,40 @@
 module Matrix = Dia_latency.Matrix
+module Pool = Dia_parallel.Pool
 
 let check_k m k =
   let n = Matrix.dim m in
   if k < 0 || k > n then
     invalid_arg (Printf.sprintf "Kcenter: k = %d out of range [0, %d]" k n)
 
-let two_approx ?(seed = 0) m ~k =
+(* Index of the maximum of [dist], lowest index on ties — the same
+   answer as a left-to-right scan with a strict [>], for any chunking
+   (chunk argmaxes are combined left to right with a strict [>]). *)
+let argmax_dist ?pool dist n =
+  let scan ~lo ~hi =
+    let best = ref lo in
+    for v = lo + 1 to hi - 1 do
+      if dist.(v) > dist.(!best) then best := v
+    done;
+    !best
+  in
+  match pool with
+  | None -> scan ~lo:0 ~hi:n
+  | Some pool ->
+      let candidates = Pool.chunk_map pool ~n scan in
+      Array.fold_left
+        (fun best v -> if dist.(v) > dist.(best) then v else best)
+        candidates.(0) candidates
+
+let relax ?pool dist m center n =
+  let body v = dist.(v) <- Float.min dist.(v) (Matrix.get m v center) in
+  match pool with
+  | None ->
+      for v = 0 to n - 1 do
+        body v
+      done
+  | Some pool -> Pool.parallel_for pool ~n body
+
+let two_approx ?(seed = 0) ?pool m ~k =
   check_k m k;
   let n = Matrix.dim m in
   if k = 0 then [||]
@@ -16,30 +45,27 @@ let two_approx ?(seed = 0) m ~k =
     (* dist.(v) = distance from v to the closest chosen centre so far. *)
     let dist = Array.init n (fun v -> Matrix.get m v centers.(0)) in
     for step = 1 to k - 1 do
-      let farthest = ref 0 in
-      for v = 1 to n - 1 do
-        if dist.(v) > dist.(!farthest) then farthest := v
-      done;
-      centers.(step) <- !farthest;
-      for v = 0 to n - 1 do
-        dist.(v) <- Float.min dist.(v) (Matrix.get m v !farthest)
-      done
+      let farthest = argmax_dist ?pool dist n in
+      centers.(step) <- farthest;
+      relax ?pool dist m farthest n
     done;
     Array.sort compare centers;
     centers
   end
 
-let greedy m ~k =
+let greedy ?pool m ~k =
   check_k m k;
   let n = Matrix.dim m in
   let chosen = Array.make n false in
   let dist = Array.make n infinity in
   let centers = ref [] in
-  for _ = 1 to k do
-    (* The candidate minimising the resulting radius max_v min(dist v,
-       d(v, candidate)). *)
+  (* The candidate minimising the resulting radius max_v min(dist v,
+     d(v, candidate)), lowest index on ties. The candidate scan is the
+     O(n²) hot loop; chunk bests are combined left to right with a
+     strict [<], which reproduces the sequential tie-break exactly. *)
+  let scan_candidates ~lo ~hi =
     let best = ref (-1) and best_radius = ref infinity in
-    for cand = 0 to n - 1 do
+    for cand = lo to hi - 1 do
       if not chosen.(cand) then begin
         let radius = ref 0. in
         for v = 0 to n - 1 do
@@ -52,11 +78,23 @@ let greedy m ~k =
         end
       end
     done;
-    chosen.(!best) <- true;
-    centers := !best :: !centers;
-    for v = 0 to n - 1 do
-      dist.(v) <- Float.min dist.(v) (Matrix.get m v !best)
-    done
+    (!best, !best_radius)
+  in
+  for _ = 1 to k do
+    let best, _ =
+      match pool with
+      | None -> scan_candidates ~lo:0 ~hi:n
+      | Some pool ->
+          Array.fold_left
+            (fun (best, best_radius) (cand, radius) ->
+              if cand >= 0 && radius < best_radius then (cand, radius)
+              else (best, best_radius))
+            (-1, infinity)
+            (Pool.chunk_map pool ~n scan_candidates)
+    in
+    chosen.(best) <- true;
+    centers := best :: !centers;
+    relax ?pool dist m best n
   done;
   let centers = Array.of_list !centers in
   Array.sort compare centers;

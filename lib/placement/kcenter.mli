@@ -8,9 +8,14 @@
       paper's "K-center-B").
 
     Both take a complete latency matrix and return [k] distinct node
-    indices. *)
+    indices. Their distance scans (farthest-point selection, candidate
+    radius evaluation, relaxation against a new centre) fan out over an
+    optional [pool]; chunk results are combined in chunk order with the
+    sequential tie-breaks, so the chosen centers are identical for any
+    pool size. *)
 
-val two_approx : ?seed:int -> Dia_latency.Matrix.t -> k:int -> int array
+val two_approx :
+  ?seed:int -> ?pool:Dia_parallel.Pool.t -> Dia_latency.Matrix.t -> k:int -> int array
 (** Farthest-point traversal: start from a seeded-random node, then
     repeatedly add the node farthest from the chosen set. Guarantees
     coverage radius within twice the optimum when distances satisfy the
@@ -18,7 +23,7 @@ val two_approx : ?seed:int -> Dia_latency.Matrix.t -> k:int -> int array
 
     @raise Invalid_argument unless [0 <= k <= dim]. *)
 
-val greedy : Dia_latency.Matrix.t -> k:int -> int array
+val greedy : ?pool:Dia_parallel.Pool.t -> Dia_latency.Matrix.t -> k:int -> int array
 (** Greedy radius minimisation: at each step add the candidate node whose
     inclusion minimises the resulting coverage radius (ties broken by
     lowest index). O(k n²).

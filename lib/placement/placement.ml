@@ -30,11 +30,11 @@ let random ~seed ~k ~n =
   Array.sort compare servers;
   servers
 
-let place strategy ?(seed = 0) m ~k =
+let place strategy ?(seed = 0) ?pool m ~k =
   match strategy with
   | Random_placement -> random ~seed ~k ~n:(Matrix.dim m)
-  | K_center_a -> Kcenter.two_approx ~seed m ~k
-  | K_center_b -> Kcenter.greedy m ~k
+  | K_center_a -> Kcenter.two_approx ~seed ?pool m ~k
+  | K_center_b -> Kcenter.greedy ?pool m ~k
 
 let coverage_radius m centers =
   let n = Matrix.dim m in
