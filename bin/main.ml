@@ -414,11 +414,33 @@ let npc_cmd =
     (Cmd.info "npc" ~doc:"Demonstrate the NP-completeness reduction on the paper's example.")
     Term.(const run $ const ())
 
+(* dia oracle *)
+
+let oracle_cmd =
+  let count_arg =
+    Arg.(value & opt int 2000
+         & info [ "count" ] ~docv:"N"
+             ~doc:"Number of generated instances to check.")
+  in
+  let run seed count jobs =
+    let report = Dia_oracle.Oracle.run ~jobs:(resolve_jobs jobs) ~count ~seed () in
+    print_string (Dia_oracle.Oracle.render report);
+    if not (Dia_oracle.Oracle.ok report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "oracle"
+       ~doc:"Run the conformance harness: differential and metamorphic checks \
+             of every assignment algorithm and the simulation stack on \
+             seed-generated instances. Instance $(i,N) is a pure function of \
+             its absolute seed, so any reported failure replays exactly with \
+             $(b,--seed N --count 1), at any $(b,--jobs).")
+    Term.(const run $ seed_arg $ count_arg $ jobs_arg)
+
 let main_cmd =
   let doc = "Client assignment for continuous distributed interactive applications" in
   let info = Cmd.info "dia" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ experiment_cmd; assign_cmd; dataset_cmd; simulate_cmd; vivaldi_cmd;
-      topology_cmd; npc_cmd ]
+      topology_cmd; npc_cmd; oracle_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,87 @@
+(** Executable statements of the paper's theorems.
+
+    Each check returns [Ok ()] or [Error message] with the numbers that
+    violated it, so the harness can aggregate failures without raising.
+    These are the {e relations} the unit suites never exercise: validity
+    and capacity feasibility of every assignment, domination of the
+    super-optimal lower bound [LB] (Section V), the 3-approximation
+    bounds of Nearest-Server and Longest-First-Batch on metric instances
+    (Section IV), tightness of the synchronized-clock construction
+    (Section II-C), and invariance of the objective under relabeling and
+    uniform scaling of the latency matrix. *)
+
+type check = (unit, string) result
+
+val failures : (string * check) list -> string list
+(** Keep the failing checks, each rendered as ["name: message"]. *)
+
+val eps : float
+(** Comparison slack ([1e-6]) for checks whose two sides are computed by
+    different float expressions. Checks whose two sides are the same
+    expression on permuted data compare exactly. *)
+
+(** {2 Value-level theorems} *)
+
+val assignment_valid :
+  ?require_capacity:bool ->
+  Dia_core.Problem.t ->
+  Dia_core.Assignment.t ->
+  check
+(** Right client count, every client on an in-range server and — unless
+    [require_capacity] is [false] — no server over capacity. *)
+
+val dominates_lb : lb:float -> label:string -> float -> check
+(** [D(A) >= LB] — the bound of Section V holds for every algorithm. *)
+
+val at_least_opt : opt:float -> label:string -> float -> check
+(** [D(A) >= OPT]: no heuristic beats the exact branch-and-bound
+    optimum. *)
+
+val within_ratio : ratio:float -> opt:float -> label:string -> float -> check
+(** [D(A) <= ratio * OPT] — the approximation guarantee (only valid on
+    metric instances). *)
+
+val no_worse : label:string -> than:string -> float -> float -> check
+(** [no_worse ~label ~than a b] checks [a <= b + eps] — the paper's
+    per-instance dominance relations (e.g. LFB never worse than
+    Nearest-Server). *)
+
+val lb_at_most_opt : lb:float -> opt:float -> check
+(** The lower bound never exceeds the optimum ("super-optimal"). *)
+
+(** {2 Clock construction (Section II-C)} *)
+
+val clock_tight : Dia_core.Problem.t -> Dia_core.Assignment.t -> check
+(** The synthesized clock is feasible, constraint (i) is exactly tight,
+    and the uniform interaction time equals [delta = D(A)]. *)
+
+(** {2 Metamorphic transforms and their invariants} *)
+
+type relabeling = {
+  problem : Dia_core.Problem.t;  (** same instance, indices permuted *)
+  client_perm : int array;  (** new client index of old client [c] *)
+  server_perm : int array;  (** new server index of old server [s] *)
+}
+
+val relabel : seed:int -> Dia_core.Problem.t -> relabeling
+(** Apply a seed-derived random permutation to the client and server
+    index spaces (the latency matrix and node ids are untouched —
+    only the order algorithms see them in changes). *)
+
+val relabel_assignment :
+  relabeling -> Dia_core.Assignment.t -> Dia_core.Assignment.t
+(** Transport an assignment of the original instance to the relabeled
+    one. *)
+
+val scale : Dia_core.Problem.t -> factor:float -> Dia_core.Problem.t
+(** Multiply every latency by [factor] (> 0). *)
+
+val evaluator_relabel_invariant :
+  seed:int -> Dia_core.Problem.t -> Dia_core.Assignment.t -> check
+(** [D] and [LB] are exactly unchanged under {!relabel} — the objective
+    is a function of the distance multiset, not of index order. *)
+
+val evaluator_scale_invariant :
+  Dia_core.Problem.t -> Dia_core.Assignment.t -> check
+(** [D(scale p 2) = 2 * D(p)] and [LB(scale p 2) = 2 * LB(p)], exactly
+    (doubling is exact in binary floating point). *)

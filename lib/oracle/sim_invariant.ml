@@ -1,0 +1,155 @@
+module Protocol = Dia_sim.Protocol
+
+type t = {
+  eps : float;
+  expect_feasible : bool;
+  delta : float;
+  mutable violations : string list;  (* reversed *)
+  mutable recorded : int;
+  issued : (int, float) Hashtbl.t;  (* op_id -> issue_time *)
+  first_exec : (int, float) Hashtbl.t;  (* op_id -> first actual_sim *)
+  mutable lag : float option;  (* the constant issue-to-execution lag *)
+  exec_seen : (int * int, unit) Hashtbl.t;  (* (op_id, server) *)
+  vis_seen : (int * int, unit) Hashtbl.t;  (* (op_id, observer) *)
+  server_last_issue : (int, float) Hashtbl.t;  (* issue order per server *)
+  server_last_sim : (int, float) Hashtbl.t;  (* clock monotonicity *)
+  client_last_sim : (int, float) Hashtbl.t;
+}
+
+let cap = 200
+
+let create ?(eps = 1e-6) ?(expect_feasible = true) ~delta () =
+  {
+    eps;
+    expect_feasible;
+    delta;
+    violations = [];
+    recorded = 0;
+    issued = Hashtbl.create 64;
+    first_exec = Hashtbl.create 64;
+    lag = None;
+    exec_seen = Hashtbl.create 64;
+    vis_seen = Hashtbl.create 64;
+    server_last_issue = Hashtbl.create 16;
+    server_last_sim = Hashtbl.create 16;
+    client_last_sim = Hashtbl.create 16;
+  }
+
+let record t fmt =
+  Printf.ksprintf
+    (fun message ->
+      t.recorded <- t.recorded + 1;
+      if t.recorded <= cap then t.violations <- message :: t.violations
+      else if t.recorded = cap + 1 then
+        t.violations <- "... further violations suppressed" :: t.violations)
+    fmt
+
+let monotonic t table ~actor ~time ~what =
+  (match Hashtbl.find_opt table actor with
+  | Some last when time < last -. t.eps ->
+      record t "%s %d: simulation time ran backwards (%.6f after %.6f)" what
+        actor time last
+  | _ -> ());
+  Hashtbl.replace table actor time
+
+let on_executed t (e : Protocol.execution) =
+  match Hashtbl.find_opt t.issued e.op_id with
+  | None -> record t "op %d executed on server %d before being issued" e.op_id e.server
+  | Some issue_time ->
+      if Hashtbl.mem t.exec_seen (e.op_id, e.server) then
+        record t "op %d executed twice on server %d" e.op_id e.server;
+      Hashtbl.replace t.exec_seen (e.op_id, e.server) ();
+      (* Executions never fire before their agreed time. *)
+      if e.actual_sim < e.target_sim -. t.eps then
+        record t "op %d executed early on server %d (%.6f before target %.6f)"
+          e.op_id e.server e.actual_sim e.target_sim;
+      monotonic t t.server_last_sim ~actor:e.server ~time:e.actual_sim
+        ~what:"server";
+      (* Consistency, fairness and issue-order are theorems {e of a
+         feasible clock} (Section II): with an infeasible one a late
+         arrival legitimately executes past its target, at a
+         server-dependent time. *)
+      if t.expect_feasible then begin
+        (match Hashtbl.find_opt t.first_exec e.op_id with
+        | None -> Hashtbl.replace t.first_exec e.op_id e.actual_sim
+        | Some first ->
+            if Float.abs (e.actual_sim -. first) > t.eps then
+              record t
+                "consistency: op %d executed at sim %.6f on server %d but at %.6f elsewhere"
+                e.op_id e.actual_sim e.server first);
+        let lag = e.actual_sim -. issue_time in
+        (match t.lag with
+        | None -> t.lag <- Some lag
+        | Some first ->
+            if Float.abs (lag -. first) > t.eps then
+              record t
+                "fairness: op %d lag %.6f differs from the run's constant lag %.6f"
+                e.op_id lag first);
+        (match Hashtbl.find_opt t.server_last_issue e.server with
+        | Some last when issue_time < last -. t.eps ->
+            record t
+              "server %d executed op %d (issued %.6f) after one issued %.6f"
+              e.server e.op_id issue_time last
+        | _ -> ());
+        Hashtbl.replace t.server_last_issue e.server issue_time;
+        if e.late then
+          record t "op %d late on server %d (%.6f > target %.6f)" e.op_id
+            e.server e.actual_sim e.target_sim
+      end
+
+let on_presented t (v : Protocol.visibility) =
+  if not (Hashtbl.mem t.issued v.op_id) then
+    record t "op %d presented to client %d before being issued" v.op_id v.observer;
+  if Hashtbl.mem t.vis_seen (v.op_id, v.observer) then
+    record t "op %d presented twice to client %d" v.op_id v.observer;
+  Hashtbl.replace t.vis_seen (v.op_id, v.observer) ();
+  let interaction = v.visible_sim -. v.issue_sim in
+  if interaction < -.t.eps then
+    record t "op %d visible to client %d before issue (interaction %.6f)" v.op_id
+      v.observer interaction;
+  monotonic t t.client_last_sim ~actor:v.observer ~time:v.visible_sim
+    ~what:"client";
+  if t.expect_feasible then begin
+    if v.late then
+      record t "op %d late at client %d (visible %.6f, issued %.6f)" v.op_id
+        v.observer v.visible_sim v.issue_sim;
+    if Float.abs (interaction -. t.delta) > t.eps then
+      record t
+        "op %d interaction time %.6f at client %d differs from delta %.6f"
+        v.op_id interaction v.observer t.delta
+  end
+
+let monitor t = function
+  | Protocol.Issued op ->
+      Hashtbl.replace t.issued op.Dia_sim.Workload.op_id
+        op.Dia_sim.Workload.issue_time
+  | Protocol.Executed e -> on_executed t e
+  | Protocol.Presented v -> on_presented t v
+
+let finalize t ~servers ~clients =
+  Hashtbl.iter
+    (fun op_id _ ->
+      let execs =
+        Hashtbl.fold
+          (fun (op, _) () n -> if op = op_id then n + 1 else n)
+          t.exec_seen 0
+      in
+      if execs <> servers then
+        record t "op %d executed on %d of %d servers" op_id execs servers;
+      let seen =
+        Hashtbl.fold
+          (fun (op, _) () n -> if op = op_id then n + 1 else n)
+          t.vis_seen 0
+      in
+      if seen <> clients then
+        record t "op %d presented to %d of %d clients" op_id seen clients)
+    t.issued
+
+let violations t = List.rev t.violations
+let ok t = t.recorded = 0
+
+let check_run ?jitter ?expect_feasible p a clock workload =
+  let t = create ?expect_feasible ~delta:clock.Dia_core.Clock.delta () in
+  let report = Protocol.run ?jitter ~monitor:(monitor t) p a clock workload in
+  finalize t ~servers:report.Protocol.servers ~clients:report.Protocol.clients;
+  violations t

@@ -1,0 +1,61 @@
+(** Per-event conformance checking of the simulated DIA protocol.
+
+    {!Dia_sim.Checker.analyze} inspects a finished report; this module
+    instead hooks into {!Dia_sim.Protocol.run}'s [monitor] and enforces
+    Section II's requirements {e at every event} as the engine produces
+    it, so a violation is caught with the exact event that introduced it
+    (and simulations that never terminate cleanly still get checked as
+    far as they ran):
+
+    - {b consistency}: every server executes an operation at one common
+      simulation time — checked the moment a second execution of the
+      same operation appears;
+    - {b fairness / constant lag}: the issue-to-execution lag is one
+      constant for all operations and servers, and operations execute in
+      issue order on every server;
+    - {b constant interaction time}: every presentation happens exactly
+      [delta] after issue;
+    - {b punctuality}: no event is late;
+    - {b engine sanity}: events arrive in non-decreasing wall order per
+      actor, nothing executes before its target, before its issue, or
+      twice (checked even under [expect_feasible:false] — everything
+      above it is a theorem {e of a feasible clock} and is only enforced
+      under [expect_feasible]).
+
+    The checker records violations instead of raising, so one run yields
+    every breach, in event order. *)
+
+type t
+
+val create : ?eps:float -> ?expect_feasible:bool -> delta:float -> unit -> t
+(** A fresh checker for a run with execution lag [delta]. [eps]
+    (default [1e-6]) is the simulation-time comparison tolerance. Set
+    [expect_feasible] (default [true]) to [false] when deliberately
+    simulating an infeasible clock: then only the engine-sanity
+    invariants are enforced (consistency, fairness, punctuality and the
+    constant interaction time hold {e because} the clock is feasible,
+    so an infeasible run legitimately breaks them). *)
+
+val monitor : t -> Dia_sim.Protocol.event -> unit
+(** The hook to pass to [Protocol.run ~monitor]. *)
+
+val violations : t -> string list
+(** Violations recorded so far, in event order. *)
+
+val ok : t -> bool
+
+val finalize : t -> servers:int -> clients:int -> unit
+(** Completeness check after the run: every issued operation must have
+    been executed by all [servers] and presented to all [clients].
+    Records violations on the checker. *)
+
+val check_run :
+  ?jitter:(src:int -> dst:int -> base:float -> float) ->
+  ?expect_feasible:bool ->
+  Dia_core.Problem.t ->
+  Dia_core.Assignment.t ->
+  Dia_core.Clock.t ->
+  Dia_sim.Workload.op list ->
+  string list
+(** Convenience: run the protocol under a fresh checker (plus
+    {!finalize}) and return the violations. *)

@@ -6,6 +6,7 @@ type verdict = {
   max_interaction_time : float;
   mean_interaction_time : float;
   uniform_interaction : bool;
+  empty : bool;
 }
 
 let analyze ?(eps = 1e-6) (report : Protocol.report) =
@@ -54,14 +55,15 @@ let analyze ?(eps = 1e-6) (report : Protocol.report) =
     List.length (List.filter (fun (v : Protocol.visibility) -> v.late) report.visibilities)
   in
   let times = List.map (fun (_, _, t) -> t) (Protocol.interaction_times report) in
-  let max_interaction_time, mean_interaction_time, uniform_interaction =
+  let max_interaction_time, mean_interaction_time, uniform_interaction, empty =
     match times with
-    | [] -> (nan, nan, true)
+    | [] -> (0., 0., true, true)
     | first :: _ ->
         let count = float_of_int (List.length times) in
         ( List.fold_left Float.max neg_infinity times,
           List.fold_left ( +. ) 0. times /. count,
-          List.for_all (fun t -> Float.abs (t -. first) <= eps) times )
+          List.for_all (fun t -> Float.abs (t -. first) <= eps) times,
+          false )
   in
   {
     consistent;
@@ -71,6 +73,7 @@ let analyze ?(eps = 1e-6) (report : Protocol.report) =
     max_interaction_time;
     mean_interaction_time;
     uniform_interaction;
+    empty;
   }
 
 let validate_assignment ?(live = fun _ -> true) p a =
@@ -103,7 +106,7 @@ let validate_assignment ?(live = fun _ -> true) p a =
 
 let breach_rate (report : Protocol.report) =
   let events = List.length report.executions + List.length report.visibilities in
-  if events = 0 then nan
+  if events = 0 then 0.
   else begin
     let late =
       List.length (List.filter (fun (e : Protocol.execution) -> e.late) report.executions)

@@ -26,12 +26,19 @@ type verdict = {
   uniform_interaction : bool;
       (** all pairwise interaction times equal (the paper's synchronised
           construction achieves this) *)
+  empty : bool;
+      (** no interaction time was observed — the run presented nothing.
+          The interaction-time statistics above are then [0.] by
+          convention (not [nan]), so downstream aggregation never
+          silently propagates [nan]; check this flag before treating
+          them as measurements. *)
 }
 
 val analyze : ?eps:float -> Protocol.report -> verdict
 (** Analyse a report. [eps] (default [1e-6]) is the tolerance for
-    comparing simulation times. For an empty run every boolean is [true]
-    and the statistics are [nan]. *)
+    comparing simulation times. For an empty run every boolean is
+    [true], [empty] is [true], and the interaction-time statistics are
+    [0.]. *)
 
 val validate_assignment :
   ?live:(int -> bool) ->
@@ -47,7 +54,9 @@ val validate_assignment :
 val breach_rate : Protocol.report -> float
 (** Fraction of (operation, server/client) events that missed their
     deadline — the empirical counterpart of
-    {!Dia_latency.Jitter.breach_probability}. [nan] for empty runs. *)
+    {!Dia_latency.Jitter.breach_probability}. [0.] for runs with no
+    events (vacuously, nothing breached — same normalisation as
+    {!analyze}). *)
 
 val replicated_states : Protocol.report -> (int * State.t) list
 (** The application state each server reaches by applying its executed

@@ -34,9 +34,14 @@ type message =
   | Op_forward of Workload.op
   | State_update of Workload.op
 
+type event =
+  | Issued of Workload.op
+  | Executed of execution
+  | Presented of visibility
+
 (* Actor address space: servers are [0 .. k-1], clients are
    [k .. k + |C| - 1]. *)
-let run ?jitter ?execution_time p a clock workload =
+let run ?jitter ?execution_time ?(monitor = fun _ -> ()) p a clock workload =
   let execution_time =
     match execution_time with
     | Some f -> f
@@ -83,10 +88,12 @@ let run ?jitter ?execution_time p a clock workload =
     let target_wall = target_sim +. base -. clock.Clock.server_offset.(s) in
     let do_execute () =
       let actual_sim = server_sim s (Engine.now engine) in
-      executions :=
+      let e =
         { op_id = op.op_id; server = s; target_sim; actual_sim;
           late = actual_sim > target_sim +. eps }
-        :: !executions;
+      in
+      executions := e :: !executions;
+      monitor (Executed e);
       List.iter
         (fun c -> Network.send net ~src:s ~dst:(k + c) (State_update op))
         clients_of.(s)
@@ -114,11 +121,13 @@ let run ?jitter ?execution_time p a clock workload =
             let target_sim = execution_time op in
             let present () =
               let visible_sim = client_sim (Engine.now engine) in
-              visibilities :=
+              let v =
                 { op_id = op.Workload.op_id; observer = c;
                   issue_sim = op.Workload.issue_time; visible_sim;
                   late = visible_sim > target_sim +. eps }
-                :: !visibilities
+              in
+              visibilities := v :: !visibilities;
+              monitor (Presented v)
             in
             let target_wall = target_sim +. base in
             if target_wall <= Engine.now engine then present ()
@@ -131,6 +140,7 @@ let run ?jitter ?execution_time p a clock workload =
       let wall = op.issue_time +. base in
       let issuer_server = Assignment.server_of a op.issuer in
       Engine.schedule engine wall (fun () ->
+          monitor (Issued op);
           Network.send net ~src:(k + op.issuer) ~dst:issuer_server (Op_to_server op)))
     workload;
   Engine.run engine;

@@ -49,9 +49,16 @@ type report = {
   wall_duration : float;  (** simulated wall-clock span of the run *)
 }
 
+type event =
+  | Issued of Workload.op  (** the issuing client handed it to the network *)
+  | Executed of execution  (** a server executed it, just recorded *)
+  | Presented of visibility  (** a client presented the state update *)
+(** One protocol-level happening, emitted in engine (wall-clock) order. *)
+
 val run :
   ?jitter:(src:int -> dst:int -> base:float -> float) ->
   ?execution_time:(Workload.op -> float) ->
+  ?monitor:(event -> unit) ->
   Dia_core.Problem.t ->
   Dia_core.Assignment.t ->
   Dia_core.Clock.t ->
@@ -64,6 +71,12 @@ val run :
     local-lag rule [fun op -> op.issue_time +. delta]; {!Bucket} supplies
     the bucket-synchronisation alternative. It must be non-decreasing in
     the operation id or executions are late by construction.
+
+    [monitor] is called synchronously on every {!event} as the engine
+    produces it — issue, execution, and presentation — so invariants can
+    be enforced {e at} each event instead of post-hoc on the report
+    ([Dia_oracle.Sim_invariant] builds such monitors). It must not
+    mutate the simulation.
 
     @raise Invalid_argument if an operation's issuer is out of range. *)
 

@@ -1,5 +1,27 @@
+(* The qcheck suites draw from a PRNG seeded by the QCHECK_SEED
+   environment variable (qcheck-alcotest reads it lazily, once). To make
+   failures reproducible the runner resolves the seed itself — from
+   DIA_QCHECK_SEED (ours), then QCHECK_SEED (qcheck's own), then fresh
+   entropy — exports it, and prints it when any test fails. *)
+let resolve_seed () =
+  let parse name value =
+    match int_of_string_opt (String.trim value) with
+    | Some seed -> seed
+    | None -> failwith (Printf.sprintf "%s must be an integer, got %S" name value)
+  in
+  match Sys.getenv_opt "DIA_QCHECK_SEED" with
+  | Some value -> parse "DIA_QCHECK_SEED" value
+  | None -> (
+      match Sys.getenv_opt "QCHECK_SEED" with
+      | Some value -> parse "QCHECK_SEED" value
+      | None ->
+          Random.self_init ();
+          Random.int 1_000_000_000)
+
 let () =
-  Alcotest.run "dia"
+  let seed = resolve_seed () in
+  Unix.putenv "QCHECK_SEED" (string_of_int seed);
+  let tests =
     [
       ("matrix", Test_matrix.suite);
       ("graph-paths", Test_graph_paths.suite);
@@ -36,4 +58,12 @@ let () =
       ("repair", Test_repair.suite);
       ("bucket", Test_bucket.suite);
       ("parallel", Test_parallel.suite);
+      ("golden", Test_golden.suite);
     ]
+  in
+  try Alcotest.run ~and_exit:false "dia" tests
+  with exn ->
+    Printf.eprintf
+      "\nproperty tests ran with qcheck seed %d — rerun with DIA_QCHECK_SEED=%d to reproduce\n"
+      seed seed;
+    raise exn

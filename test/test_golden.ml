@@ -1,0 +1,73 @@
+(* Golden-file regression tests: the CSV exports of Fig. 9 and Fig. 10
+   under a tiny fixed-seed profile are pinned under test/golden/. The
+   comparison is field-by-field with a numeric tolerance, so harmless
+   float churn (evaluation-order refactors) passes while a real change
+   in the computed series fails loudly. Regenerate deliberately by
+   rerunning the figure with the profile below and overwriting the
+   file. *)
+
+module Config = Dia_experiments.Config
+
+let tiny =
+  {
+    Config.label = "tiny";
+    nodes = Some 80;
+    runs = 4;
+    server_counts = [ 5; 10 ];
+    fixed_servers = 8;
+    paper_capacities = [ 25; 250 ];
+  }
+
+let tolerance = 1e-4
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let split_lines s =
+  String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "")
+
+let check_csv ~name ~golden_path actual =
+  let golden = split_lines (read_file golden_path)
+  and actual = split_lines actual in
+  Alcotest.(check int) (name ^ ": row count") (List.length golden)
+    (List.length actual);
+  List.iteri
+    (fun row (g, a) ->
+      let gf = String.split_on_char ',' g and af = String.split_on_char ',' a in
+      if List.length gf <> List.length af then
+        Alcotest.failf "%s row %d: field count %d <> %d" name row
+          (List.length gf) (List.length af);
+      List.iteri
+        (fun col (gv, av) ->
+          match (float_of_string_opt gv, float_of_string_opt av) with
+          | Some gx, Some ax ->
+              if Float.abs (gx -. ax) > tolerance *. Float.max 1. (Float.abs gx)
+              then
+                Alcotest.failf "%s row %d col %d: %s <> golden %s" name row col
+                  av gv
+          | _ ->
+              if gv <> av then
+                Alcotest.failf "%s row %d col %d: %S <> golden %S" name row col
+                  av gv)
+        (List.combine gf af))
+    (List.combine golden actual)
+
+let test_fig9 () =
+  let r = Dia_experiments.Fig9.run ~profile:tiny () in
+  check_csv ~name:"fig9" ~golden_path:"golden/fig9.csv"
+    (Dia_experiments.Fig9.csv r)
+
+let test_fig10 () =
+  let r = Dia_experiments.Fig10.run ~profile:tiny () in
+  check_csv ~name:"fig10" ~golden_path:"golden/fig10.csv"
+    (Dia_experiments.Fig10.csv r)
+
+let suite =
+  [
+    Alcotest.test_case "fig9 csv matches golden" `Slow test_fig9;
+    Alcotest.test_case "fig10 csv matches golden" `Slow test_fig10;
+  ]

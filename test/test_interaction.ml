@@ -109,6 +109,115 @@ let test_nearest_server_has_larger_server_share () =
     (Printf.sprintf "NSA server share %.2f > greedy %.2f" nsa greedy)
     true (nsa > greedy)
 
+(* Cross-checks against exhaustive O(|C|^2) path enumeration: the
+   inspectors take eccentricity shortcuts (only per-server worst clients
+   are ranked), so verify them against the definition on instances small
+   enough to enumerate. *)
+
+let all_pair_lengths p a =
+  let n = Problem.num_clients p in
+  let paths = ref [] in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      paths := (i, j, Objective.path_length p a i j) :: !paths
+    done
+  done;
+  !paths
+
+let enumeration_instances () =
+  List.map
+    (fun (seed, n, k, capacity, algo) ->
+      let m = Synthetic.internet_like ~seed n in
+      let servers = Dia_placement.Placement.random ~seed ~k ~n in
+      let p = Problem.all_nodes_clients ?capacity m ~servers in
+      (p, Dia_core.Algorithm.run ~seed algo p))
+    [
+      (3, 18, 4, None, Dia_core.Algorithm.Greedy);
+      (4, 25, 6, None, Dia_core.Algorithm.Random_assignment);
+      (5, 20, 5, Some 5, Dia_core.Algorithm.Nearest_server);
+      (6, 12, 3, None, Dia_core.Algorithm.Single_server);
+    ]
+
+let test_worst_pairs_vs_enumeration () =
+  List.iter
+    (fun (p, a) ->
+      let count = 7 in
+      (* The documented candidate set: for every unordered pair of used
+         servers, the longest path between clients of those two servers
+         (a client's round trip to itself included). Build it from the
+         full O(|C|^2) enumeration and rank. *)
+      let per_server_pair = Hashtbl.create 16 in
+      List.iter
+        (fun (i, j, len) ->
+          let si = Assignment.server_of a i and sj = Assignment.server_of a j in
+          let key = (min si sj, max si sj) in
+          match Hashtbl.find_opt per_server_pair key with
+          | Some best when best >= len -> ()
+          | _ -> Hashtbl.replace per_server_pair key len)
+        (all_pair_lengths p a);
+      let expected =
+        Hashtbl.fold (fun _ len acc -> len :: acc) per_server_pair []
+        |> List.sort (fun x y -> Float.compare y x)
+        |> List.filteri (fun i _ -> i < count)
+      in
+      let got = Interaction.worst_pairs ~count p a in
+      Alcotest.(check int) "one path per used server pair, capped"
+        (List.length expected) (List.length got);
+      List.iter2
+        (fun e pa ->
+          Alcotest.(check (float 1e-9)) "ranked path length" e
+            pa.Interaction.length;
+          Alcotest.(check (float 1e-9)) "reported pair reproduces its length"
+            (Objective.path_length p a pa.Interaction.from_client
+               pa.Interaction.to_client)
+            pa.Interaction.length)
+        expected got)
+    (enumeration_instances ())
+
+let test_client_worst_vs_enumeration () =
+  List.iter
+    (fun (p, a) ->
+      for c = 0 to Problem.num_clients p - 1 do
+        let expected =
+          List.fold_left
+            (fun acc (i, j, len) -> if i = c || j = c then Float.max acc len else acc)
+            neg_infinity (all_pair_lengths p a)
+        in
+        let path = Interaction.client_worst p a c in
+        Alcotest.(check (float 1e-9)) "client's worst path length" expected
+          path.Interaction.length;
+        Alcotest.(check bool) "path involves the client" true
+          (path.Interaction.from_client = c || path.Interaction.to_client = c)
+      done)
+    (enumeration_instances ())
+
+let test_server_contribution_vs_enumeration () =
+  List.iter
+    (fun (p, a) ->
+      let through s (i, j) =
+        Assignment.server_of a i = s || Assignment.server_of a j = s
+      in
+      let expected s =
+        List.fold_left
+          (fun acc (i, j, len) -> if through s (i, j) then Float.max acc len else acc)
+          neg_infinity (all_pair_lengths p a)
+      in
+      let contributions = Interaction.server_contribution p a in
+      let used =
+        List.sort_uniq compare
+          (Array.to_list (Array.map (Assignment.server_of a)
+             (Array.init (Problem.num_clients p) Fun.id)))
+      in
+      Alcotest.(check int) "one entry per used server" (List.length used)
+        (List.length contributions);
+      List.iter
+        (fun (s, value) ->
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "server %d contribution" s)
+            (expected s) value)
+        contributions)
+    (enumeration_instances ())
+
 let suite =
   [
     Alcotest.test_case "path decomposition sums" `Quick test_path_decomposition_sums;
@@ -122,4 +231,10 @@ let suite =
       test_breakdown_sums_to_objective;
     Alcotest.test_case "NSA pays in the inter-server leg" `Quick
       test_nearest_server_has_larger_server_share;
+    Alcotest.test_case "worst_pairs matches pair enumeration" `Quick
+      test_worst_pairs_vs_enumeration;
+    Alcotest.test_case "client_worst matches pair enumeration" `Quick
+      test_client_worst_vs_enumeration;
+    Alcotest.test_case "server_contribution matches pair enumeration" `Quick
+      test_server_contribution_vs_enumeration;
   ]

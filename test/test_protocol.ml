@@ -142,8 +142,24 @@ let test_empty_workload () =
   in
   let verdict = Checker.analyze report in
   Alcotest.(check bool) "vacuously consistent" true verdict.consistent;
-  Alcotest.(check bool) "nan stats" true (Float.is_nan verdict.mean_interaction_time);
-  Alcotest.(check bool) "nan breach rate" true (Float.is_nan (Checker.breach_rate report))
+  Alcotest.(check bool) "vacuously fair" true verdict.fair;
+  Alcotest.(check bool) "flagged empty" true verdict.empty;
+  (* Empty runs normalise their statistics to 0., never nan, so
+     downstream averaging cannot silently poison an aggregate. *)
+  Alcotest.(check (float 0.)) "zero mean" 0. verdict.mean_interaction_time;
+  Alcotest.(check (float 0.)) "zero max" 0. verdict.max_interaction_time;
+  Alcotest.(check (float 0.)) "zero breach rate" 0. (Checker.breach_rate report)
+
+let test_nonempty_not_flagged_empty () =
+  let _, _, _, report =
+    run_synthesized 12 ~n:6 ~k:2 ~algorithm:Algorithm.Greedy
+      ~workload:(Workload.rounds ~clients:6 ~rounds:1 ~period:50.)
+  in
+  let verdict = Checker.analyze report in
+  Alcotest.(check bool) "not empty" false verdict.empty;
+  Alcotest.(check bool) "stats are real" true
+    (Float.is_finite verdict.mean_interaction_time
+    && verdict.mean_interaction_time > 0.)
 
 let test_rejects_bad_issuer () =
   let p = instance 11 ~n:5 ~k:2 in
@@ -212,6 +228,8 @@ let suite =
     Alcotest.test_case "percentile planning reduces breaches" `Quick
       test_percentile_planning_reduces_breaches;
     Alcotest.test_case "empty workload" `Quick test_empty_workload;
+    Alcotest.test_case "non-empty run not flagged empty" `Quick
+      test_nonempty_not_flagged_empty;
     Alcotest.test_case "bad issuer rejected" `Quick test_rejects_bad_issuer;
     Alcotest.test_case "fairness under a simultaneous burst" `Quick
       test_fairness_on_simultaneous_burst;
