@@ -199,6 +199,36 @@ let small_servers = Placement.random ~seed:4 ~k:8 ~n:120
 let small_problem = Problem.all_nodes_clients small_matrix ~servers:small_servers
 let small_assignment = Dia_core.Nearest.assign small_problem
 
+(* Churn-throughput kernels: a live Dynamic session held at a steady
+   population while each run replays a balanced batch of leaves and
+   joins plus one budgeted rebalance — the control plane's steady-state
+   work. Clients share the 400 nodes of the matrix (many clients per
+   node, as in a real deployment), so the population — not the matrix —
+   is what scales. The id queue persists across runs: every run leaves
+   the oldest [batch] clients and admits [batch] fresh ones, keeping
+   the session size constant no matter how many times bechamel calls
+   the kernel. *)
+let churn_nodes = 400
+let churn_matrix = Dia_latency.Synthetic.internet_like ~seed:6 churn_nodes
+let churn_servers = Placement.random ~seed:6 ~k:10 ~n:churn_nodes
+
+let make_churn_kernel ~clients =
+  let session = Dia_core.Dynamic.create churn_matrix ~servers:churn_servers in
+  let live = Queue.create () in
+  for i = 0 to clients - 1 do
+    Queue.add (Dia_core.Dynamic.join session ~node:(i mod churn_nodes)) live
+  done;
+  let batch = 50 in
+  let cursor = ref 0 in
+  fun () ->
+    for _ = 1 to batch do
+      Dia_core.Dynamic.leave session (Queue.pop live);
+      let node = !cursor mod churn_nodes in
+      incr cursor;
+      Queue.add (Dia_core.Dynamic.join session ~node) live
+    done;
+    Dia_core.Dynamic.rebalance ~max_moves:8 session
+
 let tests =
   [
     Test.make ~name:"objective/fast(n=120)" (Staged.stage (fun () ->
@@ -241,6 +271,10 @@ let tests =
         Dia_sim.Protocol.run small_problem small_assignment clock workload));
     Test.make ~name:"sim/dgreedy-protocol(n=120,k=8)" (Staged.stage (fun () ->
         Dia_sim.Dgreedy_protocol.run small_problem));
+    Test.make ~name:"churn/steady-state(clients=1000)"
+      (Staged.stage (make_churn_kernel ~clients:1_000));
+    Test.make ~name:"churn/steady-state(clients=10000)"
+      (Staged.stage (make_churn_kernel ~clients:10_000));
   ]
 
 (* -- Quality ablation: achievable optimum (annealing) vs the lower bound -- *)

@@ -5,6 +5,7 @@
      dia assign                              run one assignment end to end
      dia dataset                             generate synthetic latency data
      dia simulate                            protocol-level simulation
+     dia soak                                SLO-guarded chaos soak run
      dia vivaldi                             coordinate embedding / completion
      dia topology                            transit-stub topology generation
      dia npc                                 NP-completeness reduction demo *)
@@ -74,6 +75,45 @@ let matrix_file_arg =
 let seed_arg =
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+let fault_conv =
+  let parse s =
+    match Dia_sim.Fault.of_string s with
+    | Ok p -> Ok p
+    | Error m -> Error (`Msg m)
+  in
+  Arg.conv (parse, Dia_sim.Fault.pp_plan)
+
+let fault_arg =
+  Arg.(value & opt fault_conv Dia_sim.Fault.reliable
+       & info [ "fault" ] ~docv:"SPEC"
+           ~doc:"Fault plan for protocol-level runs, e.g. \
+                 $(b,loss:0.15+crash:3@2.0~5.0) (see the fault mini-DSL; \
+                 $(b,reliable) disables).")
+
+(* A protocol-level Distributed-Greedy run under a fault plan, reported
+   against the instance's lower bound. *)
+let protocol_under_faults ~seed ~lb fault p =
+  let res =
+    Dia_sim.Dgreedy_protocol.run
+      ~fault:(Dia_sim.Fault.instantiate ~seed fault)
+      p
+  in
+  let f = res.Dia_sim.Dgreedy_protocol.faults in
+  Printf.printf
+    "protocol under faults (%s):\n\
+    \  D = %.2f ms (normalized %.3f), %d modifications, %d messages, stalled: %b\n\
+    \  dropped=%d duplicated=%d retransmissions=%d give-ups=%d regenerations=%d failovers=%d\n"
+    (Dia_sim.Fault.to_string fault)
+    res.Dia_sim.Dgreedy_protocol.objective
+    (res.Dia_sim.Dgreedy_protocol.objective /. lb)
+    res.Dia_sim.Dgreedy_protocol.modifications
+    res.Dia_sim.Dgreedy_protocol.messages res.Dia_sim.Dgreedy_protocol.stalled
+    f.Dia_sim.Dgreedy_protocol.dropped f.Dia_sim.Dgreedy_protocol.duplicated
+    f.Dia_sim.Dgreedy_protocol.retransmissions
+    f.Dia_sim.Dgreedy_protocol.give_ups
+    f.Dia_sim.Dgreedy_protocol.regenerations
+    f.Dia_sim.Dgreedy_protocol.failovers
+
 let jobs_arg =
   Arg.(value & opt (some int) None
        & info [ "jobs"; "j" ] ~docv:"N"
@@ -100,8 +140,20 @@ let experiment_cmd =
          & info [ "csv" ] ~docv:"FILE"
              ~doc:"Also write the figure's data series as CSV to $(docv).")
   in
-  let run figure dataset profile csv_path jobs =
+  let run figure dataset profile csv_path jobs fault =
     let jobs = resolve_jobs jobs in
+    let faulty = not (Dia_sim.Fault.equal fault Dia_sim.Fault.reliable) in
+    let fig9_fault_appendix () =
+      (* Fig. 9 studies Distributed-Greedy convergence; the fault
+         extension replays it protocol-level on a capped instance so the
+         run stays interactive at any profile. *)
+      let matrix = Dia_latency.Synthetic.internet_like ~seed:0 150 in
+      let servers = Placement.place Placement.Random_placement ~seed:0 matrix ~k:12 in
+      let p = Problem.all_nodes_clients matrix ~servers in
+      let lb = Lower_bound.compute p in
+      print_endline "fig9 fault extension (capped 150-node instance, 12 servers):";
+      protocol_under_faults ~seed:0 ~lb fault p
+    in
     let dispatch = function
       | "fig7" ->
           let r = Dia_experiments.Fig7.run ~dataset ~profile ~jobs () in
@@ -120,27 +172,36 @@ let experiment_cmd =
     let figures =
       if figure = "all" then [ "fig7"; "fig8"; "fig9"; "fig10" ] else [ figure ]
     in
-    let rec render = function
-      | [] -> `Ok ()
-      | f :: rest -> (
-          match dispatch f with
-          | Ok (text, csv) ->
-              print_endline text;
-              (match csv_path with
-              | Some path when rest = [] && figure <> "all" ->
-                  let oc = open_out path in
-                  output_string oc csv;
-                  close_out oc;
-                  Printf.printf "(series written to %s)\n" path
-              | _ -> ());
-              render rest
-          | Error message -> `Error (false, message))
-    in
-    render figures
+    if faulty && figure <> "fig9" then
+      `Error
+        ( false,
+          "--fault applies to fig9 only (the Distributed-Greedy figure has a \
+           protocol-level fault extension)" )
+    else
+      let rec render = function
+        | [] ->
+            if faulty then fig9_fault_appendix ();
+            `Ok ()
+        | f :: rest -> (
+            match dispatch f with
+            | Ok (text, csv) ->
+                print_endline text;
+                (match csv_path with
+                | Some path when rest = [] && figure <> "all" ->
+                    let oc = open_out path in
+                    output_string oc csv;
+                    close_out oc;
+                    Printf.printf "(series written to %s)\n" path
+                | _ -> ());
+                render rest
+            | Error message -> `Error (false, message))
+      in
+      render figures
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce one of the paper's figures.")
-    Term.(ret (const run $ figure_arg $ dataset_arg $ profile_arg $ csv_arg $ jobs_arg))
+    Term.(ret (const run $ figure_arg $ dataset_arg $ profile_arg $ csv_arg
+               $ jobs_arg $ fault_arg))
 
 (* dia assign *)
 
@@ -166,8 +227,15 @@ let assign_cmd =
          & info [ "explain" ]
              ~doc:"Also print the worst interaction paths and per-server contributions for each algorithm.")
   in
-  let run dataset profile matrix_file seed k placement algorithm capacity explain jobs =
+  let run dataset profile matrix_file seed k placement algorithm capacity explain jobs fault =
     let matrix = load_matrix ~matrix_file ~dataset ~profile ~seed in
+    let faulty = not (Dia_sim.Fault.equal fault Dia_sim.Fault.reliable) in
+    if faulty && Dia_latency.Matrix.dim matrix > 600 then
+      `Error
+        ( false,
+          "--fault runs the message-level protocol, which is impractical at \
+           this instance size; use --profile quick (or a smaller --matrix)" )
+    else
     Pool.with_pool ~jobs:(resolve_jobs jobs) @@ fun pool ->
     let servers = Placement.place placement ~seed ~pool matrix ~k in
     let p = Problem.all_nodes_clients ?capacity matrix ~servers in
@@ -224,13 +292,15 @@ let assign_cmd =
       (match capacity with None -> "unlimited" | Some c -> string_of_int c)
       lb;
     Dia_stats.Table.print table;
-    print_string (Buffer.contents explanations)
+    print_string (Buffer.contents explanations);
+    if faulty then protocol_under_faults ~seed ~lb fault p;
+    `Ok ()
   in
   Cmd.v
     (Cmd.info "assign" ~doc:"Assign clients to servers on a data set and report interactivity.")
-    Term.(const run $ dataset_arg $ profile_arg $ matrix_file_arg $ seed_arg
-          $ servers_arg $ placement_arg $ algorithm_arg $ capacity_arg
-          $ explain_arg $ jobs_arg)
+    Term.(ret (const run $ dataset_arg $ profile_arg $ matrix_file_arg $ seed_arg
+               $ servers_arg $ placement_arg $ algorithm_arg $ capacity_arg
+               $ explain_arg $ jobs_arg $ fault_arg))
 
 (* dia dataset *)
 
@@ -318,6 +388,162 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run the message-level DIA protocol simulation.")
     Term.(const run $ nodes_arg $ servers_arg $ algorithm_arg $ rounds_arg
           $ delta_scale_arg $ seed_arg)
+
+(* dia soak *)
+
+let soak_cmd =
+  let module Soak = Dia_runtime.Soak in
+  let module Checkpoint = Dia_runtime.Checkpoint in
+  let d = Soak.default_scenario and dc = Soak.default_config in
+  let nodes_arg =
+    Arg.(value & opt int d.Soak.nodes
+         & info [ "nodes" ] ~docv:"N" ~doc:"Network size.")
+  in
+  let servers_arg =
+    Arg.(value & opt int d.Soak.servers
+         & info [ "k"; "servers" ] ~docv:"K" ~doc:"Number of servers.")
+  in
+  let capacity_arg =
+    Arg.(value & opt (some int) d.Soak.capacity
+         & info [ "capacity" ] ~docv:"N" ~doc:"Per-server client capacity.")
+  in
+  let horizon_arg =
+    Arg.(value & opt float d.Soak.horizon
+         & info [ "horizon" ] ~docv:"T" ~doc:"Trace length in time units.")
+  in
+  let rate_arg =
+    Arg.(value & opt float d.Soak.join_rate
+         & info [ "rate" ] ~docv:"R" ~doc:"Poisson join rate per time unit.")
+  in
+  let lifetime_arg =
+    Arg.(value & opt float d.Soak.mean_lifetime
+         & info [ "lifetime" ] ~docv:"T" ~doc:"Mean exponential session lifetime.")
+  in
+  let drift_period_arg =
+    Arg.(value & opt float d.Soak.drift_period
+         & info [ "drift-period" ] ~docv:"T"
+             ~doc:"Latency-drift step period (0 disables drift).")
+  in
+  let drift_amplitude_arg =
+    Arg.(value & opt float d.Soak.drift_amplitude
+         & info [ "drift-amplitude" ] ~docv:"A"
+             ~doc:"Drift factor spread in [0,1].")
+  in
+  let soak_fault_arg =
+    Arg.(value & opt fault_conv d.Soak.fault
+         & info [ "fault" ] ~docv:"SPEC"
+             ~doc:"Fault plan: crash rules drive server crash/recovery in the \
+                   trace; the whole plan is the ambient network weather for \
+                   protocol-repair epochs. Default \
+                   $(b,loss:0.1+crash:2@60~180); $(b,reliable) disables.")
+  in
+  let budget_arg =
+    Arg.(value & opt int dc.Soak.budget
+         & info [ "budget" ] ~docv:"M"
+             ~doc:"Migration budget per repair epoch.")
+  in
+  let max_queue_arg =
+    Arg.(value & opt int dc.Soak.max_queue
+         & info [ "max-queue" ] ~docv:"N" ~doc:"Admission queue bound.")
+  in
+  let lb_every_arg =
+    Arg.(value & opt int dc.Soak.lb_every
+         & info [ "lb-every" ] ~docv:"N"
+             ~doc:"Events between periodic lower-bound refreshes.")
+  in
+  let checkpoint_arg =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Write checkpoints to $(docv) (atomic replace).")
+  in
+  let checkpoint_every_arg =
+    Arg.(value & opt int dc.Soak.checkpoint_every
+         & info [ "checkpoint-every" ] ~docv:"N"
+             ~doc:"Events between checkpoints (0 disables).")
+  in
+  let resume_arg =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Continue from the checkpoint file instead of starting \
+                   fresh; the final report is bit-identical to an \
+                   uninterrupted run.")
+  in
+  let kill_after_arg =
+    Arg.(value & opt (some int) None
+         & info [ "kill-after" ] ~docv:"N"
+             ~doc:"Stop (exit 137) right after the $(docv)-th checkpoint of \
+                   this process — a deterministic kill -9 for tests and CI.")
+  in
+  let log_arg =
+    Arg.(value & opt (some string) None
+         & info [ "log" ] ~docv:"FILE"
+             ~doc:"Write the structured event log to $(docv).")
+  in
+  let run seed nodes servers capacity horizon rate lifetime drift_period
+      drift_amplitude fault budget max_queue lb_every checkpoint
+      checkpoint_every resume kill_after log_path =
+    let scenario =
+      {
+        Soak.seed;
+        nodes;
+        servers;
+        capacity;
+        horizon;
+        join_rate = rate;
+        mean_lifetime = lifetime;
+        drift_period;
+        drift_amplitude;
+        fault;
+      }
+    in
+    let config =
+      { dc with Soak.budget; max_queue; lb_every; checkpoint_every }
+    in
+    let proceed resume_from =
+      match
+        Soak.run ?checkpoint_path:checkpoint ?resume_from ?kill_after scenario
+          config
+      with
+      | exception Invalid_argument m -> `Error (false, m)
+      | Soak.Completed r ->
+          print_string (Soak.render r);
+          (match log_path with
+          | Some path ->
+              Dia_runtime.Event_log.save path r.Soak.log;
+              Printf.printf "(event log written to %s)\n" path
+          | None -> ());
+          `Ok ()
+      | Soak.Killed st ->
+          Printf.printf "killed after checkpoint %d (event %d of the trace)%s\n"
+            st.Checkpoint.checkpoints st.Checkpoint.cursor
+            (match checkpoint with
+            | Some path ->
+                Printf.sprintf "; resume with: dia soak --resume --checkpoint %s"
+                  path
+            | None -> "");
+          exit 137
+    in
+    if resume then
+      match checkpoint with
+      | None -> `Error (false, "--resume requires --checkpoint FILE")
+      | Some path -> (
+          match Checkpoint.load path with
+          | Ok st -> proceed (Some st)
+          | Error m -> `Error (false, "cannot resume: " ^ m))
+    else proceed None
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:"Run the self-healing control plane through a chaos trace: \
+             Poisson churn, latency drift and crash/recovery schedules, \
+             with SLO-guarded bounded repair, admission control, and \
+             checkpoint/restore. Deterministic: any kill at a checkpoint \
+             boundary resumes to a bit-identical report and event log.")
+    Term.(ret (const run $ seed_arg $ nodes_arg $ servers_arg $ capacity_arg
+               $ horizon_arg $ rate_arg $ lifetime_arg $ drift_period_arg
+               $ drift_amplitude_arg $ soak_fault_arg $ budget_arg
+               $ max_queue_arg $ lb_every_arg $ checkpoint_arg
+               $ checkpoint_every_arg $ resume_arg $ kill_after_arg $ log_arg))
 
 (* dia vivaldi *)
 
@@ -440,7 +666,7 @@ let main_cmd =
   let doc = "Client assignment for continuous distributed interactive applications" in
   let info = Cmd.info "dia" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ experiment_cmd; assign_cmd; dataset_cmd; simulate_cmd; vivaldi_cmd;
-      topology_cmd; npc_cmd; oracle_cmd ]
+    [ experiment_cmd; assign_cmd; dataset_cmd; simulate_cmd; soak_cmd;
+      vivaldi_cmd; topology_cmd; npc_cmd; oracle_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -7,13 +7,15 @@ type member = { node : int; mutable server : int }
 type stats = { joins : int; leaves : int; moves : int }
 
 type t = {
-  matrix : Matrix.t;
+  base : Matrix.t;  (** pristine latencies, never mutated *)
+  mutable matrix : Matrix.t;  (** == [base] until drift copies it *)
   servers : int array;
   capacity : int;
   members : (client_id, member) Hashtbl.t;
   load : int array;
   ecc : float array;
   failed : bool array;
+  node_drift : float array;  (** per-node multiplicative factor, 1.0 = none *)
   mutable next_id : int;
   mutable joins : int;
   mutable leaves : int;
@@ -32,6 +34,7 @@ let create ?capacity matrix ~servers =
   | _ -> ());
   let k = Array.length servers in
   {
+    base = matrix;
     matrix;
     servers = Array.copy servers;
     capacity = Option.value ~default:max_int capacity;
@@ -39,6 +42,7 @@ let create ?capacity matrix ~servers =
     load = Array.make k 0;
     ecc = Array.make k neg_infinity;
     failed = Array.make k false;
+    node_drift = Array.make (Matrix.dim matrix) 1.0;
     next_id = 0;
     joins = 0;
     leaves = 0;
@@ -126,6 +130,29 @@ let server_of t id = (find t id).server
 
 let num_clients t = Hashtbl.length t.members
 
+let load t s =
+  if s < 0 || s >= k t then
+    invalid_arg (Printf.sprintf "Dynamic.load: server %d out of range" s);
+  t.load.(s)
+
+let move t id target =
+  let member = find t id in
+  if target < 0 || target >= k t then
+    invalid_arg (Printf.sprintf "Dynamic.move: server %d out of range" target);
+  if t.failed.(target) then
+    invalid_arg (Printf.sprintf "Dynamic.move: server %d is failed" target);
+  if member.server <> target then begin
+    if t.load.(target) >= t.capacity then
+      invalid_arg (Printf.sprintf "Dynamic.move: server %d is saturated" target);
+    let old_s = member.server in
+    t.load.(old_s) <- t.load.(old_s) - 1;
+    t.load.(target) <- t.load.(target) + 1;
+    member.server <- target;
+    recompute_ecc t old_s;
+    t.ecc.(target) <- Float.max t.ecc.(target) (d_ns t member.node target);
+    t.moves <- t.moves + 1
+  end
+
 (* Eccentricity of server [s] excluding one specific member. *)
 let ecc_excluding t s excluded_id =
   let worst = ref neg_infinity in
@@ -137,6 +164,8 @@ let ecc_excluding t s excluded_id =
   !worst
 
 let rebalance ?(max_moves = max_int) t =
+  if max_moves <= 0 then 0
+  else begin
   let moves = ref 0 in
   let continue = ref true in
   while !continue && !moves < max_moves do
@@ -195,6 +224,7 @@ let rebalance ?(max_moves = max_int) t =
     if not (List.exists try_move candidates) then continue := false
   done;
   !moves
+  end
 
 let snapshot t =
   if num_clients t = 0 then invalid_arg "Dynamic.snapshot: no clients";
@@ -212,14 +242,96 @@ let snapshot t =
 
 let stats t = { joins = t.joins; leaves = t.leaves; moves = t.moves }
 
+let next_id t = t.next_id
+
 let active_servers t =
   List.filter (fun s -> not t.failed.(s)) (List.init (k t) Fun.id)
 
-let fail_server t s =
+let failed_servers t =
+  List.filter (fun s -> t.failed.(s)) (List.init (k t) Fun.id)
+
+let members t =
+  Hashtbl.fold (fun id m acc -> (id, m.node, m.server) :: acc) t.members []
+  |> List.sort compare
+
+(* Rebuild every cached eccentricity from scratch in one member pass —
+   needed after a drift change rescales distances wholesale. *)
+let rebuild_ecc t =
+  Array.fill t.ecc 0 (k t) neg_infinity;
+  Hashtbl.iter
+    (fun _ m -> t.ecc.(m.server) <- Float.max t.ecc.(m.server) (d_ns t m.node m.server))
+    t.members
+
+let drift t s =
   if s < 0 || s >= k t then
-    invalid_arg (Printf.sprintf "Dynamic.fail_server: server %d out of range" s);
+    invalid_arg (Printf.sprintf "Dynamic.drift: server %d out of range" s);
+  t.node_drift.(t.servers.(s))
+
+let set_drift t ~server ~factor =
+  if server < 0 || server >= k t then
+    invalid_arg (Printf.sprintf "Dynamic.set_drift: server %d out of range" server);
+  if not (Float.is_finite factor) || factor <= 0. then
+    invalid_arg (Printf.sprintf "Dynamic.set_drift: factor %g invalid" factor);
+  let sv = t.servers.(server) in
+  if t.node_drift.(sv) <> factor then begin
+    if t.matrix == t.base then t.matrix <- Matrix.copy t.base;
+    t.node_drift.(sv) <- factor;
+    let n = Matrix.dim t.base in
+    for u = 0 to n - 1 do
+      if u <> sv then
+        Matrix.set t.matrix u sv
+          (Matrix.get t.base u sv *. factor *. t.node_drift.(u))
+    done;
+    rebuild_ecc t
+  end
+
+let restore ?capacity matrix ~servers ~members:member_list ~next_id ~failed
+    ~drift:drift_list ~stats:(s : stats) =
+  let t = create ?capacity matrix ~servers in
+  List.iter
+    (fun srv ->
+      if srv < 0 || srv >= k t then
+        invalid_arg (Printf.sprintf "Dynamic.restore: failed server %d out of range" srv);
+      t.failed.(srv) <- true)
+    failed;
+  List.iter (fun (server, factor) -> set_drift t ~server ~factor) drift_list;
+  List.iter
+    (fun (id, node, server) ->
+      if node < 0 || node >= Matrix.dim matrix then
+        invalid_arg (Printf.sprintf "Dynamic.restore: node %d out of range" node);
+      if server < 0 || server >= k t then
+        invalid_arg (Printf.sprintf "Dynamic.restore: server %d out of range" server);
+      if t.failed.(server) then
+        invalid_arg (Printf.sprintf "Dynamic.restore: member on failed server %d" server);
+      if Hashtbl.mem t.members id then
+        invalid_arg (Printf.sprintf "Dynamic.restore: duplicate client id %d" id);
+      if t.load.(server) >= t.capacity then
+        invalid_arg (Printf.sprintf "Dynamic.restore: server %d over capacity" server);
+      Hashtbl.replace t.members id { node; server };
+      t.load.(server) <- t.load.(server) + 1;
+      t.ecc.(server) <- Float.max t.ecc.(server) (d_ns t node server);
+      if id >= next_id then
+        invalid_arg (Printf.sprintf "Dynamic.restore: client id %d >= next_id" id))
+    member_list;
+  t.next_id <- next_id;
+  t.joins <- s.joins;
+  t.leaves <- s.leaves;
+  t.moves <- s.moves;
+  t
+
+let check_failable t s ~label =
+  if s < 0 || s >= k t then
+    invalid_arg (Printf.sprintf "Dynamic.%s: server %d out of range" label s);
   if t.failed.(s) then
-    invalid_arg (Printf.sprintf "Dynamic.fail_server: server %d already failed" s);
+    invalid_arg (Printf.sprintf "Dynamic.%s: server %d already failed" label s);
+  if List.for_all (fun s' -> s' = s || t.failed.(s')) (List.init (k t) Fun.id) then
+    invalid_arg
+      (Printf.sprintf "Dynamic.%s: server %d is the last live server" label s)
+
+(* Take [s] down and greedily re-home its clients (same rule as join).
+   Orphans that no live server has room for are disconnected and returned
+   as the stranded list. *)
+let fail_server_partial t s =
   t.failed.(s) <- true;
   let orphans =
     Hashtbl.fold
@@ -227,22 +339,11 @@ let fail_server t s =
       t.members []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
-  let surviving_capacity =
-    List.fold_left
-      (fun acc s' ->
-        if t.capacity = max_int then max_int
-        else acc + (t.capacity - t.load.(s')))
-      0 (active_servers t)
-  in
-  if surviving_capacity < List.length orphans then begin
-    t.failed.(s) <- false;
-    failwith "Dynamic.fail_server: surviving servers cannot host the orphans"
-  end;
   t.load.(s) <- 0;
   t.ecc.(s) <- neg_infinity;
-  (* Greedy re-homing, one orphan at a time (same rule as join). *)
+  let migrated = ref 0 and stranded = ref [] in
   List.iter
-    (fun (_, member) ->
+    (fun (id, member) ->
       let current = objective t in
       let best = ref (-1) and best_d = ref infinity in
       for s' = 0 to k t - 1 do
@@ -254,17 +355,43 @@ let fail_server t s =
           end
         end
       done;
-      assert (!best >= 0);
-      member.server <- !best;
-      t.load.(!best) <- t.load.(!best) + 1;
-      t.ecc.(!best) <- Float.max t.ecc.(!best) (d_ns t member.node !best);
-      t.moves <- t.moves + 1)
+      if !best < 0 then begin
+        Hashtbl.remove t.members id;
+        stranded := id :: !stranded
+      end
+      else begin
+        member.server <- !best;
+        t.load.(!best) <- t.load.(!best) + 1;
+        t.ecc.(!best) <- Float.max t.ecc.(!best) (d_ns t member.node !best);
+        t.moves <- t.moves + 1;
+        incr migrated
+      end)
     orphans;
-  List.length orphans
+  (!migrated, List.rev !stranded)
+
+let fail_server t s =
+  check_failable t s ~label:"fail_server";
+  let orphans =
+    Hashtbl.fold (fun _ m acc -> if m.server = s then acc + 1 else acc) t.members 0
+  in
+  let surviving_capacity =
+    List.fold_left
+      (fun acc s' ->
+        if s' = s || t.capacity = max_int then acc
+        else acc + (t.capacity - t.load.(s')))
+      (if t.capacity = max_int then max_int else 0)
+      (active_servers t)
+  in
+  if surviving_capacity < orphans then
+    failwith "Dynamic.fail_server: surviving servers cannot host the orphans";
+  let migrated, stranded = fail_server_partial t s in
+  assert (stranded = []);
+  migrated
 
 type degradation = {
   failed_server : int;
   migrated : int;
+  stranded : int list;
   objective_before : float;
   objective_after : float;
   objective_resolve : float;
@@ -272,8 +399,9 @@ type degradation = {
 }
 
 let fail_server_report t s =
+  check_failable t s ~label:"fail_server_report";
   let objective_before = objective t in
-  let migrated = fail_server t s in
+  let migrated, stranded = fail_server_partial t s in
   let objective_after = objective t in
   (* Fresh greedy re-solve over the surviving servers, same clients —
      the quality a from-scratch assignment would reach, against which
@@ -296,7 +424,7 @@ let fail_server_report t s =
     if Array.length clients = 0 || objective_resolve <= 0. then 1.
     else objective_after /. objective_resolve
   in
-  { failed_server = s; migrated; objective_before; objective_after;
+  { failed_server = s; migrated; stranded; objective_before; objective_after;
     objective_resolve; factor }
 
 let recover_server t s =

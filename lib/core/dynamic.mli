@@ -48,6 +48,20 @@ val server_of : t -> client_id -> int
 val num_clients : t -> int
 (** Currently connected clients. *)
 
+val load : t -> int -> int
+(** Number of clients currently assigned to a server.
+
+    @raise Invalid_argument if the server index is out of range. *)
+
+val move : t -> client_id -> int -> unit
+(** Force-move a client to the given server (no-op when already there),
+    updating loads, eccentricities and the move counter. Used by
+    supervisors to apply an externally computed (e.g. protocol-level)
+    repair plan move by move.
+
+    @raise Invalid_argument for unknown/departed ids, out-of-range,
+    failed, or saturated target servers. *)
+
 val objective : t -> float
 (** Current maximum interaction-path length ([neg_infinity] when empty).
     O(|S|²). *)
@@ -56,7 +70,9 @@ val rebalance : ?max_moves:int -> t -> int
 (** Perform up to [max_moves] (default unlimited) strictly improving
     single-client moves, Distributed-Greedy style, and return how many
     were made. Afterwards (when not cut short by [max_moves]) no single
-    move can reduce the objective. *)
+    move can reduce the objective. [max_moves <= 0] is a guaranteed
+    no-op returning [0] — the migration budget can always be exhausted
+    safely. *)
 
 val snapshot : t -> Problem.t * Assignment.t
 (** Materialise the current membership as an offline instance — for
@@ -68,9 +84,57 @@ type stats = { joins : int; leaves : int; moves : int }
 
 val stats : t -> stats
 
+val next_id : t -> client_id
+(** The id the next {!join} will receive — part of the checkpointable
+    session state ({!restore} takes it back). *)
+
+val members : t -> (client_id * int * int) list
+(** Current membership as [(id, node, server)] triples, ascending by id —
+    the serializable session state consumed by checkpointing. *)
+
 val active_servers : t -> int list
 (** Server indices currently accepting clients (all of them until
     {!fail_server} is used), ascending. *)
+
+val failed_servers : t -> int list
+(** Complement of {!active_servers}, ascending. *)
+
+val drift : t -> int -> float
+(** Current latency-drift factor of a server (1.0 until {!set_drift}).
+
+    @raise Invalid_argument if the server index is out of range. *)
+
+val set_drift : t -> server:int -> factor:float -> unit
+(** Rescale every latency to and from [server]'s node by [factor]
+    (replacing any previous factor for that server; links between two
+    drifted server nodes carry the product of the two factors). Models
+    congestion or route change at a server site. All cached
+    eccentricities are rebuilt against the drifted matrix, and
+    {!snapshot} materialises the drifted distances, so offline re-solves
+    and lower bounds stay comparable with {!objective}. The caller's
+    matrix is never mutated (copy-on-first-drift).
+
+    @raise Invalid_argument if [server] is out of range or [factor] is
+    not a positive finite number. *)
+
+val restore :
+  ?capacity:int ->
+  Dia_latency.Matrix.t ->
+  servers:int array ->
+  members:(client_id * int * int) list ->
+  next_id:int ->
+  failed:int list ->
+  drift:(int * float) list ->
+  stats:stats ->
+  t
+(** Rebuild a session from checkpointed state: the exact inverse of
+    reading {!members}, {!failed_servers}, {!drift}, {!stats} and the
+    id counter. Loads and eccentricities are recomputed, so the restored
+    session is behaviourally identical to the one that was saved.
+
+    @raise Invalid_argument on out-of-range ids/nodes/servers, duplicate
+    client ids, members on failed servers, ids at or above [next_id], or
+    capacity violations. *)
 
 val fail_server : t -> int -> int
 (** [fail_server t s] takes server [s] out of service: it stops accepting
@@ -78,12 +142,18 @@ val fail_server : t -> int -> int
     server that minimises the resulting objective (greedy, in client-id
     order). Returns the number of clients migrated.
 
-    @raise Invalid_argument if [s] is out of range or already failed.
+    @raise Invalid_argument if [s] is out of range, already failed, or
+    the last live server (failing it would leave the session with no
+    live servers — callers must treat that as total outage instead).
     @raise Failure if the surviving capacity cannot host the orphans. *)
 
 type degradation = {
   failed_server : int;
   migrated : int;  (** orphans re-homed by the failover *)
+  stranded : int list;
+      (** orphans no live server had room for — disconnected from the
+          session and reported here (never silently dropped), ascending
+          by client id; empty when surviving capacity sufficed *)
   objective_before : float;  (** D(A) just before the failure *)
   objective_after : float;  (** D(A) after greedy migration *)
   objective_resolve : float;
@@ -99,11 +169,13 @@ val fail_server_report : t -> int -> degradation
 (** {!fail_server} plus a degradation report: the surviving objective is
     compared against a fresh {!Greedy.assign} re-solve over the
     remaining servers, quantifying the cost of repairing incrementally
-    instead of reassigning everyone.
+    instead of reassigning everyone. Unlike {!fail_server}, insufficient
+    surviving capacity is not an error: the orphans that fit are
+    migrated and the rest are disconnected and listed in [stranded] —
+    graceful degradation for supervised runtimes.
 
-    @raise Invalid_argument if [s] is out of range or already failed.
-    @raise Failure if the surviving capacity cannot host the orphans
-    (the session is left unchanged). *)
+    @raise Invalid_argument if [s] is out of range, already failed, or
+    the last live server. *)
 
 val recover_server : t -> int -> unit
 (** Bring a failed server back into service (existing clients stay where

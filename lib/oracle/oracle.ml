@@ -49,6 +49,46 @@ let pool_identity_checks pool ~seed =
       :: !failures;
   List.rev !failures
 
+(* Self-healing control plane: a soak run killed at a checkpoint and
+   resumed through the checkpoint codec must produce a report and event
+   log bit-identical to the uninterrupted run. *)
+let soak_determinism_checks ~seed =
+  let module Soak = Dia_runtime.Soak in
+  let module Checkpoint = Dia_runtime.Checkpoint in
+  let module Event_log = Dia_runtime.Event_log in
+  let scenario =
+    { Soak.default_scenario with Soak.seed; nodes = 50; servers = 4; horizon = 80. }
+  in
+  let config = { Soak.default_config with Soak.checkpoint_every = 25 } in
+  match Soak.run scenario config with
+  | Soak.Killed _ -> [ "soak determinism: uninterrupted run reported Killed" ]
+  | Soak.Completed base -> (
+      match Soak.run ~kill_after:1 scenario config with
+      | Soak.Completed _ ->
+          [ "soak determinism: kill_after run completed without stopping" ]
+      | Soak.Killed st -> (
+          match Checkpoint.decode (Checkpoint.encode st) with
+          | Error m -> [ "soak determinism: checkpoint round-trip failed: " ^ m ]
+          | Ok st -> (
+              match Soak.run ~resume_from:st scenario config with
+              | Soak.Killed _ -> [ "soak determinism: resumed run reported Killed" ]
+              | Soak.Completed resumed ->
+                  let failures = ref [] in
+                  if Soak.render resumed <> Soak.render base then
+                    failures :=
+                      "soak determinism: resumed report differs from the \
+                       uninterrupted run"
+                      :: !failures;
+                  if
+                    Event_log.render resumed.Soak.log
+                    <> Event_log.render base.Soak.log
+                  then
+                    failures :=
+                      "soak determinism: resumed event log differs from the \
+                       uninterrupted run"
+                      :: !failures;
+                  List.rev !failures)))
+
 let aggregate_checks ~normalized_instances means =
   if normalized_instances < aggregate_min_sample then []
   else begin
@@ -117,13 +157,14 @@ let run ?jobs ?(count = 200) ~seed () =
       in
       let suite_failures =
         pool_identity_checks pool ~seed
+        @ soak_determinism_checks ~seed
         @ aggregate_checks ~normalized_instances:!norm_n mean_normalized
       in
       List.iter (fun m -> failures := (seed, m) :: !failures) suite_failures;
       {
         base_seed = seed;
         instances = count;
-        checks = !checks + 2 + (if !norm_n >= aggregate_min_sample then 4 else 0);
+        checks = !checks + 4 + (if !norm_n >= aggregate_min_sample then 4 else 0);
         failures = List.rev !failures;
         brute_checked = !brute;
         sim_checked = !sim;

@@ -14,7 +14,11 @@
     - {b aggregate dominance}: over a large enough sample ([>= 100]
       instances with a usable [LB]), the paper's quality ordering of the
       mean normalized objective must hold — Greedy and LFB no worse on
-      average than Nearest-Server, within a small statistical slack.
+      average than Nearest-Server, within a small statistical slack;
+    - {b soak determinism}: a control-plane soak run
+      ({!Dia_runtime.Soak}) killed at its first checkpoint and resumed
+      through the checkpoint codec must produce a report and event log
+      bit-identical to the uninterrupted run.
 
     Every failure is reported with the absolute instance seed; replay
     one with [bin/main.exe oracle --seed N --count 1]. *)

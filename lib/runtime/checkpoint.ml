@@ -1,0 +1,235 @@
+let version = 1
+
+type state = {
+  digest : string;
+  cursor : int;
+  now : float;
+  capacity : int option;
+  members : (int * int * int) list;
+  next_id : int;
+  failed : int list;
+  drift : (int * float) list;
+  session_stats : Dia_core.Dynamic.stats;
+  sessions : (int * int) list;
+  slo : string;
+  queue : (int * int) list;
+  admitted : int;
+  queued : int;
+  shed : int;
+  drained : int;
+  abandoned : int;
+  leaves : int;
+  crashes : int;
+  crashes_skipped : int;
+  recoveries : int;
+  drifts : int;
+  stranded : int;
+  repairs : int;
+  repair_moves : int;
+  max_epoch_moves : int;
+  protocol_epochs : int;
+  protocol_stalls : int;
+  rng_cursor : int;
+  lb : float;
+  events_since_lb : int;
+  checkpoints : int;
+  trace_points : (float * float * float) list;
+  log : Event_log.entry list;
+}
+
+let fs = Codec.float_str
+
+let encode s =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b (l ^ "\n")) fmt in
+  line "dia-soak-checkpoint v%d" version;
+  line "digest=%s" s.digest;
+  line "cursor=%d" s.cursor;
+  line "now=%s" (fs s.now);
+  line "capacity=%s"
+    (match s.capacity with None -> "none" | Some c -> string_of_int c);
+  line "next_id=%d" s.next_id;
+  line "failed=%s" (String.concat "," (List.map string_of_int s.failed));
+  line "stats=%d,%d,%d" s.session_stats.Dia_core.Dynamic.joins
+    s.session_stats.Dia_core.Dynamic.leaves s.session_stats.Dia_core.Dynamic.moves;
+  line "slo=%s" s.slo;
+  line "admitted=%d" s.admitted;
+  line "queued=%d" s.queued;
+  line "shed=%d" s.shed;
+  line "drained=%d" s.drained;
+  line "abandoned=%d" s.abandoned;
+  line "leaves=%d" s.leaves;
+  line "crashes=%d" s.crashes;
+  line "crashes_skipped=%d" s.crashes_skipped;
+  line "recoveries=%d" s.recoveries;
+  line "drifts=%d" s.drifts;
+  line "stranded=%d" s.stranded;
+  line "repairs=%d" s.repairs;
+  line "repair_moves=%d" s.repair_moves;
+  line "max_epoch_moves=%d" s.max_epoch_moves;
+  line "protocol_epochs=%d" s.protocol_epochs;
+  line "protocol_stalls=%d" s.protocol_stalls;
+  line "rng_cursor=%d" s.rng_cursor;
+  line "lb=%s" (fs s.lb);
+  line "events_since_lb=%d" s.events_since_lb;
+  line "checkpoints=%d" s.checkpoints;
+  List.iter (fun (id, node, server) -> line "member=%d,%d,%d" id node server) s.members;
+  List.iter (fun (session, client) -> line "session=%d,%d" session client) s.sessions;
+  List.iter (fun (server, factor) -> line "drift=%d,%s" server (fs factor)) s.drift;
+  List.iter (fun (session, node) -> line "queue=%d,%d" session node) s.queue;
+  List.iter
+    (fun (t, objective, ratio) ->
+      line "trace=%s,%s,%s" (fs t) (fs objective) (fs ratio))
+    s.trace_points;
+  List.iter (fun e -> line "log=%s" (Codec.escape (Event_log.to_line e))) s.log;
+  Buffer.add_string b "end\n";
+  Buffer.contents b
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let int_of what s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> fail "checkpoint: %s is not an integer (%S)" what s
+
+let split2 what s =
+  match String.index_opt s ',' with
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> fail "checkpoint: %s expects two fields (%S)" what s
+
+let split3 what s =
+  let a, rest = split2 what s in
+  let b, c = split2 what rest in
+  (a, b, c)
+
+let decode text =
+  try
+    let lines =
+      String.split_on_char '\n' text
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    match lines with
+    | [] -> Error "checkpoint: empty"
+    | header :: rest ->
+        if header <> Printf.sprintf "dia-soak-checkpoint v%d" version then
+          fail "checkpoint: unsupported header %S" header;
+        (match List.rev rest with
+        | "end" :: _ -> ()
+        | _ -> fail "checkpoint: truncated (missing end marker)");
+        let rest = List.filter (fun l -> l <> "end") rest in
+        let scalars = Hashtbl.create 32 in
+        let members = ref [] and sessions = ref [] and drift = ref [] in
+        let queue = ref [] and trace_points = ref [] and log = ref [] in
+        List.iter
+          (fun l ->
+            match String.index_opt l '=' with
+            | None -> fail "checkpoint: malformed line %S" l
+            | Some i -> (
+                let key = String.sub l 0 i in
+                let value = String.sub l (i + 1) (String.length l - i - 1) in
+                match key with
+                | "member" ->
+                    let a, b, c = split3 "member" value in
+                    members :=
+                      (int_of "member" a, int_of "member" b, int_of "member" c)
+                      :: !members
+                | "session" ->
+                    let a, b = split2 "session" value in
+                    sessions := (int_of "session" a, int_of "session" b) :: !sessions
+                | "drift" ->
+                    let a, b = split2 "drift" value in
+                    drift := (int_of "drift" a, Codec.float_of_str b) :: !drift
+                | "queue" ->
+                    let a, b = split2 "queue" value in
+                    queue := (int_of "queue" a, int_of "queue" b) :: !queue
+                | "trace" ->
+                    let a, b, c = split3 "trace" value in
+                    trace_points :=
+                      (Codec.float_of_str a, Codec.float_of_str b, Codec.float_of_str c)
+                      :: !trace_points
+                | "log" -> (
+                    match Event_log.of_line (Codec.unescape value) with
+                    | Ok entry -> log := entry :: !log
+                    | Error m -> fail "checkpoint: bad log line: %s" m)
+                | _ -> Hashtbl.replace scalars key value))
+          rest;
+        let scalar key =
+          match Hashtbl.find_opt scalars key with
+          | Some v -> v
+          | None -> fail "checkpoint: missing field %S" key
+        in
+        let int key = int_of key (scalar key) in
+        let stats =
+          let a, b, c = split3 "stats" (scalar "stats") in
+          {
+            Dia_core.Dynamic.joins = int_of "stats" a;
+            leaves = int_of "stats" b;
+            moves = int_of "stats" c;
+          }
+        in
+        Ok
+          {
+            digest = scalar "digest";
+            cursor = int "cursor";
+            now = Codec.float_of_str (scalar "now");
+            capacity =
+              (match scalar "capacity" with
+              | "none" -> None
+              | c -> Some (int_of "capacity" c));
+            members = List.rev !members;
+            next_id = int "next_id";
+            failed =
+              (match scalar "failed" with
+              | "" -> []
+              | f -> List.map (int_of "failed") (String.split_on_char ',' f));
+            drift = List.rev !drift;
+            session_stats = stats;
+            sessions = List.rev !sessions;
+            slo = scalar "slo";
+            queue = List.rev !queue;
+            admitted = int "admitted";
+            queued = int "queued";
+            shed = int "shed";
+            drained = int "drained";
+            abandoned = int "abandoned";
+            leaves = int "leaves";
+            crashes = int "crashes";
+            crashes_skipped = int "crashes_skipped";
+            recoveries = int "recoveries";
+            drifts = int "drifts";
+            stranded = int "stranded";
+            repairs = int "repairs";
+            repair_moves = int "repair_moves";
+            max_epoch_moves = int "max_epoch_moves";
+            protocol_epochs = int "protocol_epochs";
+            protocol_stalls = int "protocol_stalls";
+            rng_cursor = int "rng_cursor";
+            lb = Codec.float_of_str (scalar "lb");
+            events_since_lb = int "events_since_lb";
+            checkpoints = int "checkpoints";
+            trace_points = List.rev !trace_points;
+            log = List.rev !log;
+          }
+  with
+  | Bad m -> Error m
+  | Failure m -> Error m
+
+let save path state =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (encode state);
+  close_out oc;
+  Sys.rename tmp path
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    text
+  with
+  | exception Sys_error m -> Error m
+  | text -> decode text

@@ -1,0 +1,74 @@
+(** Versioned, deterministic on-disk snapshots of the full controller
+    state.
+
+    A checkpoint captures {e everything} the soak loop needs to continue
+    as if it had never stopped: the trace cursor (the event stream is a
+    pure function of the scenario, so a single integer is the whole
+    stream position), the assignment session (membership, failures,
+    drift factors, counters, id cursor), the session↔client mapping, the
+    SLO state machine, the admission queue and counters, the repair
+    bookkeeping (including the sub-seed cursor for protocol-level repair
+    epochs — the "RNG cursor"), and the accumulated objective trace and
+    event log. A run killed with [SIGKILL] at any checkpoint boundary
+    and resumed from the file produces a final report bit-identical to
+    the uninterrupted run.
+
+    The format is a line-oriented, versioned text file. Floats are
+    printed with {!Codec.float_str}, which round-trips exactly. Writes
+    are atomic (temp file + rename), so a kill {e during} a checkpoint
+    write leaves the previous checkpoint intact. A [scenario] digest
+    guards against resuming under a different configuration. *)
+
+val version : int
+
+type state = {
+  digest : string;  (** hex digest of the scenario/config, from the soak *)
+  cursor : int;  (** next trace event index *)
+  now : float;  (** trace time of the last processed event *)
+  (* session *)
+  capacity : int option;
+  members : (int * int * int) list;  (** (client id, node, server) *)
+  next_id : int;
+  failed : int list;
+  drift : (int * float) list;  (** (server, factor), only factors <> 1 *)
+  session_stats : Dia_core.Dynamic.stats;
+  sessions : (int * int) list;  (** trace session -> live client id *)
+  (* controller *)
+  slo : string;  (** {!Slo.encode} *)
+  queue : (int * int) list;
+  admitted : int;
+  queued : int;
+  shed : int;
+  drained : int;
+  abandoned : int;
+  leaves : int;
+  crashes : int;
+  crashes_skipped : int;
+  recoveries : int;
+  drifts : int;
+  stranded : int;
+  repairs : int;
+  repair_moves : int;
+  max_epoch_moves : int;
+  protocol_epochs : int;
+  protocol_stalls : int;
+  rng_cursor : int;
+  lb : float;  (** last computed lower bound *)
+  events_since_lb : int;
+  checkpoints : int;
+  trace_points : (float * float * float) list;
+      (** (time, objective, ratio), oldest first *)
+  log : Event_log.entry list;  (** oldest first *)
+}
+
+val encode : state -> string
+val decode : string -> (state, string) result
+(** [decode (encode s) = Ok s], bit-exactly. Rejects unknown versions. *)
+
+val save : string -> state -> unit
+(** Atomic write: the state is written to [path ^ ".tmp"] and renamed
+    over [path]. *)
+
+val load : string -> (state, string) result
+(** Read and {!decode} a checkpoint file; I/O errors come back as
+    [Error]. *)

@@ -1,0 +1,45 @@
+let float_str f =
+  if Float.is_nan f then "nan"
+  else begin
+    let exact fmt =
+      let s = Printf.sprintf fmt f in
+      if float_of_string s = f then Some s else None
+    in
+    match exact "%g" with
+    | Some s -> s
+    | None -> (
+        match exact "%.12g" with Some s -> s | None -> Printf.sprintf "%.17g" f)
+  end
+
+let float_of_str s =
+  match float_of_string_opt (String.trim s) with
+  | Some f -> f
+  | None -> failwith (Printf.sprintf "Codec.float_of_str: %S is not a float" s)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let unescape s =
+  let b = Buffer.create (String.length s) in
+  let i = ref 0 in
+  let n = String.length s in
+  while !i < n do
+    (if s.[!i] = '\\' && !i + 1 < n then begin
+       (match s.[!i + 1] with
+       | 'n' -> Buffer.add_char b '\n'
+       | c -> Buffer.add_char b c);
+       i := !i + 2
+     end
+     else begin
+       Buffer.add_char b s.[!i];
+       incr i
+     end)
+  done;
+  Buffer.contents b

@@ -1,0 +1,49 @@
+(** The control plane's structured event log.
+
+    One record per state transition the supervisor performs —
+    join/queue/drain/shed, leave, crash (with migration and stranding
+    counts), recovery, drift, SLO transitions, budgeted repairs,
+    protocol-level repair epochs, checkpoints. The log is:
+
+    - {b replayable}: every record round-trips through its one-line
+      textual form exactly ({!of_line} ∘ {!to_line} is the identity),
+      so a post-mortem can be driven from the file alone;
+    - {b part of the determinism contract}: the log accumulated by a
+      killed-and-resumed run must be bit-identical to the uninterrupted
+      run's, which is enforced by the soak tests. *)
+
+type kind =
+  | Join of { session : int; client : int; server : int }
+  | Queued of { session : int }
+  | Drained of { session : int; client : int; server : int }
+  | Shed of { session : int }
+  | Leave of { session : int; client : int }
+  | Crash of { server : int; migrated : int; stranded : int }
+  | Crash_skipped of { server : int }
+      (** the schedule asked to crash the last live server; the
+          supervisor refuses total outage and records the refusal *)
+  | Recover of { server : int }
+  | Drift of { server : int; factor : float }
+  | Transition of { from_ : Slo.level; to_ : Slo.level; ratio : float }
+  | Repair of { moves : int; budget : int; before : float; after : float }
+  | Protocol_repair of {
+      attempt : int;
+      stalled : bool;
+      moves : int;  (** assignment changes the protocol result implies *)
+      applied : bool;  (** false when the plan exceeded the move budget *)
+    }
+  | Checkpoint of { id : int }
+
+type entry = { time : float; kind : kind }
+
+val to_line : entry -> string
+val of_line : string -> (entry, string) result
+
+val render : entry list -> string
+(** All entries, one line each, newline-terminated. *)
+
+val save : string -> entry list -> unit
+(** Write {!render} output to a file. *)
+
+val load : string -> (entry list, string) result
+(** Parse a saved log; blank lines ignored. *)

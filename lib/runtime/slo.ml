@@ -1,0 +1,109 @@
+type level = Healthy | Degraded | Critical
+
+let level_name = function
+  | Healthy -> "healthy"
+  | Degraded -> "degraded"
+  | Critical -> "critical"
+
+type config = {
+  degraded_at : float;
+  critical_at : float;
+  hysteresis : int;
+  recover_margin : float;
+}
+
+let default_config =
+  { degraded_at = 1.15; critical_at = 1.5; hysteresis = 3; recover_margin = 0.95 }
+
+let validate_config c =
+  if not (Float.is_finite c.degraded_at) || c.degraded_at < 1. then
+    invalid_arg "Slo: degraded_at must be >= 1";
+  if not (Float.is_finite c.critical_at) || c.critical_at < c.degraded_at then
+    invalid_arg "Slo: critical_at must be >= degraded_at";
+  if c.hysteresis < 1 then invalid_arg "Slo: hysteresis must be >= 1";
+  if
+    not (Float.is_finite c.recover_margin)
+    || c.recover_margin <= 0. || c.recover_margin > 1.
+  then invalid_arg "Slo: recover_margin must be in (0, 1]"
+
+type t = {
+  config : config;
+  mutable current : level;
+  mutable pending : level option;  (** candidate target of a transition *)
+  mutable streak : int;  (** consecutive observations towards [pending] *)
+}
+
+let create config =
+  validate_config config;
+  { config; current = Healthy; pending = None; streak = 0 }
+
+let level t = t.current
+
+(* The level this observation argues for, relative to the current one
+   (recovery is damped by the margin and steps down one level only). *)
+let desired t ratio =
+  let c = t.config in
+  match t.current with
+  | Healthy ->
+      if ratio >= c.critical_at then Critical
+      else if ratio >= c.degraded_at then Degraded
+      else Healthy
+  | Degraded ->
+      if ratio >= c.critical_at then Critical
+      else if ratio < c.degraded_at *. c.recover_margin then Healthy
+      else Degraded
+  | Critical ->
+      if ratio < c.critical_at *. c.recover_margin then Degraded else Critical
+
+let observe t ratio =
+  if not (Float.is_finite ratio) then None
+  else begin
+    let target = desired t ratio in
+    if target = t.current then begin
+      t.pending <- None;
+      t.streak <- 0;
+      None
+    end
+    else begin
+      (match t.pending with
+      | Some p when p = target -> t.streak <- t.streak + 1
+      | _ ->
+          t.pending <- Some target;
+          t.streak <- 1);
+      if t.streak >= t.config.hysteresis then begin
+        let from = t.current in
+        t.current <- target;
+        t.pending <- None;
+        t.streak <- 0;
+        Some (from, target)
+      end
+      else None
+    end
+  end
+
+let level_char = function Healthy -> 'H' | Degraded -> 'D' | Critical -> 'C'
+
+let level_of_char = function
+  | 'H' -> Healthy
+  | 'D' -> Degraded
+  | 'C' -> Critical
+  | c -> failwith (Printf.sprintf "Slo.decode: unknown level %C" c)
+
+let encode t =
+  Printf.sprintf "%c;%c;%d" (level_char t.current)
+    (match t.pending with None -> '-' | Some p -> level_char p)
+    t.streak
+
+let decode config s =
+  match String.split_on_char ';' s with
+  | [ current; pending; streak ] when String.length current = 1 && String.length pending = 1 ->
+      let t = create config in
+      t.current <- level_of_char current.[0];
+      t.pending <-
+        (if pending.[0] = '-' then None else Some (level_of_char pending.[0]));
+      (t.streak <-
+         (match int_of_string_opt streak with
+         | Some n when n >= 0 -> n
+         | _ -> failwith "Slo.decode: bad streak"));
+      t
+  | _ -> failwith (Printf.sprintf "Slo.decode: malformed state %S" s)

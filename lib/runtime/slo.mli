@@ -1,0 +1,65 @@
+(** The SLO state machine: objective-vs-lower-bound health tracking
+    with hysteresis.
+
+    The control plane's service-level objective is the normalized
+    interactivity [D(A) / LB] — how far the live assignment sits above
+    the instance's super-optimal lower bound (the paper's Section V
+    quality measure, applied continuously). Each observation of that
+    ratio feeds this three-level state machine:
+
+    - {b Healthy}: ratio below [degraded_at];
+    - {b Degraded}: ratio at or above [degraded_at] — bounded repair is
+      warranted;
+    - {b Critical}: ratio at or above [critical_at] — repair plus
+      admission brownout.
+
+    Transitions are damped twice: a level only escalates after
+    [hysteresis] {e consecutive} observations in the worse band (one
+    noisy tick never triggers a repair storm), and de-escalation
+    requires the ratio to fall below [recover_margin] times the
+    threshold it crossed (so a ratio oscillating exactly at the
+    threshold cannot flap the level). Escalation may jump straight to
+    Critical; recovery steps down one level at a time. *)
+
+type level = Healthy | Degraded | Critical
+
+val level_name : level -> string
+
+type config = {
+  degraded_at : float;  (** enter Degraded at this [D/LB] ratio *)
+  critical_at : float;  (** enter Critical at this ratio *)
+  hysteresis : int;  (** consecutive observations before any transition *)
+  recover_margin : float;
+      (** de-escalate only below [threshold *. recover_margin], in
+          [(0, 1]] *)
+}
+
+val default_config : config
+(** [degraded_at = 1.15], [critical_at = 1.5], [hysteresis = 3],
+    [recover_margin = 0.95]. *)
+
+val validate_config : config -> unit
+(** @raise Invalid_argument unless
+    [1 <= degraded_at <= critical_at], [hysteresis >= 1] and
+    [recover_margin] is in [(0, 1]]. *)
+
+type t
+(** Mutable monitor state. *)
+
+val create : config -> t
+
+val level : t -> level
+
+val observe : t -> float -> (level * level) option
+(** Feed one ratio observation; [Some (from, to_)] when this observation
+    completed a transition. Non-finite ratios (empty session, zero
+    lower bound) are ignored and do not advance any hysteresis
+    counter. *)
+
+val encode : t -> string
+(** Serialize the mutable state (not the config) for checkpointing. *)
+
+val decode : config -> string -> t
+(** Rebuild from {!encode} output.
+
+    @raise Failure on malformed input. *)

@@ -1,0 +1,656 @@
+module Dynamic = Dia_core.Dynamic
+module Problem = Dia_core.Problem
+module Greedy = Dia_core.Greedy
+module Objective = Dia_core.Objective
+module Lower_bound = Dia_core.Lower_bound
+module Assignment = Dia_core.Assignment
+module Fault = Dia_sim.Fault
+module Dgreedy_protocol = Dia_sim.Dgreedy_protocol
+
+type scenario = {
+  seed : int;
+  nodes : int;
+  servers : int;
+  capacity : int option;
+  horizon : float;
+  join_rate : float;
+  mean_lifetime : float;
+  drift_period : float;
+  drift_amplitude : float;
+  fault : Fault.plan;
+}
+
+let default_scenario =
+  {
+    seed = 42;
+    nodes = 120;
+    servers = 8;
+    capacity = None;
+    horizon = 300.;
+    join_rate = 1.;
+    mean_lifetime = 80.;
+    drift_period = 20.;
+    drift_amplitude = 0.3;
+    fault =
+      (match Fault.of_string "loss:0.1+crash:2@60~180" with
+      | Ok p -> p
+      | Error m -> failwith m);
+  }
+
+type config = {
+  slo : Slo.config;
+  budget : int;
+  max_queue : int;
+  lb_every : int;
+  checkpoint_every : int;
+  protocol_repair : bool;
+  max_protocol_attempts : int;
+}
+
+let default_config =
+  {
+    slo = Slo.default_config;
+    budget = 8;
+    max_queue = 64;
+    lb_every = 10;
+    checkpoint_every = 100;
+    protocol_repair = true;
+    max_protocol_attempts = 3;
+  }
+
+let validate scenario config =
+  if scenario.nodes < 2 then invalid_arg "Soak: nodes must be >= 2";
+  if scenario.servers < 1 || scenario.servers > scenario.nodes then
+    invalid_arg "Soak: servers must be in [1, nodes]";
+  (match scenario.capacity with
+  | Some c when c < 1 -> invalid_arg "Soak: capacity must be positive"
+  | _ -> ());
+  if scenario.horizon < 0. || not (Float.is_finite scenario.horizon) then
+    invalid_arg "Soak: horizon must be finite and non-negative";
+  if scenario.join_rate <= 0. then invalid_arg "Soak: join_rate must be positive";
+  if scenario.mean_lifetime <= 0. then
+    invalid_arg "Soak: mean_lifetime must be positive";
+  if scenario.drift_amplitude < 0. || scenario.drift_amplitude > 1. then
+    invalid_arg "Soak: drift_amplitude must be in [0, 1]";
+  Slo.validate_config config.slo;
+  if config.budget < 0 then invalid_arg "Soak: budget must be non-negative";
+  if config.max_queue < 0 then invalid_arg "Soak: max_queue must be non-negative";
+  if config.lb_every < 1 then invalid_arg "Soak: lb_every must be >= 1";
+  if config.checkpoint_every < 0 then
+    invalid_arg "Soak: checkpoint_every must be non-negative";
+  if config.max_protocol_attempts < 1 then
+    invalid_arg "Soak: max_protocol_attempts must be >= 1"
+
+let fs = Codec.float_str
+
+let digest scenario config =
+  let s = scenario and c = config in
+  let canonical =
+    Printf.sprintf
+      "soak seed=%d nodes=%d servers=%d capacity=%s horizon=%s join_rate=%s \
+       mean_lifetime=%s drift_period=%s drift_amplitude=%s fault=%s \
+       slo=%s,%s,%d,%s budget=%d max_queue=%d lb_every=%d checkpoint_every=%d \
+       protocol_repair=%b max_protocol_attempts=%d"
+      s.seed s.nodes s.servers
+      (match s.capacity with None -> "none" | Some c -> string_of_int c)
+      (fs s.horizon) (fs s.join_rate) (fs s.mean_lifetime) (fs s.drift_period)
+      (fs s.drift_amplitude)
+      (Fault.to_string s.fault)
+      (fs c.slo.Slo.degraded_at) (fs c.slo.Slo.critical_at) c.slo.Slo.hysteresis
+      (fs c.slo.Slo.recover_margin) c.budget c.max_queue c.lb_every
+      c.checkpoint_every c.protocol_repair c.max_protocol_attempts
+  in
+  Digest.to_hex (Digest.string canonical)
+
+(* Distinct random server nodes — a deterministic function of the seed,
+   independent of the trace streams. *)
+let place ~seed ~servers ~nodes =
+  let rng = Random.State.make [| seed; 0x736f616b |] in
+  let chosen = Array.make nodes false in
+  let out = Array.make servers 0 in
+  let count = ref 0 in
+  while !count < servers do
+    let n = Random.State.int rng nodes in
+    if not chosen.(n) then begin
+      chosen.(n) <- true;
+      out.(!count) <- n;
+      incr count
+    end
+  done;
+  out
+
+let build_trace scenario =
+  let churn =
+    Trace.churn ~seed:scenario.seed ~nodes:scenario.nodes
+      ~rate:scenario.join_rate ~mean_lifetime:scenario.mean_lifetime
+      ~horizon:scenario.horizon
+  in
+  let drift =
+    if scenario.drift_period > 0. && scenario.drift_amplitude > 0. then
+      Trace.drift_walk ~seed:scenario.seed ~servers:scenario.servers
+        ~period:scenario.drift_period ~amplitude:scenario.drift_amplitude
+        ~horizon:scenario.horizon
+    else []
+  in
+  let crashes = Trace.crashes_of_plan scenario.fault ~servers:scenario.servers in
+  Trace.merge ~horizon:scenario.horizon [ churn; drift; crashes ]
+
+type report = {
+  digest : string;
+  events : int;
+  horizon : float;
+  clients : int;
+  live_servers : int;
+  total_servers : int;
+  final_objective : float;
+  final_lb : float;
+  final_ratio : float;
+  resolve_objective : float;
+  steady_ratio : float;
+  budget : int;
+  max_epoch_moves : int;
+  slo_level : Slo.level;
+  admitted : int;
+  queued : int;
+  shed : int;
+  drained : int;
+  abandoned : int;
+  leaves : int;
+  crashes : int;
+  crashes_skipped : int;
+  recoveries : int;
+  drifts : int;
+  stranded : int;
+  repairs : int;
+  repair_moves : int;
+  protocol_epochs : int;
+  protocol_stalls : int;
+  checkpoints : int;
+  session_stats : Dynamic.stats;
+  trace_points : (float * float * float) list;
+  log : Event_log.entry list;
+}
+
+type outcome = Completed of report | Killed of Checkpoint.state
+
+exception Kill of Checkpoint.state
+
+let level_rank = function Slo.Healthy -> 0 | Slo.Degraded -> 1 | Slo.Critical -> 2
+
+let run ?checkpoint_path ?resume_from ?kill_after scenario config =
+  validate scenario config;
+  let dg = digest scenario config in
+  let matrix =
+    Dia_latency.Synthetic.internet_like ~seed:scenario.seed scenario.nodes
+  in
+  let server_nodes =
+    place ~seed:scenario.seed ~servers:scenario.servers ~nodes:scenario.nodes
+  in
+  let trace = build_trace scenario in
+  (* --- controller state: fresh, or rebuilt from a checkpoint --- *)
+  let session, sessions, admission, slo, start_cursor =
+    match resume_from with
+    | None ->
+        ( Dynamic.create ?capacity:scenario.capacity matrix ~servers:server_nodes,
+          Hashtbl.create 256,
+          Admission.create ~max_queue:config.max_queue,
+          Slo.create config.slo,
+          0 )
+    | Some st ->
+        if st.Checkpoint.digest <> dg then
+          invalid_arg
+            "Soak.run: checkpoint digest mismatch (different scenario/config)";
+        let session =
+          Dynamic.restore ?capacity:st.Checkpoint.capacity matrix
+            ~servers:server_nodes ~members:st.Checkpoint.members
+            ~next_id:st.Checkpoint.next_id ~failed:st.Checkpoint.failed
+            ~drift:st.Checkpoint.drift ~stats:st.Checkpoint.session_stats
+        in
+        let sessions = Hashtbl.create 256 in
+        List.iter
+          (fun (sid, id) -> Hashtbl.replace sessions sid id)
+          st.Checkpoint.sessions;
+        let admission = Admission.create ~max_queue:config.max_queue in
+        admission.Admission.queue <- st.Checkpoint.queue;
+        admission.Admission.admitted <- st.Checkpoint.admitted;
+        admission.Admission.queued <- st.Checkpoint.queued;
+        admission.Admission.shed <- st.Checkpoint.shed;
+        admission.Admission.drained <- st.Checkpoint.drained;
+        admission.Admission.abandoned <- st.Checkpoint.abandoned;
+        (session, sessions, admission, Slo.decode config.slo st.Checkpoint.slo,
+         st.Checkpoint.cursor)
+  in
+  let leaves = ref 0 and crashes = ref 0 and crashes_skipped = ref 0 in
+  let recoveries = ref 0 and drifts = ref 0 and stranded = ref 0 in
+  let repairs = ref 0 and repair_moves = ref 0 and max_epoch_moves = ref 0 in
+  let protocol_epochs = ref 0 and protocol_stalls = ref 0 in
+  let rng_cursor = ref 0 and lb = ref nan and events_since_lb = ref 0 in
+  let checkpoints = ref 0 in
+  let trace_points = ref [] (* newest first *) and log = ref [] in
+  (match resume_from with
+  | None -> ()
+  | Some st ->
+      leaves := st.Checkpoint.leaves;
+      crashes := st.Checkpoint.crashes;
+      crashes_skipped := st.Checkpoint.crashes_skipped;
+      recoveries := st.Checkpoint.recoveries;
+      drifts := st.Checkpoint.drifts;
+      stranded := st.Checkpoint.stranded;
+      repairs := st.Checkpoint.repairs;
+      repair_moves := st.Checkpoint.repair_moves;
+      max_epoch_moves := st.Checkpoint.max_epoch_moves;
+      protocol_epochs := st.Checkpoint.protocol_epochs;
+      protocol_stalls := st.Checkpoint.protocol_stalls;
+      rng_cursor := st.Checkpoint.rng_cursor;
+      lb := st.Checkpoint.lb;
+      events_since_lb := st.Checkpoint.events_since_lb;
+      checkpoints := st.Checkpoint.checkpoints;
+      trace_points := List.rev st.Checkpoint.trace_points;
+      log := List.rev st.Checkpoint.log);
+  let log_event time kind = log := { Event_log.time; kind } :: !log in
+  let has_capacity () =
+    match scenario.capacity with
+    | None -> Dynamic.active_servers session <> []
+    | Some c ->
+        List.exists
+          (fun s -> Dynamic.load session s < c)
+          (Dynamic.active_servers session)
+  in
+  (* The offline instance over the *surviving* servers, with the drifted
+     matrix: what lower bounds and re-solves must be measured against.
+     Also returns survivor index -> full server index. *)
+  let survivor_problem () =
+    if Dynamic.num_clients session = 0 then None
+    else
+      let p_full, _ = Dynamic.snapshot session in
+      let live = Array.of_list (Dynamic.active_servers session) in
+      if Array.length live = Problem.num_servers p_full then Some (p_full, live)
+      else
+        let full_servers = Problem.servers p_full in
+        let servers = Array.map (fun s -> full_servers.(s)) live in
+        let p =
+          Problem.make ?capacity:scenario.capacity
+            ~latency:(Problem.latency p_full) ~servers
+            ~clients:(Problem.clients p_full) ()
+        in
+        Some (p, live)
+  in
+  let recompute_lb now =
+    events_since_lb := 0;
+    (match survivor_problem () with
+    | None -> lb := nan
+    | Some (p, _) -> lb := Lower_bound.compute p);
+    let obj = Dynamic.objective session in
+    let ratio = if !lb > 0. && Float.is_finite obj then obj /. !lb else nan in
+    trace_points := (now, obj, ratio) :: !trace_points
+  in
+  let current_ratio () =
+    let obj = Dynamic.objective session in
+    if !lb > 0. && Float.is_finite obj then obj /. !lb else nan
+  in
+  (* Protocol-level repair epoch: run Distributed-Greedy over the
+     survivors under the ambient fault plan, restarting stalled runs
+     with a doubled deadline (capped exponential backoff), then apply
+     the plan move-by-move iff it strictly improves the objective and
+     fits the remaining epoch budget. *)
+  let protocol_epoch now epoch_moves =
+    match survivor_problem () with
+    | None -> ()
+    | Some (p, live) ->
+        let base_tuning = Dgreedy_protocol.default_tuning p in
+        let ambient = not (Fault.equal scenario.fault Fault.reliable) in
+        let rec attempt n tuning =
+          let seed = scenario.seed + 0x5eed + (7919 * !rng_cursor) in
+          incr rng_cursor;
+          let fault =
+            if ambient then Some (Fault.instantiate ~seed scenario.fault)
+            else None
+          in
+          let res = Dgreedy_protocol.run ?fault ~tuning p in
+          incr protocol_epochs;
+          if res.Dgreedy_protocol.stalled then begin
+            incr protocol_stalls;
+            if n < config.max_protocol_attempts then
+              attempt (n + 1)
+                {
+                  tuning with
+                  Dgreedy_protocol.deadline =
+                    tuning.Dgreedy_protocol.deadline *. 2.;
+                }
+            else (n, res)
+          end
+          else (n, res)
+        in
+        let attempts, res = attempt 1 base_tuning in
+        let members = Dynamic.members session in
+        let target = Assignment.to_array res.Dgreedy_protocol.assignment in
+        let plan_moves =
+          List.mapi (fun i (id, _node, server) -> (i, id, server)) members
+          |> List.filter_map (fun (i, id, server) ->
+                 let dst = live.(target.(i)) in
+                 if dst <> server then Some (id, server, dst) else None)
+        in
+        let n_moves = List.length plan_moves in
+        let improves =
+          Float.is_finite res.Dgreedy_protocol.objective
+          && res.Dgreedy_protocol.objective < Dynamic.objective session
+        in
+        let fits = n_moves > 0 && !epoch_moves + n_moves <= config.budget in
+        (* A capacitated plan may need a specific move order to stay
+           feasible at every intermediate step; find one, or refuse. *)
+        let order =
+          if not (improves && fits) then None
+          else
+            match scenario.capacity with
+            | None -> Some plan_moves
+            | Some cap ->
+                let loads =
+                  Array.init scenario.servers (fun s -> Dynamic.load session s)
+                in
+                let order = ref [] and pending = ref plan_moves in
+                let progress = ref true in
+                while !pending <> [] && !progress do
+                  progress := false;
+                  pending :=
+                    List.filter
+                      (fun (id, src, dst) ->
+                        if loads.(dst) < cap then begin
+                          loads.(dst) <- loads.(dst) + 1;
+                          loads.(src) <- loads.(src) - 1;
+                          order := (id, src, dst) :: !order;
+                          progress := true;
+                          false
+                        end
+                        else true)
+                      !pending
+                done;
+                if !pending = [] then Some (List.rev !order) else None
+        in
+        let applied =
+          match order with
+          | None -> false
+          | Some moves ->
+              List.iter (fun (id, _src, dst) -> Dynamic.move session id dst) moves;
+              epoch_moves := !epoch_moves + n_moves;
+              repair_moves := !repair_moves + n_moves;
+              true
+        in
+        log_event now
+          (Event_log.Protocol_repair
+             {
+               attempt = attempts;
+               stalled = res.Dgreedy_protocol.stalled;
+               moves = n_moves;
+               applied;
+             })
+  in
+  let repair now to_ =
+    let epoch_moves = ref 0 in
+    let before = Dynamic.objective session in
+    let moves = Dynamic.rebalance ~max_moves:config.budget session in
+    epoch_moves := moves;
+    incr repairs;
+    repair_moves := !repair_moves + moves;
+    log_event now
+      (Event_log.Repair
+         { moves; budget = config.budget; before; after = Dynamic.objective session });
+    if to_ = Slo.Critical && config.protocol_repair then
+      protocol_epoch now epoch_moves;
+    if !epoch_moves > !max_epoch_moves then max_epoch_moves := !epoch_moves
+  in
+  let drain now =
+    if Slo.level slo = Slo.Healthy then begin
+      let continue = ref true in
+      while !continue do
+        if not (has_capacity ()) then continue := false
+        else
+          match Admission.pop admission with
+          | None -> continue := false
+          | Some (sid, node) ->
+              let id = Dynamic.join session ~node in
+              Hashtbl.replace sessions sid id;
+              log_event now
+                (Event_log.Drained
+                   { session = sid; client = id; server = Dynamic.server_of session id })
+      done
+    end
+  in
+  let dispatch now kind =
+    match kind with
+    | Trace.Join { session = sid; node } -> (
+        match
+          Admission.consider admission ~level:(Slo.level slo)
+            ~has_capacity:(has_capacity ()) ~session:sid ~node
+        with
+        | Admission.Admit ->
+            let id = Dynamic.join session ~node in
+            Hashtbl.replace sessions sid id;
+            log_event now
+              (Event_log.Join
+                 { session = sid; client = id; server = Dynamic.server_of session id });
+            false
+        | Admission.Queue ->
+            log_event now (Event_log.Queued { session = sid });
+            false
+        | Admission.Shed ->
+            log_event now (Event_log.Shed { session = sid });
+            false)
+    | Trace.Leave { session = sid } -> (
+        match Hashtbl.find_opt sessions sid with
+        | Some id ->
+            Dynamic.leave session id;
+            Hashtbl.remove sessions sid;
+            incr leaves;
+            log_event now (Event_log.Leave { session = sid; client = id });
+            false
+        | None ->
+            (* queued (abandon), shed, or stranded — nothing connected *)
+            ignore (Admission.abandon admission ~session:sid);
+            false)
+    | Trace.Crash { server } ->
+        let failed = Dynamic.failed_servers session in
+        let live = Dynamic.active_servers session in
+        if List.mem server failed || List.length live <= 1 then begin
+          incr crashes_skipped;
+          log_event now (Event_log.Crash_skipped { server });
+          false
+        end
+        else begin
+          let r = Dynamic.fail_server_report session server in
+          incr crashes;
+          let n_stranded = List.length r.Dynamic.stranded in
+          stranded := !stranded + n_stranded;
+          if n_stranded > 0 then begin
+            let victims =
+              Hashtbl.fold
+                (fun sid id acc ->
+                  if List.mem id r.Dynamic.stranded then sid :: acc else acc)
+                sessions []
+              |> List.sort compare
+            in
+            List.iter (Hashtbl.remove sessions) victims
+          end;
+          log_event now
+            (Event_log.Crash
+               { server; migrated = r.Dynamic.migrated; stranded = n_stranded });
+          true
+        end
+    | Trace.Recover { server } ->
+        if List.mem server (Dynamic.failed_servers session) then begin
+          Dynamic.recover_server session server;
+          incr recoveries;
+          log_event now (Event_log.Recover { server });
+          true
+        end
+        else false (* its crash was refused or never happened *)
+    | Trace.Drift { server; factor } ->
+        Dynamic.set_drift session ~server ~factor;
+        incr drifts;
+        log_event now (Event_log.Drift { server; factor });
+        true
+  in
+  let capture ~cursor ~now =
+    let sessions_list =
+      Hashtbl.fold (fun sid id acc -> (sid, id) :: acc) sessions []
+      |> List.sort compare
+    in
+    let drift_list =
+      List.filter_map
+        (fun s ->
+          let f = Dynamic.drift session s in
+          if f <> 1.0 then Some (s, f) else None)
+        (List.init scenario.servers Fun.id)
+    in
+    {
+      Checkpoint.digest = dg;
+      cursor;
+      now;
+      capacity = scenario.capacity;
+      members = Dynamic.members session;
+      next_id = Dynamic.next_id session;
+      failed = Dynamic.failed_servers session;
+      drift = drift_list;
+      session_stats = Dynamic.stats session;
+      sessions = sessions_list;
+      slo = Slo.encode slo;
+      queue = admission.Admission.queue;
+      admitted = admission.Admission.admitted;
+      queued = admission.Admission.queued;
+      shed = admission.Admission.shed;
+      drained = admission.Admission.drained;
+      abandoned = admission.Admission.abandoned;
+      leaves = !leaves;
+      crashes = !crashes;
+      crashes_skipped = !crashes_skipped;
+      recoveries = !recoveries;
+      drifts = !drifts;
+      stranded = !stranded;
+      repairs = !repairs;
+      repair_moves = !repair_moves;
+      max_epoch_moves = !max_epoch_moves;
+      protocol_epochs = !protocol_epochs;
+      protocol_stalls = !protocol_stalls;
+      rng_cursor = !rng_cursor;
+      lb = !lb;
+      events_since_lb = !events_since_lb;
+      checkpoints = !checkpoints;
+      trace_points = List.rev !trace_points;
+      log = List.rev !log;
+    }
+  in
+  let last_now = ref 0. in
+  let step i =
+    let ev = trace.(i) in
+    let now = ev.Trace.time in
+    last_now := now;
+    let structural = dispatch now ev.Trace.kind in
+    incr events_since_lb;
+    if structural || !events_since_lb >= config.lb_every then recompute_lb now;
+    (match Slo.observe slo (current_ratio ()) with
+    | None -> ()
+    | Some (from_, to_) ->
+        log_event now
+          (Event_log.Transition { from_; to_; ratio = current_ratio () });
+        if level_rank to_ > level_rank from_ then repair now to_);
+    drain now;
+    if config.checkpoint_every > 0 && (i + 1) mod config.checkpoint_every = 0
+    then begin
+      incr checkpoints;
+      log_event now (Event_log.Checkpoint { id = !checkpoints });
+      let st = capture ~cursor:(i + 1) ~now in
+      (match checkpoint_path with
+      | Some path -> Checkpoint.save path st
+      | None -> ());
+      match kill_after with
+      | Some n when !checkpoints >= n -> raise (Kill st)
+      | _ -> ()
+    end
+  in
+  match
+    for i = start_cursor to Array.length trace - 1 do
+      step i
+    done
+  with
+  | exception Kill st -> Killed st
+  | () ->
+      recompute_lb !last_now;
+      let final_objective = Dynamic.objective session in
+      let final_ratio =
+        if !lb > 0. && Float.is_finite final_objective then
+          final_objective /. !lb
+        else nan
+      in
+      let resolve_objective =
+        match survivor_problem () with
+        | None -> nan
+        | Some (p, _) -> Objective.max_interaction_path p (Greedy.assign p)
+      in
+      let steady_ratio =
+        if resolve_objective > 0. && Float.is_finite final_objective then
+          final_objective /. resolve_objective
+        else 1.0
+      in
+      Completed
+        {
+          digest = dg;
+          events = Array.length trace;
+          horizon = scenario.horizon;
+          clients = Dynamic.num_clients session;
+          live_servers = List.length (Dynamic.active_servers session);
+          total_servers = scenario.servers;
+          final_objective;
+          final_lb = !lb;
+          final_ratio;
+          resolve_objective;
+          steady_ratio;
+          budget = config.budget;
+          max_epoch_moves = !max_epoch_moves;
+          slo_level = Slo.level slo;
+          admitted = admission.Admission.admitted;
+          queued = admission.Admission.queued;
+          shed = admission.Admission.shed;
+          drained = admission.Admission.drained;
+          abandoned = admission.Admission.abandoned;
+          leaves = !leaves;
+          crashes = !crashes;
+          crashes_skipped = !crashes_skipped;
+          recoveries = !recoveries;
+          drifts = !drifts;
+          stranded = !stranded;
+          repairs = !repairs;
+          repair_moves = !repair_moves;
+          protocol_epochs = !protocol_epochs;
+          protocol_stalls = !protocol_stalls;
+          checkpoints = !checkpoints;
+          session_stats = Dynamic.stats session;
+          trace_points = List.rev !trace_points;
+          log = List.rev !log;
+        }
+
+let render r =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b (l ^ "\n")) fmt in
+  line "soak report (digest %s)" r.digest;
+  line "  events              %d over horizon %s" r.events (fs r.horizon);
+  line "  clients             %d connected, servers %d/%d live" r.clients
+    r.live_servers r.total_servers;
+  line "  objective D(A)      %s" (fs r.final_objective);
+  line "  lower bound LB      %s" (fs r.final_lb);
+  line "  ratio D/LB          %s (slo %s)" (fs r.final_ratio)
+    (Slo.level_name r.slo_level);
+  line "  greedy re-solve     %s" (fs r.resolve_objective);
+  line "  steady-state ratio  %s (D(A) / re-solve)" (fs r.steady_ratio);
+  line "  admission           admitted=%d queued=%d drained=%d abandoned=%d shed=%d"
+    r.admitted r.queued r.drained r.abandoned r.shed;
+  line "  churn               leaves=%d" r.leaves;
+  line "  chaos               crashes=%d refused=%d recoveries=%d drifts=%d stranded=%d"
+    r.crashes r.crashes_skipped r.recoveries r.drifts r.stranded;
+  line "  repair              epochs=%d moves=%d max-epoch-moves=%d budget=%d"
+    r.repairs r.repair_moves r.max_epoch_moves r.budget;
+  line "  protocol repair     epochs=%d stalls=%d" r.protocol_epochs
+    r.protocol_stalls;
+  line "  checkpoints         %d" r.checkpoints;
+  line "  session             joins=%d leaves=%d moves=%d"
+    r.session_stats.Dynamic.joins r.session_stats.Dynamic.leaves
+    r.session_stats.Dynamic.moves;
+  Buffer.contents b

@@ -1,0 +1,145 @@
+(** The self-healing control plane: an SLO-guarded supervisor driving a
+    {!Dia_core.Dynamic} session through a chaos trace.
+
+    A soak run replays a deterministic merged event stream ({!Trace}) —
+    Poisson churn, latency drift, crash/recover schedules lifted from a
+    {!Dia_sim.Fault} plan — against a live assignment session, while the
+    control loop enforces the service-level objective:
+
+    - every event updates the {!Slo} monitor with the current
+      [D(A) / LB] ratio (the lower bound is recomputed every [lb_every]
+      events and eagerly after structural changes: crash, recovery,
+      drift);
+    - an escalation to {b Degraded} triggers a bounded repair:
+      [Dynamic.rebalance ~max_moves:budget];
+    - an escalation to {b Critical} additionally runs a
+      protocol-level repair epoch: {!Dia_sim.Dgreedy_protocol.run} over
+      the surviving servers under the scenario's ambient fault plan.
+      A stalled epoch (watchdog forced-stop) is restarted with a doubled
+      deadline, up to [max_protocol_attempts] — capped exponential
+      backoff. The resulting plan is applied move-by-move only if it
+      strictly improves the objective and fits the remaining epoch
+      budget; otherwise it is logged with [applied = false];
+    - joins pass {!Admission} control: shed under Critical, queued under
+      Degraded or when capacity is exhausted, drained FIFO when Healthy;
+    - a crash of the last live server is refused and logged
+      ([Crash_skipped]) — the control plane never self-inflicts total
+      outage;
+    - every [checkpoint_every] events the full controller state is
+      logged and (when a path is given) atomically written to disk.
+
+    {b Determinism contract.} The trace is pre-materialised from the
+    scenario seed, protocol-repair epochs draw sub-seeds from a counted
+    cursor, and every iteration order is sorted — so a run killed at any
+    checkpoint boundary and resumed produces a report and event log
+    bit-identical to the uninterrupted run ([render] output and
+    {!Event_log.render} output match byte for byte). *)
+
+type scenario = {
+  seed : int;
+  nodes : int;  (** network size (an Internet-like synthetic matrix) *)
+  servers : int;  (** number of servers, placed on distinct random nodes *)
+  capacity : int option;  (** per-server capacity, [None] = uncapacitated *)
+  horizon : float;  (** trace length in trace-time units *)
+  join_rate : float;  (** Poisson arrival rate *)
+  mean_lifetime : float;  (** mean exponential session lifetime *)
+  drift_period : float;  (** drift step period; [<= 0] disables drift *)
+  drift_amplitude : float;  (** drift factor spread, in [\[0, 1\]] *)
+  fault : Dia_sim.Fault.plan;
+      (** crash rules feed the membership layer; the whole plan is the
+          ambient network weather for protocol-repair epochs *)
+}
+
+val default_scenario : scenario
+(** 120 nodes, 8 servers, uncapacitated, horizon 300 at one join per
+    unit time (mean lifetime 80), drift every 20 units at ±30%, fault
+    plan [loss:0.1+crash:2@60~180]. *)
+
+type config = {
+  slo : Slo.config;
+  budget : int;  (** max migrations per repair epoch *)
+  max_queue : int;  (** admission queue bound *)
+  lb_every : int;  (** events between periodic lower-bound refreshes *)
+  checkpoint_every : int;  (** events between checkpoints; [0] disables *)
+  protocol_repair : bool;  (** run protocol epochs on Critical *)
+  max_protocol_attempts : int;  (** watchdog restarts per epoch *)
+}
+
+val default_config : config
+(** [Slo.default_config], budget 8, queue 64, LB every 10 events,
+    checkpoint every 100, protocol repair on with 3 attempts. *)
+
+val digest : scenario -> config -> string
+(** Hex digest of the canonical rendering of both records — stamped into
+    checkpoints so a resume under a different configuration is refused. *)
+
+(** Everything the run observed, plus the guardrail numbers the
+    acceptance criteria read: [steady_ratio] (final [D(A)] over a fresh
+    Greedy re-solve on the surviving servers) and [max_epoch_moves]
+    (never exceeds [budget]). *)
+type report = {
+  digest : string;
+  events : int;
+  horizon : float;
+  clients : int;  (** connected at the end *)
+  live_servers : int;
+  total_servers : int;
+  final_objective : float;
+  final_lb : float;
+  final_ratio : float;  (** [final_objective /. final_lb] *)
+  resolve_objective : float;
+      (** fresh {!Dia_core.Greedy} re-solve on surviving servers *)
+  steady_ratio : float;  (** [final_objective /. resolve_objective] *)
+  budget : int;
+  max_epoch_moves : int;
+  slo_level : Slo.level;
+  admitted : int;
+  queued : int;
+  shed : int;
+  drained : int;
+  abandoned : int;
+  leaves : int;
+  crashes : int;
+  crashes_skipped : int;
+  recoveries : int;
+  drifts : int;
+  stranded : int;
+  repairs : int;
+  repair_moves : int;
+  protocol_epochs : int;
+  protocol_stalls : int;
+  checkpoints : int;
+  session_stats : Dia_core.Dynamic.stats;
+  trace_points : (float * float * float) list;
+      (** (time, objective, ratio) at every lower-bound refresh *)
+  log : Event_log.entry list;
+}
+
+type outcome =
+  | Completed of report
+  | Killed of Checkpoint.state
+      (** the run stopped right after writing checkpoint [kill_after] —
+          the deterministic stand-in for [kill -9]; resume from the
+          returned state (or the file) to finish the run *)
+
+val run :
+  ?checkpoint_path:string ->
+  ?resume_from:Checkpoint.state ->
+  ?kill_after:int ->
+  scenario ->
+  config ->
+  outcome
+(** Execute (or continue) a soak run. [checkpoint_path] persists every
+    checkpoint atomically; [resume_from] continues from a decoded
+    checkpoint (its digest must match); [kill_after n] stops the run
+    immediately after the [n]-th checkpoint of {e this} process — used
+    by tests and CI to exercise the kill/resume path deterministically.
+
+    @raise Invalid_argument on invalid scenario/config values or a
+    digest mismatch on resume. *)
+
+val render : report -> string
+(** Deterministic human-readable report. Two runs are considered
+    bit-identical when their [render] outputs and
+    {!Event_log.render}ed logs are equal byte-for-byte — floats are
+    printed with {!Codec.float_str}, so this is an exact comparison. *)

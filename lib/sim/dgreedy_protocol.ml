@@ -18,6 +18,7 @@ type result = {
   modifications : int;
   messages : int;
   wall_duration : float;
+  stalled : bool;
   faults : fault_stats;
 }
 
@@ -187,6 +188,7 @@ let run ?jitter ?fault ?tuning p =
   let regenerations = ref 0 in
   let failovers = ref 0 in
   let epoch_counter = ref 0 in
+  let stalled = ref false in
   let halted = ref false in
   let completion = ref 0. in
   let last_activity = ref settle_time in
@@ -743,10 +745,16 @@ let run ?jitter ?fault ?tuning p =
       let rec watchdog () =
         if not !halted then begin
           let now = Engine.now engine in
-          if now >= tuning.deadline then finish ()
+          if now >= tuning.deadline then begin
+            stalled := true;
+            finish ()
+          end
           else begin
             if now -. !last_activity >= tuning.regen_timeout then begin
-              if !regenerations >= tuning.max_regenerations then finish ()
+              if !regenerations >= tuning.max_regenerations then begin
+                stalled := true;
+                finish ()
+              end
               else begin
                 (* The token went quiet: its holder crashed (or it was
                    never started). The lowest-indexed live server mints a
@@ -759,7 +767,9 @@ let run ?jitter ?fault ?tuning p =
                   then live := Some s
                 done;
                 match !live with
-                | None -> finish ()
+                | None ->
+                    stalled := true;
+                    finish ()
                 | Some s ->
                     incr regenerations;
                     incr epoch_counter;
@@ -831,6 +841,7 @@ let run ?jitter ?fault ?tuning p =
     modifications = !modifications;
     messages = Network.messages_sent net;
     wall_duration = !completion;
+    stalled = !stalled;
     faults =
       {
         dropped = Network.messages_dropped net;

@@ -67,6 +67,13 @@ type result = {
   modifications : int;
   messages : int;  (** total transmissions, acks and retries included *)
   wall_duration : float;  (** simulated protocol runtime (ms) *)
+  stalled : bool;
+      (** the run was force-stopped by the watchdog rather than
+          terminating through token passes: the hard deadline fired, the
+          regeneration budget ran out, or no live server remained. The
+          returned assignment is still valid, but the protocol never
+          declared local optimality — supervisors should treat a stalled
+          epoch as restartable (with backoff) rather than converged. *)
   faults : fault_stats;
 }
 

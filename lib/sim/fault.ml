@@ -46,6 +46,168 @@ let crash ?recover_at ~at actor =
 
 let all plans = List.concat plans
 
+let equal (a : plan) (b : plan) = a = b
+
+let crash_schedule plan =
+  List.filter_map
+    (function
+      | Crash { actor; at; recover_at } -> Some (actor, at, recover_at)
+      | _ -> None)
+    plan
+
+(* -- The fault mini-DSL -------------------------------------------------
+
+   Canonical concrete syntax, one rule per '+'-separated atom:
+
+     loss:R[@S>D]        dup:R[xN][@S>D]      spike:R~E[@S>D]
+     part:AT~UNTIL@A,B   crash:ACTOR@AT[~RECOVER]
+
+   S/D are actor ids or '*' (any). [to_string] prints this form with
+   floats rendered by the shortest format that parses back to the exact
+   same double, so [of_string (to_string p)] always yields [p]. *)
+
+let float_str f =
+  let exact fmt =
+    let s = Printf.sprintf fmt f in
+    if float_of_string s = f then Some s else None
+  in
+  match exact "%g" with
+  | Some s -> s
+  | None -> (
+      match exact "%.12g" with Some s -> s | None -> Printf.sprintf "%.17g" f)
+
+let endpoint_str src dst =
+  match (src, dst) with
+  | None, None -> ""
+  | _ ->
+      let ep = function None -> "*" | Some a -> string_of_int a in
+      Printf.sprintf "@%s>%s" (ep src) (ep dst)
+
+let rule_to_string = function
+  | Loss { src; dst; rate } ->
+      Printf.sprintf "loss:%s%s" (float_str rate) (endpoint_str src dst)
+  | Dup { src; dst; rate; copies } ->
+      Printf.sprintf "dup:%s%s%s" (float_str rate)
+        (if copies = 1 then "" else Printf.sprintf "x%d" copies)
+        (endpoint_str src dst)
+  | Spike { src; dst; rate; extra } ->
+      Printf.sprintf "spike:%s~%s%s" (float_str rate) (float_str extra)
+        (endpoint_str src dst)
+  | Partition { at; until; side } ->
+      Printf.sprintf "part:%s~%s@%s" (float_str at) (float_str until)
+        (String.concat "," (List.map string_of_int side))
+  | Crash { actor; at; recover_at } ->
+      Printf.sprintf "crash:%d@%s%s" actor (float_str at)
+        (match recover_at with
+        | None -> ""
+        | Some r -> Printf.sprintf "~%s" (float_str r))
+
+let to_string = function
+  | [] -> "reliable"
+  | plan -> String.concat "+" (List.map rule_to_string plan)
+
+let pp_plan ppf plan = Format.pp_print_string ppf (to_string plan)
+
+exception Parse of string
+
+let parse_error fmt = Printf.ksprintf (fun m -> raise (Parse m)) fmt
+
+let split_once ~on s =
+  match String.index_opt s on with
+  | None -> None
+  | Some i ->
+      Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let parse_float what s =
+  match float_of_string_opt (String.trim s) with
+  | Some f -> f
+  | None -> parse_error "%s: not a number (%S)" what s
+
+let parse_int what s =
+  match int_of_string_opt (String.trim s) with
+  | Some i -> i
+  | None -> parse_error "%s: not an integer (%S)" what s
+
+let parse_endpoint what s =
+  match String.trim s with
+  | "*" -> None
+  | other -> Some (parse_int what other)
+
+(* "BODY[@S>D]" -> (BODY, src, dst) for loss/dup/spike atoms. *)
+let parse_link_suffix atom body =
+  match split_once ~on:'@' body with
+  | None -> (body, None, None)
+  | Some (params, link) -> (
+      match split_once ~on:'>' link with
+      | None -> parse_error "%s: endpoint filter must be S>D (got %S)" atom link
+      | Some (s, d) ->
+          (params, parse_endpoint atom s, parse_endpoint atom d))
+
+let parse_rule atom =
+  let name, body =
+    match split_once ~on:':' atom with
+    | Some (name, body) -> (String.trim name, String.trim body)
+    | None -> parse_error "rule %S: expected NAME:BODY" atom
+  in
+  match name with
+  | "loss" ->
+      let params, src, dst = parse_link_suffix atom body in
+      loss ?src ?dst ~rate:(parse_float atom params) ()
+  | "dup" ->
+      let params, src, dst = parse_link_suffix atom body in
+      let rate, copies =
+        match split_once ~on:'x' params with
+        | None -> (parse_float atom params, 1)
+        | Some (r, n) -> (parse_float atom r, parse_int atom n)
+      in
+      duplication ?src ?dst ~copies ~rate ()
+  | "spike" ->
+      let params, src, dst = parse_link_suffix atom body in
+      let rate, extra =
+        match split_once ~on:'~' params with
+        | None -> parse_error "%s: expected RATE~EXTRA" atom
+        | Some (r, e) -> (parse_float atom r, parse_float atom e)
+      in
+      spike ?src ?dst ~rate ~extra ()
+  | "part" -> (
+      match split_once ~on:'@' body with
+      | None -> parse_error "%s: expected AT~UNTIL@A,B,..." atom
+      | Some (window, side) -> (
+          match split_once ~on:'~' window with
+          | None -> parse_error "%s: window must be AT~UNTIL" atom
+          | Some (at, until) ->
+              let side =
+                String.split_on_char ',' side
+                |> List.filter (fun s -> String.trim s <> "")
+                |> List.map (parse_int atom)
+              in
+              if side = [] then parse_error "%s: empty partition side" atom;
+              partition ~at:(parse_float atom at) ~until:(parse_float atom until)
+                ~side))
+  | "crash" -> (
+      match split_once ~on:'@' body with
+      | None -> parse_error "%s: expected ACTOR@AT[~RECOVER]" atom
+      | Some (actor, times) -> (
+          let actor = parse_int atom actor in
+          match split_once ~on:'~' times with
+          | None -> crash ~at:(parse_float atom times) actor
+          | Some (at, recover) ->
+              crash ~recover_at:(parse_float atom recover)
+                ~at:(parse_float atom at) actor))
+  | other -> parse_error "unknown rule %S (loss|dup|spike|part|crash)" other
+
+let of_string spec =
+  let spec = String.trim spec in
+  try
+    if spec = "" || spec = "reliable" || spec = "none" then Ok reliable
+    else
+      Ok
+        (String.split_on_char '+' spec
+        |> List.concat_map (fun atom -> parse_rule (String.trim atom)))
+  with
+  | Parse message -> Error message
+  | Invalid_argument message -> Error message
+
 type t = { rules : rule list; rng : Random.State.t }
 
 let instantiate ?(seed = 0) plan = { rules = plan; rng = Random.State.make [| seed |] }

@@ -65,6 +65,44 @@ val all : plan list -> plan
     duplication, then accumulated delay (a dropped message is never also
     duplicated or delayed). *)
 
+val equal : plan -> plan -> bool
+(** Structural equality of the rule lists (order-sensitive). *)
+
+val crash_schedule : plan -> (int * float * float option) list
+(** The plan's crash rules as [(actor, at, recover_at)] triples, in rule
+    order — read by control-plane supervisors that must mirror the
+    membership consequences of the schedule without re-deciding message
+    fates. *)
+
+(** {2 The fault mini-DSL}
+
+    Plans round-trip through a compact textual form, one rule per
+    ['+']-separated atom:
+
+    {v
+    loss:R[@S>D]          drop with probability R (S/D: id or '*')
+    dup:R[xN][@S>D]       duplicate (N extra copies) with probability R
+    spike:R~E[@S>D]       add E ms of latency with probability R
+    part:AT~UNTIL@A,B,C   partition actors {A,B,C} from the rest
+    crash:ACTOR@AT[~REC]  crash ACTOR at AT, recovering at REC
+    v}
+
+    e.g. ["loss:0.15+crash:3@2.0~5.0"]. The empty spec, ["reliable"] and
+    ["none"] all denote {!reliable}. *)
+
+val to_string : plan -> string
+(** Canonical DSL rendering. Floats are printed with the shortest format
+    that parses back to the identical double, so
+    [of_string (to_string p)] always reconstructs exactly [p]. *)
+
+val pp_plan : Format.formatter -> plan -> unit
+(** {!to_string}, as a formatter. *)
+
+val of_string : string -> (plan, string) result
+(** Parse the DSL. All the smart-constructor validations apply ([rate]
+    ranges, window ordering, ...); violations come back as [Error]
+    messages, never exceptions. *)
+
 type t
 (** An instantiated plan: rules plus a private PRNG state. *)
 

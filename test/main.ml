@@ -58,6 +58,7 @@ let () =
       ("repair", Test_repair.suite);
       ("bucket", Test_bucket.suite);
       ("parallel", Test_parallel.suite);
+      ("runtime", Test_runtime.suite);
       ("golden", Test_golden.suite);
     ]
   in

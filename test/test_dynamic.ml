@@ -287,9 +287,164 @@ let prop_random_operation_sequences_stay_consistent =
         objective_ok && capacity_ok && no_failed_hosting
       end)
 
+let test_rebalance_zero_budget_noop () =
+  let t = fresh () in
+  for node = 0 to 29 do
+    ignore (Dynamic.join t ~node)
+  done;
+  let members = Dynamic.members t in
+  let objective = Dynamic.objective t in
+  Alcotest.(check int) "zero budget is a no-op" 0 (Dynamic.rebalance ~max_moves:0 t);
+  Alcotest.(check int) "negative budget is a no-op" 0
+    (Dynamic.rebalance ~max_moves:(-3) t);
+  Alcotest.(check bool) "membership untouched" true (Dynamic.members t = members);
+  Alcotest.(check bool) "objective untouched" true
+    (Dynamic.objective t = objective);
+  Alcotest.(check int) "no moves counted" 0 (Dynamic.stats t).Dynamic.moves
+
+let test_fail_last_server_rejected () =
+  let m = Synthetic.internet_like ~seed:3 10 in
+  let t = Dynamic.create m ~servers:[| 1; 4 |] in
+  ignore (Dynamic.join t ~node:0);
+  ignore (Dynamic.fail_server t 0);
+  (match Dynamic.fail_server t 1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "failing the last live server must be rejected");
+  (match Dynamic.fail_server_report t 1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "fail_server_report must also reject the last server");
+  Alcotest.(check int) "session still serves" 1 (Dynamic.num_clients t)
+
+let test_capacitated_failover_strands () =
+  (* Both servers full: the orphans of a failure have nowhere to go.
+     fail_server refuses; fail_server_report strands them instead —
+     reported, never silently dropped. *)
+  let m = Synthetic.internet_like ~seed:4 12 in
+  let t = Dynamic.create ~capacity:3 m ~servers:[| 0; 6 |] in
+  let ids = List.init 6 (fun node -> Dynamic.join t ~node) in
+  let victim = Dynamic.server_of t (List.hd ids) in
+  (match Dynamic.fail_server t victim with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "fail_server must refuse when orphans cannot be re-homed");
+  Alcotest.(check int) "refusal left everyone connected" 6 (Dynamic.num_clients t);
+  let r = Dynamic.fail_server_report t victim in
+  Alcotest.(check int) "nobody migrated" 0 r.Dynamic.migrated;
+  Alcotest.(check int) "every orphan reported stranded" 3
+    (List.length r.Dynamic.stranded);
+  List.iter
+    (fun id ->
+      match Dynamic.server_of t id with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "stranded client still connected")
+    r.Dynamic.stranded;
+  Alcotest.(check int) "survivors stay connected" 3 (Dynamic.num_clients t)
+
+let test_capacitated_failover_partial_stranding () =
+  (* Room for some orphans but not all: the ones that fit migrate, the
+     rest are stranded, and migrated + stranded accounts for everyone. *)
+  let m = Synthetic.internet_like ~seed:5 12 in
+  let t = Dynamic.create ~capacity:4 m ~servers:[| 0; 6 |] in
+  List.iter (fun node -> ignore (Dynamic.join t ~node)) [ 1; 2; 3; 4; 5; 7 ];
+  let load0 = Dynamic.load t 0 and load1 = Dynamic.load t 1 in
+  Alcotest.(check int) "six clients placed" 6 (load0 + load1);
+  let victim = if load0 >= load1 then 0 else 1 in
+  let orphans = Dynamic.load t victim in
+  let spare = 4 - Dynamic.load t (1 - victim) in
+  let r = Dynamic.fail_server_report t victim in
+  Alcotest.(check int) "those that fit migrated" (min orphans spare)
+    r.Dynamic.migrated;
+  Alcotest.(check int) "the rest stranded" (max 0 (orphans - spare))
+    (List.length r.Dynamic.stranded);
+  Alcotest.(check int) "everyone accounted for" orphans
+    (r.Dynamic.migrated + List.length r.Dynamic.stranded)
+
+let test_drift_rescales_and_snapshot_consistent () =
+  let t = fresh () in
+  for node = 0 to 19 do
+    ignore (Dynamic.join t ~node)
+  done;
+  let before = Dynamic.objective t in
+  Dynamic.set_drift t ~server:2 ~factor:2.0;
+  Alcotest.(check (float 1e-9)) "drift getter" 2.0 (Dynamic.drift t 2);
+  let p, a = Dynamic.snapshot t in
+  Alcotest.(check (float 1e-6)) "snapshot materialises drifted distances"
+    (Objective.max_interaction_path p a)
+    (Dynamic.objective t);
+  Dynamic.set_drift t ~server:2 ~factor:1.0;
+  Alcotest.(check (float 1e-9)) "drift reset restores the objective" before
+    (Dynamic.objective t);
+  (match Dynamic.set_drift t ~server:99 ~factor:2. with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "out-of-range server accepted");
+  match Dynamic.set_drift t ~server:0 ~factor:0. with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "non-positive factor accepted"
+
+let test_restore_roundtrip () =
+  let t = fresh ~capacity:10 () in
+  let ids = List.init 25 (fun node -> Dynamic.join t ~node:(node mod 80)) in
+  List.iteri (fun i id -> if i mod 5 = 0 then Dynamic.leave t id) ids;
+  ignore (Dynamic.fail_server t 1);
+  Dynamic.set_drift t ~server:3 ~factor:1.5;
+  ignore (Dynamic.rebalance ~max_moves:4 t);
+  let drift =
+    List.filter_map
+      (fun s ->
+        let f = Dynamic.drift t s in
+        if f <> 1.0 then Some (s, f) else None)
+      (List.init 6 Fun.id)
+  in
+  let t' =
+    Dynamic.restore ~capacity:10 matrix ~servers ~members:(Dynamic.members t)
+      ~next_id:(Dynamic.next_id t) ~failed:(Dynamic.failed_servers t) ~drift
+      ~stats:(Dynamic.stats t)
+  in
+  Alcotest.(check bool) "members equal" true (Dynamic.members t' = Dynamic.members t);
+  Alcotest.(check bool) "failed equal" true
+    (Dynamic.failed_servers t' = Dynamic.failed_servers t);
+  Alcotest.(check bool) "objective equal" true
+    (Dynamic.objective t' = Dynamic.objective t);
+  Alcotest.(check bool) "stats equal" true (Dynamic.stats t' = Dynamic.stats t);
+  let a = Dynamic.join t ~node:11 and b = Dynamic.join t' ~node:11 in
+  Alcotest.(check int) "id counter preserved" a b;
+  Alcotest.(check int) "restored session places joins identically"
+    (Dynamic.server_of t a) (Dynamic.server_of t' b)
+
+let test_move_and_load () =
+  let t = fresh ~capacity:5 () in
+  let id = Dynamic.join t ~node:2 in
+  let s = Dynamic.server_of t id in
+  let s' = (s + 1) mod 6 in
+  Dynamic.move t id s';
+  Alcotest.(check int) "moved" s' (Dynamic.server_of t id);
+  Alcotest.(check int) "load arrived" 1 (Dynamic.load t s');
+  Alcotest.(check int) "load left" 0 (Dynamic.load t s);
+  Alcotest.(check int) "move counted" 1 (Dynamic.stats t).Dynamic.moves;
+  Dynamic.move t id s';
+  Alcotest.(check int) "same-server move is a free no-op" 1
+    (Dynamic.stats t).Dynamic.moves;
+  ignore (Dynamic.fail_server t s);
+  match Dynamic.move t id s with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "move onto a failed server accepted"
+
 let suite =
   [
     Alcotest.test_case "empty session" `Quick test_empty_session;
+    Alcotest.test_case "zero move budget is a guaranteed no-op" `Quick
+      test_rebalance_zero_budget_noop;
+    Alcotest.test_case "last live server cannot be failed" `Quick
+      test_fail_last_server_rejected;
+    Alcotest.test_case "capacitated failover strands reported orphans" `Quick
+      test_capacitated_failover_strands;
+    Alcotest.test_case "partial stranding accounts for every orphan" `Quick
+      test_capacitated_failover_partial_stranding;
+    Alcotest.test_case "latency drift rescales and stays snapshot-consistent"
+      `Quick test_drift_rescales_and_snapshot_consistent;
+    Alcotest.test_case "restore round-trips the session" `Quick
+      test_restore_roundtrip;
+    Alcotest.test_case "forced move updates loads and stats" `Quick
+      test_move_and_load;
     Alcotest.test_case "join tracks the objective" `Quick test_join_tracks_objective;
     Alcotest.test_case "first join picks the nearest server" `Quick
       test_single_join_picks_nearest;

@@ -243,9 +243,112 @@ let test_validate_assignment_errors () =
   | Ok () -> Alcotest.fail "wrong client count accepted"
   | Error _ -> ()
 
+(* --- the fault mini-DSL --- *)
+
+let test_dsl_roundtrip () =
+  List.iter
+    (fun spec ->
+      match Fault.of_string spec with
+      | Error m -> Alcotest.fail (Printf.sprintf "%s: %s" spec m)
+      | Ok p -> (
+          let canonical = Fault.to_string p in
+          match Fault.of_string canonical with
+          | Error m -> Alcotest.fail (Printf.sprintf "%s: %s" canonical m)
+          | Ok p' ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s round-trips" spec)
+                true (Fault.equal p p');
+              Alcotest.(check string)
+                (Printf.sprintf "%s canonical form is stable" spec)
+                canonical (Fault.to_string p')))
+    [
+      "loss:0.15+crash:3@2.0~5.0";
+      "loss:0.25@1>4";
+      "dup:0.2x3@2>*";
+      "spike:0.5~12.5@*>2";
+      "part:1.0~2.5@0,1,4";
+      "crash:7@0.5";
+      "reliable";
+      "";
+      "none";
+      "loss:1+dup:1x2+spike:1~0.125+crash:0@0~0.0009765625";
+    ]
+
+let test_dsl_rejects_invalid () =
+  List.iter
+    (fun spec ->
+      match Fault.of_string spec with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S accepted" spec))
+    [
+      "loss:1.5";
+      "loss:";
+      "bogus:1";
+      "crash:0@-1";
+      "crash:0@5~2";
+      "part:2~1@0";
+      "part:1~2@";
+      "dup:0.5x0";
+      "spike:0.5";
+      "loss:0.1@x>y";
+      "loss:0.1+";
+    ]
+
+let test_pp_plan_matches_to_string () =
+  let p =
+    Fault.all
+      [ Fault.loss ~rate:0.125 (); Fault.crash ~recover_at:5. ~at:2. 3 ]
+  in
+  Alcotest.(check string) "pp_plan renders the canonical form"
+    (Fault.to_string p)
+    (Format.asprintf "%a" Fault.pp_plan p)
+
+let prop_dsl_roundtrips_random_plans =
+  (* Random plans through the smart constructors: the canonical
+     rendering must parse back to a structurally equal plan. *)
+  let gen_rule rng =
+    let float01 = float_of_int (Random.State.int rng 1000) /. 1000. in
+    let actor () = Random.State.int rng 10 in
+    let endpoint () = if Random.State.bool rng then None else Some (actor ()) in
+    match Random.State.int rng 5 with
+    | 0 -> Fault.loss ?src:(endpoint ()) ?dst:(endpoint ()) ~rate:float01 ()
+    | 1 ->
+        Fault.duplication ?src:(endpoint ()) ?dst:(endpoint ())
+          ~copies:(1 + Random.State.int rng 3)
+          ~rate:float01 ()
+    | 2 ->
+        Fault.spike ?src:(endpoint ()) ?dst:(endpoint ()) ~rate:float01
+          ~extra:(Random.State.float rng 50.) ()
+    | 3 ->
+        let at = Random.State.float rng 10. in
+        Fault.partition ~at ~until:(at +. 0.5 +. Random.State.float rng 5.)
+          ~side:[ actor (); 10 + actor () ]
+    | _ ->
+        let at = Random.State.float rng 10. in
+        let recover_at =
+          if Random.State.bool rng then None
+          else Some (at +. 0.5 +. Random.State.float rng 5.)
+        in
+        Fault.crash ?recover_at ~at (actor ())
+  in
+  QCheck.Test.make ~name:"fault DSL round-trips random plans" ~count:100
+    QCheck.(pair (int_bound 1_000_000) (int_range 0 6))
+    (fun (seed, rules) ->
+      let rng = Random.State.make [| seed; 0xd51 |] in
+      let p = Fault.all (List.init rules (fun _ -> gen_rule rng)) in
+      match Fault.of_string (Fault.to_string p) with
+      | Ok p' -> Fault.equal p p' && Fault.to_string p' = Fault.to_string p
+      | Error _ -> false)
+
 let suite =
   [
     Alcotest.test_case "seeded plans replay identically" `Quick test_seeded_replay;
+    Alcotest.test_case "fault DSL round-trips" `Quick test_dsl_roundtrip;
+    Alcotest.test_case "fault DSL rejects invalid specs" `Quick
+      test_dsl_rejects_invalid;
+    Alcotest.test_case "pp_plan matches to_string" `Quick
+      test_pp_plan_matches_to_string;
+    QCheck_alcotest.to_alcotest prop_dsl_roundtrips_random_plans;
     Alcotest.test_case "loss 1.0 kills exactly one directed link" `Quick
       test_directed_loss_partitions_one_link;
     Alcotest.test_case "crash window drops in-flight and recovers" `Quick

@@ -136,6 +136,31 @@ let test_percentile_planning_reduces_breaches () =
     (Printf.sprintf "p99 planning %.3f <= median planning %.3f" rate_p99 rate_median)
     true (rate_p99 <= rate_median)
 
+let test_breach_rate_zero_on_synthesized_clock () =
+  let workload = Workload.rounds ~clients:10 ~rounds:3 ~period:80. in
+  let _, _, _, report =
+    run_synthesized 13 ~n:10 ~k:3 ~algorithm:Algorithm.Greedy ~workload
+  in
+  Alcotest.(check (float 0.)) "no breaches on a clean clock" 0.
+    (Checker.breach_rate report)
+
+let test_breach_rate_matches_analyze () =
+  (* breach_rate must be exactly the late events of [analyze] over the
+     total deadline-bearing events of the report. *)
+  let p = instance 14 ~n:14 ~k:4 in
+  let a = Algorithm.run Algorithm.Nearest_server p in
+  let clock = Clock.synthesize p a in
+  let tight = { clock with Clock.delta = clock.Clock.delta *. 0.6 } in
+  let workload = Workload.rounds ~clients:14 ~rounds:2 ~period:120. in
+  let report = Protocol.run p a tight workload in
+  let verdict = Checker.analyze report in
+  let late = verdict.Checker.late_executions + verdict.Checker.late_visibilities in
+  let total = List.length report.executions + List.length report.visibilities in
+  Alcotest.(check bool) "the tight clock produced some late event" true (late > 0);
+  Alcotest.(check (float 1e-12)) "rate = late / total"
+    (float_of_int late /. float_of_int total)
+    (Checker.breach_rate report)
+
 let test_empty_workload () =
   let _, _, _, report =
     run_synthesized 10 ~n:6 ~k:2 ~algorithm:Algorithm.Greedy ~workload:[]
@@ -227,6 +252,10 @@ let suite =
     Alcotest.test_case "jitter causes breaches" `Quick test_jitter_causes_occasional_breaches;
     Alcotest.test_case "percentile planning reduces breaches" `Quick
       test_percentile_planning_reduces_breaches;
+    Alcotest.test_case "breach rate zero on synthesized clock" `Quick
+      test_breach_rate_zero_on_synthesized_clock;
+    Alcotest.test_case "breach rate matches analyze late counts" `Quick
+      test_breach_rate_matches_analyze;
     Alcotest.test_case "empty workload" `Quick test_empty_workload;
     Alcotest.test_case "non-empty run not flagged empty" `Quick
       test_nonempty_not_flagged_empty;

@@ -1,0 +1,423 @@
+(* Tests for Dia_runtime: the SLO-guarded, checkpointable control plane.
+   The centrepiece is the determinism-under-failure property: a soak run
+   killed at a random checkpoint and resumed must be bit-identical to the
+   uninterrupted run. *)
+
+module Slo = Dia_runtime.Slo
+module Admission = Dia_runtime.Admission
+module Trace = Dia_runtime.Trace
+module Event_log = Dia_runtime.Event_log
+module Checkpoint = Dia_runtime.Checkpoint
+module Codec = Dia_runtime.Codec
+module Soak = Dia_runtime.Soak
+module Fault = Dia_sim.Fault
+
+let plan spec =
+  match Fault.of_string spec with Ok p -> p | Error m -> failwith m
+
+(* --- Slo --- *)
+
+let slo_config =
+  { Slo.degraded_at = 1.2; critical_at = 1.5; hysteresis = 3; recover_margin = 0.9 }
+
+let test_slo_hysteresis () =
+  let t = Slo.create slo_config in
+  Alcotest.(check bool) "one bad tick no-op" true (Slo.observe t 1.3 = None);
+  Alcotest.(check bool) "two bad ticks no-op" true (Slo.observe t 1.3 = None);
+  Alcotest.(check bool) "still healthy" true (Slo.level t = Slo.Healthy);
+  Alcotest.(check bool) "third tick escalates" true
+    (Slo.observe t 1.3 = Some (Slo.Healthy, Slo.Degraded));
+  (* escalation may jump straight to Critical *)
+  ignore (Slo.observe t 1.9);
+  ignore (Slo.observe t 1.9);
+  Alcotest.(check bool) "escalate to critical" true
+    (Slo.observe t 1.9 = Some (Slo.Degraded, Slo.Critical));
+  (* recovery steps one level at a time *)
+  ignore (Slo.observe t 1.0);
+  ignore (Slo.observe t 1.0);
+  Alcotest.(check bool) "recover one step" true
+    (Slo.observe t 1.0 = Some (Slo.Critical, Slo.Degraded));
+  ignore (Slo.observe t 1.0);
+  ignore (Slo.observe t 1.0);
+  Alcotest.(check bool) "recover to healthy" true
+    (Slo.observe t 1.0 = Some (Slo.Degraded, Slo.Healthy))
+
+let test_slo_recover_margin () =
+  let t = Slo.create slo_config in
+  for _ = 1 to 3 do ignore (Slo.observe t 1.3) done;
+  Alcotest.(check bool) "degraded" true (Slo.level t = Slo.Degraded);
+  (* 1.1 is below degraded_at but above degraded_at * margin = 1.08:
+     the damped monitor refuses to flap back *)
+  for _ = 1 to 6 do
+    Alcotest.(check bool) "inside margin never de-escalates" true
+      (Slo.observe t 1.1 = None)
+  done;
+  Alcotest.(check bool) "still degraded" true (Slo.level t = Slo.Degraded);
+  ignore (Slo.observe t 1.0);
+  ignore (Slo.observe t 1.0);
+  Alcotest.(check bool) "below margin de-escalates" true
+    (Slo.observe t 1.0 = Some (Slo.Degraded, Slo.Healthy))
+
+let test_slo_ignores_non_finite () =
+  let t = Slo.create slo_config in
+  ignore (Slo.observe t 1.3);
+  ignore (Slo.observe t 1.3);
+  Alcotest.(check bool) "nan does not advance the streak" true
+    (Slo.observe t Float.nan = None);
+  Alcotest.(check bool) "nan does not reset the streak either" true
+    (Slo.observe t 1.3 = Some (Slo.Healthy, Slo.Degraded))
+
+let test_slo_codec_roundtrip () =
+  let t = Slo.create slo_config in
+  ignore (Slo.observe t 1.3);
+  ignore (Slo.observe t 1.6);
+  let t' = Slo.decode slo_config (Slo.encode t) in
+  Alcotest.(check string) "encode . decode . encode is stable"
+    (Slo.encode t) (Slo.encode t');
+  Alcotest.(check bool) "level preserved" true (Slo.level t = Slo.level t');
+  Alcotest.check_raises "malformed state rejected"
+    (Failure "Slo.decode: malformed state \"bogus\"") (fun () ->
+      ignore (Slo.decode slo_config "bogus"))
+
+let test_slo_validate () =
+  Alcotest.(check bool) "default valid" true
+    (Slo.validate_config Slo.default_config = ());
+  List.iter
+    (fun cfg ->
+      match Slo.validate_config cfg with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.fail "invalid config accepted")
+    [
+      { slo_config with Slo.degraded_at = 0.9 };
+      { slo_config with Slo.critical_at = 1.1 };
+      { slo_config with Slo.hysteresis = 0 };
+      { slo_config with Slo.recover_margin = 0. };
+      { slo_config with Slo.recover_margin = 1.5 };
+    ]
+
+(* --- Admission --- *)
+
+let test_admission_policy () =
+  let t = Admission.create ~max_queue:2 in
+  Alcotest.(check bool) "critical sheds" true
+    (Admission.consider t ~level:Slo.Critical ~has_capacity:true ~session:0
+       ~node:1
+    = Admission.Shed);
+  Alcotest.(check bool) "healthy with room admits" true
+    (Admission.consider t ~level:Slo.Healthy ~has_capacity:true ~session:1
+       ~node:1
+    = Admission.Admit);
+  Alcotest.(check bool) "degraded queues" true
+    (Admission.consider t ~level:Slo.Degraded ~has_capacity:true ~session:2
+       ~node:1
+    = Admission.Queue);
+  Alcotest.(check bool) "no capacity queues" true
+    (Admission.consider t ~level:Slo.Healthy ~has_capacity:false ~session:3
+       ~node:2
+    = Admission.Queue);
+  Alcotest.(check bool) "overflow sheds" true
+    (Admission.consider t ~level:Slo.Degraded ~has_capacity:true ~session:4
+       ~node:3
+    = Admission.Shed);
+  Alcotest.(check int) "pending" 2 (Admission.pending t);
+  Alcotest.(check bool) "fifo pop" true (Admission.pop t = Some (2, 1));
+  Alcotest.(check bool) "abandon removes" true (Admission.abandon t ~session:3);
+  Alcotest.(check bool) "abandon unknown is false" true
+    (not (Admission.abandon t ~session:99));
+  Alcotest.(check bool) "drained queue empty" true (Admission.pop t = None);
+  Alcotest.(check int) "admitted" 1 t.Admission.admitted;
+  Alcotest.(check int) "queued" 2 t.Admission.queued;
+  Alcotest.(check int) "shed" 2 t.Admission.shed;
+  Alcotest.(check int) "drained" 1 t.Admission.drained;
+  Alcotest.(check int) "abandoned" 1 t.Admission.abandoned
+
+(* --- Trace --- *)
+
+let test_trace_deterministic_and_well_formed () =
+  let mk () =
+    Trace.churn ~seed:5 ~nodes:30 ~rate:2. ~mean_lifetime:10. ~horizon:50.
+  in
+  Alcotest.(check bool) "same seed, same trace" true (mk () = mk ());
+  (* The raw churn stream is join-ordered (each join carries its future
+     leave); [merge] is what produces the time-sorted run order. *)
+  let events = Trace.merge ~horizon:50. [ mk () ] in
+  let sorted = ref true and last = ref neg_infinity in
+  let joined = Hashtbl.create 64 in
+  Array.iter
+    (fun e ->
+      if e.Trace.time < !last then sorted := false;
+      last := e.Trace.time;
+      Alcotest.(check bool) "inside horizon" true (e.Trace.time <= 50.);
+      match e.Trace.kind with
+      | Trace.Join { session; node } ->
+          Alcotest.(check bool) "node in range" true (node >= 0 && node < 30);
+          Hashtbl.replace joined session ()
+      | Trace.Leave { session } ->
+          Alcotest.(check bool) "leave follows its join" true
+            (Hashtbl.mem joined session)
+      | _ -> Alcotest.fail "churn produced a non-churn event")
+    events;
+  Alcotest.(check bool) "sorted by time" true !sorted;
+  Alcotest.(check bool) "non-trivial trace" true (Array.length events > 10)
+
+let test_trace_crashes_of_plan () =
+  let p = plan "crash:1@5~9+crash:7@3+loss:0.5" in
+  let events = Trace.crashes_of_plan p ~servers:4 in
+  Alcotest.(check bool) "crash and recovery, actor 7 and loss filtered" true
+    (events
+    = [
+        { Trace.time = 5.; kind = Trace.Crash { server = 1 } };
+        { Trace.time = 9.; kind = Trace.Recover { server = 1 } };
+      ])
+
+let test_trace_merge_stable () =
+  let a = [ { Trace.time = 1.; kind = Trace.Crash { server = 0 } } ] in
+  let b = [ { Trace.time = 1.; kind = Trace.Recover { server = 0 } } ] in
+  let merged = Trace.merge ~horizon:10. [ a; b ] in
+  Alcotest.(check int) "both kept" 2 (Array.length merged);
+  Alcotest.(check bool) "tie broken by stream order" true
+    (merged.(0).Trace.kind = Trace.Crash { server = 0 })
+
+(* --- Event_log --- *)
+
+let all_kinds =
+  [
+    Event_log.Join { session = 3; client = 7; server = 1 };
+    Event_log.Queued { session = 4 };
+    Event_log.Drained { session = 4; client = 8; server = 0 };
+    Event_log.Shed { session = 5 };
+    Event_log.Leave { session = 3; client = 7 };
+    Event_log.Crash { server = 2; migrated = 5; stranded = 1 };
+    Event_log.Crash_skipped { server = 0 };
+    Event_log.Recover { server = 2 };
+    Event_log.Drift { server = 1; factor = 1.3740000000000001 };
+    Event_log.Transition
+      { from_ = Slo.Healthy; to_ = Slo.Critical; ratio = 1.52 };
+    Event_log.Repair { moves = 4; budget = 8; before = 210.5; after = 180.25 };
+    Event_log.Protocol_repair
+      { attempt = 2; stalled = true; moves = 6; applied = false };
+    Event_log.Checkpoint { id = 3 };
+  ]
+
+let test_event_log_roundtrip () =
+  List.iteri
+    (fun i kind ->
+      let entry = { Event_log.time = 0.1 *. float_of_int i; kind } in
+      match Event_log.of_line (Event_log.to_line entry) with
+      | Ok entry' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "kind %d round-trips" i)
+            true (entry = entry')
+      | Error m -> Alcotest.fail m)
+    all_kinds;
+  Alcotest.(check bool) "garbage rejected" true
+    (match Event_log.of_line "t=1.0 frobnicate x=1" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* --- Soak + Checkpoint --- *)
+
+let small_scenario =
+  {
+    Soak.default_scenario with
+    Soak.seed = 9;
+    nodes = 40;
+    servers = 4;
+    horizon = 60.;
+    drift_period = 10.;
+    fault = plan "loss:0.1+crash:1@20~45";
+  }
+
+let small_config = { Soak.default_config with Soak.checkpoint_every = 20 }
+
+let complete scenario config =
+  match Soak.run scenario config with
+  | Soak.Completed r -> r
+  | Soak.Killed _ -> Alcotest.fail "run killed without kill_after"
+
+let test_checkpoint_codec_roundtrip () =
+  match Soak.run ~kill_after:1 small_scenario small_config with
+  | Soak.Completed _ -> Alcotest.fail "kill_after ignored"
+  | Soak.Killed st -> (
+      match Checkpoint.decode (Checkpoint.encode st) with
+      | Error m -> Alcotest.fail m
+      | Ok st' ->
+          Alcotest.(check string) "decode . encode is the identity"
+            (Checkpoint.encode st) (Checkpoint.encode st');
+          (* a truncated file (kill mid-write without the atomic rename)
+             must be rejected, not half-parsed *)
+          let text = Checkpoint.encode st in
+          let truncated = String.sub text 0 (String.length text - 5) in
+          Alcotest.(check bool) "truncated checkpoint rejected" true
+            (match Checkpoint.decode truncated with
+            | Error _ -> true
+            | Ok _ -> false))
+
+let test_soak_kill_resume_identical () =
+  let base = complete small_scenario small_config in
+  List.iter
+    (fun kill_after ->
+      match Soak.run ~kill_after small_scenario small_config with
+      | Soak.Completed _ -> Alcotest.fail "kill_after ignored"
+      | Soak.Killed st -> (
+          match Soak.run ~resume_from:st small_scenario small_config with
+          | Soak.Killed _ -> Alcotest.fail "resumed run killed"
+          | Soak.Completed resumed ->
+              Alcotest.(check string)
+                (Printf.sprintf "report identical after kill %d" kill_after)
+                (Soak.render base) (Soak.render resumed);
+              Alcotest.(check string)
+                (Printf.sprintf "event log identical after kill %d" kill_after)
+                (Event_log.render base.Soak.log)
+                (Event_log.render resumed.Soak.log)))
+    [ 1; 2; 3 ]
+
+let test_soak_resume_rejects_other_config () =
+  match Soak.run ~kill_after:1 small_scenario small_config with
+  | Soak.Completed _ -> Alcotest.fail "kill_after ignored"
+  | Soak.Killed st -> (
+      let other = { small_config with Soak.budget = small_config.Soak.budget + 1 } in
+      match Soak.run ~resume_from:st small_scenario other with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "digest mismatch accepted")
+
+let test_soak_guardrails () =
+  (* The acceptance scenario: <= 30% loss, one crash/recovery cycle,
+     Poisson churn. Steady-state D(A) within 1.25x of a fresh Greedy
+     re-solve, never exceeding the per-epoch migration budget — both
+     numbers in the report. *)
+  let r = complete Soak.default_scenario Soak.default_config in
+  Alcotest.(check bool) "steady-state ratio within 1.25x of re-solve" true
+    (r.Soak.steady_ratio <= 1.25);
+  Alcotest.(check bool) "max epoch moves within budget" true
+    (r.Soak.max_epoch_moves <= r.Soak.budget);
+  let text = Soak.render r in
+  let contains s =
+    let n = String.length text and m = String.length s in
+    let rec go i = i + m <= n && (String.sub text i m = s || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "report states the steady-state ratio" true
+    (contains "steady-state ratio");
+  Alcotest.(check bool) "report states the epoch budget" true
+    (contains "max-epoch-moves")
+
+let test_soak_critical_triggers_protocol_repair () =
+  (* An SLO that is always breached forces an immediate Critical
+     escalation: the protocol-repair path must run, and admission must
+     brown out (shed) from then on. *)
+  let scenario = { small_scenario with Soak.fault = plan "loss:0.2" } in
+  let config =
+    {
+      small_config with
+      Soak.slo =
+        { Slo.degraded_at = 1.0; critical_at = 1.0; hysteresis = 1; recover_margin = 1.0 };
+      budget = 20;
+    }
+  in
+  let r = complete scenario config in
+  Alcotest.(check bool) "reaches critical" true (r.Soak.slo_level = Slo.Critical);
+  Alcotest.(check bool) "protocol epoch ran" true (r.Soak.protocol_epochs >= 1);
+  Alcotest.(check bool) "brownout sheds joins" true (r.Soak.shed > 0);
+  Alcotest.(check bool) "budget still respected" true
+    (r.Soak.max_epoch_moves <= 20)
+
+let test_soak_capacitated_strands_and_recovers () =
+  (* Tight capacity + a crash: orphans that cannot be re-homed are
+     stranded (counted, sessions dropped), and the run keeps going. *)
+  let scenario =
+    {
+      small_scenario with
+      Soak.capacity = Some 8;
+      fault = plan "crash:0@20~50+crash:2@30";
+    }
+  in
+  let r = complete scenario small_config in
+  Alcotest.(check bool) "run completes" true (r.Soak.events > 0);
+  Alcotest.(check bool) "crashes happened" true (r.Soak.crashes >= 1);
+  Alcotest.(check bool) "queueing engaged under capacity pressure" true
+    (r.Soak.queued > 0)
+
+let test_soak_last_server_crash_refused () =
+  (* A single-server scenario: every crash in the plan targets the only
+     live server and must be refused, never executed. *)
+  let scenario =
+    {
+      small_scenario with
+      Soak.servers = 1;
+      drift_period = 0.;
+      fault = plan "crash:0@10~20";
+    }
+  in
+  let r = complete scenario small_config in
+  Alcotest.(check int) "no crash executed" 0 r.Soak.crashes;
+  Alcotest.(check int) "refusal recorded" 1 r.Soak.crashes_skipped;
+  Alcotest.(check int) "one server still live" 1 r.Soak.live_servers
+
+(* --- qcheck: determinism under random kill points --- *)
+
+let prop_soak_deterministic_under_random_kills =
+  QCheck.Test.make ~name:"soak kill/resume is bit-identical at any kill point"
+    ~count:12
+    QCheck.(triple (int_bound 1000) (int_range 5 40) (int_range 1 3))
+    (fun (seed, checkpoint_every, kill_after) ->
+      let scenario =
+        {
+          small_scenario with
+          Soak.seed;
+          capacity = (if seed mod 2 = 0 then Some 12 else None);
+        }
+      in
+      let config = { small_config with Soak.checkpoint_every } in
+      match Soak.run scenario config with
+      | Soak.Killed _ -> false
+      | Soak.Completed base -> (
+          match Soak.run ~kill_after scenario config with
+          | Soak.Completed r ->
+              (* not enough checkpoints to kill at: the run must then be
+                 the uninterrupted one *)
+              Soak.render r = Soak.render base
+          | Soak.Killed st -> (
+              match Checkpoint.decode (Checkpoint.encode st) with
+              | Error _ -> false
+              | Ok st -> (
+                  match Soak.run ~resume_from:st scenario config with
+                  | Soak.Killed _ -> false
+                  | Soak.Completed resumed ->
+                      Soak.render resumed = Soak.render base
+                      && Event_log.render resumed.Soak.log
+                         = Event_log.render base.Soak.log))))
+
+let suite =
+  [
+    Alcotest.test_case "slo hysteresis and level jumps" `Quick test_slo_hysteresis;
+    Alcotest.test_case "slo recover margin damps flapping" `Quick
+      test_slo_recover_margin;
+    Alcotest.test_case "slo ignores non-finite ratios" `Quick
+      test_slo_ignores_non_finite;
+    Alcotest.test_case "slo state codec round-trips" `Quick test_slo_codec_roundtrip;
+    Alcotest.test_case "slo config validation" `Quick test_slo_validate;
+    Alcotest.test_case "admission policy and counters" `Quick test_admission_policy;
+    Alcotest.test_case "churn trace deterministic and well-formed" `Quick
+      test_trace_deterministic_and_well_formed;
+    Alcotest.test_case "crash schedule lifted from fault plan" `Quick
+      test_trace_crashes_of_plan;
+    Alcotest.test_case "trace merge is stable" `Quick test_trace_merge_stable;
+    Alcotest.test_case "event log round-trips every record kind" `Quick
+      test_event_log_roundtrip;
+    Alcotest.test_case "checkpoint codec round-trips, rejects truncation" `Quick
+      test_checkpoint_codec_roundtrip;
+    Alcotest.test_case "kill/resume is bit-identical" `Quick
+      test_soak_kill_resume_identical;
+    Alcotest.test_case "resume rejects a different config" `Quick
+      test_soak_resume_rejects_other_config;
+    Alcotest.test_case "guardrails: steady ratio and epoch budget" `Quick
+      test_soak_guardrails;
+    Alcotest.test_case "critical triggers protocol repair and brownout" `Quick
+      test_soak_critical_triggers_protocol_repair;
+    Alcotest.test_case "capacitated chaos run survives" `Quick
+      test_soak_capacitated_strands_and_recovers;
+    Alcotest.test_case "last-server crash refused" `Quick
+      test_soak_last_server_crash_refused;
+    QCheck_alcotest.to_alcotest prop_soak_deterministic_under_random_kills;
+  ]
