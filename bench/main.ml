@@ -229,6 +229,29 @@ let make_churn_kernel ~clients =
     done;
     Dia_core.Dynamic.rebalance ~max_moves:8 session
 
+(* Failover kernels: the same steady session, but each run takes down
+   the currently most-loaded server (so the victim always carries a
+   real population, whatever the redistribution dynamics did) and
+   brings it back up. [promote] repairs with the O(1)-per-client
+   standby promotion; the baseline pays the greedy full-migration path
+   plus its Greedy re-solve report — the cost a control plane without
+   standbys eats on every crash. *)
+let make_failover_kernel ~clients ~promote =
+  let session = Dia_core.Dynamic.create churn_matrix ~servers:churn_servers in
+  for i = 0 to clients - 1 do
+    ignore (Dia_core.Dynamic.join session ~node:(i mod churn_nodes))
+  done;
+  let k = Array.length churn_servers in
+  fun () ->
+    let victim = ref 0 in
+    for s = 1 to k - 1 do
+      if Dia_core.Dynamic.load session s > Dia_core.Dynamic.load session !victim
+      then victim := s
+    done;
+    (if promote then ignore (Dia_core.Dynamic.promote_standby session !victim)
+     else ignore (Dia_core.Dynamic.fail_server_report session !victim));
+    Dia_core.Dynamic.recover_server session !victim
+
 let tests =
   [
     Test.make ~name:"objective/fast(n=120)" (Staged.stage (fun () ->
@@ -275,6 +298,14 @@ let tests =
       (Staged.stage (make_churn_kernel ~clients:1_000));
     Test.make ~name:"churn/steady-state(clients=10000)"
       (Staged.stage (make_churn_kernel ~clients:10_000));
+    Test.make ~name:"failover/promote(clients=1000)"
+      (Staged.stage (make_failover_kernel ~clients:1_000 ~promote:true));
+    Test.make ~name:"failover/resolve(clients=1000)"
+      (Staged.stage (make_failover_kernel ~clients:1_000 ~promote:false));
+    Test.make ~name:"failover/promote(clients=10000)"
+      (Staged.stage (make_failover_kernel ~clients:10_000 ~promote:true));
+    Test.make ~name:"failover/resolve(clients=10000)"
+      (Staged.stage (make_failover_kernel ~clients:10_000 ~promote:false));
   ]
 
 (* -- Quality ablation: achievable optimum (annealing) vs the lower bound -- *)

@@ -479,9 +479,28 @@ let soak_cmd =
          & info [ "log" ] ~docv:"FILE"
              ~doc:"Write the structured event log to $(docv).")
   in
+  let no_standby_arg =
+    Arg.(value & flag
+         & info [ "no-standby" ]
+             ~doc:"Disable standby replicas: repair crashes with the greedy \
+                   full-migration path instead of O(1) promotion.")
+  in
+  let standby_bound_arg =
+    Arg.(value & opt float dc.Soak.standby_bound
+         & info [ "standby-bound" ] ~docv:"B"
+             ~doc:"Max tolerated post-promotion D/LB; a breach triggers an \
+                   immediate budgeted rebalance.")
+  in
+  let baseline_arg =
+    Arg.(value & flag
+         & info [ "baseline" ]
+             ~doc:"Sample an offline Greedy re-solve at every lower-bound \
+                   refresh (the competitive-ratio baseline stream).")
+  in
   let run seed nodes servers capacity horizon rate lifetime drift_period
       drift_amplitude fault budget max_queue lb_every checkpoint
-      checkpoint_every resume kill_after log_path =
+      checkpoint_every resume kill_after log_path no_standby standby_bound
+      baseline =
     let scenario =
       {
         Soak.seed;
@@ -497,7 +516,16 @@ let soak_cmd =
       }
     in
     let config =
-      { dc with Soak.budget; max_queue; lb_every; checkpoint_every }
+      {
+        dc with
+        Soak.budget;
+        max_queue;
+        lb_every;
+        checkpoint_every;
+        standby = not no_standby;
+        standby_bound;
+        offline_baseline = baseline;
+      }
     in
     let proceed resume_from =
       match
@@ -543,7 +571,85 @@ let soak_cmd =
                $ horizon_arg $ rate_arg $ lifetime_arg $ drift_period_arg
                $ drift_amplitude_arg $ soak_fault_arg $ budget_arg
                $ max_queue_arg $ lb_every_arg $ checkpoint_arg
-               $ checkpoint_every_arg $ resume_arg $ kill_after_arg $ log_arg))
+               $ checkpoint_every_arg $ resume_arg $ kill_after_arg $ log_arg
+               $ no_standby_arg $ standby_bound_arg $ baseline_arg))
+
+(* dia competitive *)
+
+let competitive_cmd =
+  let module Soak = Dia_runtime.Soak in
+  let module Competitive = Dia_runtime.Competitive in
+  let d = Soak.default_scenario and dc = Soak.default_config in
+  let nodes_arg =
+    Arg.(value & opt int d.Soak.nodes
+         & info [ "nodes" ] ~docv:"N" ~doc:"Network size.")
+  in
+  let servers_arg =
+    Arg.(value & opt int d.Soak.servers
+         & info [ "k"; "servers" ] ~docv:"K" ~doc:"Number of servers.")
+  in
+  let capacity_arg =
+    Arg.(value & opt (some int) d.Soak.capacity
+         & info [ "capacity" ] ~docv:"N" ~doc:"Per-server client capacity.")
+  in
+  let horizon_arg =
+    Arg.(value & opt float d.Soak.horizon
+         & info [ "horizon" ] ~docv:"T" ~doc:"Trace length in time units.")
+  in
+  let fault_arg =
+    Arg.(value & opt fault_conv d.Soak.fault
+         & info [ "fault" ] ~docv:"SPEC"
+             ~doc:"Fault plan each trace replays (see $(b,dia soak)).")
+  in
+  let traces_arg =
+    Arg.(value & opt int 20
+         & info [ "traces" ] ~docv:"N"
+             ~doc:"Seeded trace replays (scenario seeds SEED..SEED+N-1).")
+  in
+  let bound_arg =
+    Arg.(value & opt float Competitive.default_bound
+         & info [ "bound" ] ~docv:"B"
+             ~doc:"Competitive-ratio bound the worst observed online/offline \
+                   quotient must stay within.")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE"
+             ~doc:"Write the per-trace ratio table to $(docv) as CSV.")
+  in
+  let no_standby_arg =
+    Arg.(value & flag
+         & info [ "no-standby" ]
+             ~doc:"Measure the online policy without standby promotion.")
+  in
+  let run seed nodes servers capacity horizon fault traces bound csv
+      no_standby =
+    let scenario = { d with Soak.seed; nodes; servers; capacity; horizon; fault } in
+    let config = { dc with Soak.standby = not no_standby } in
+    match Competitive.run ~traces ~bound scenario config with
+    | exception Invalid_argument m -> `Error (false, m)
+    | summary ->
+        print_string (Competitive.render summary);
+        (match csv with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Competitive.to_csv summary);
+            close_out oc;
+            Printf.printf "(per-trace CSV written to %s)\n" path
+        | None -> ());
+        if summary.Competitive.ok then `Ok () else exit 1
+  in
+  Cmd.v
+    (Cmd.info "competitive"
+       ~doc:"Empirical competitive-ratio harness: replay seeded churn/crash \
+             traces comparing the online sticky policy (greedy joins, O(1) \
+             standby promotion, budget-bounded repair) against an offline \
+             Greedy re-solve at every lower-bound refresh, and judge the \
+             worst observed ratio against the documented bound. Exits 1 on \
+             violation.")
+    Term.(ret (const run $ seed_arg $ nodes_arg $ servers_arg $ capacity_arg
+               $ horizon_arg $ fault_arg $ traces_arg $ bound_arg $ csv_arg
+               $ no_standby_arg))
 
 (* dia vivaldi *)
 
@@ -667,6 +773,6 @@ let main_cmd =
   let info = Cmd.info "dia" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ experiment_cmd; assign_cmd; dataset_cmd; simulate_cmd; soak_cmd;
-      vivaldi_cmd; topology_cmd; npc_cmd; oracle_cmd ]
+      competitive_cmd; vivaldi_cmd; topology_cmd; npc_cmd; oracle_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -2,7 +2,8 @@ module Matrix = Dia_latency.Matrix
 
 type client_id = int
 
-type member = { node : int; mutable server : int }
+type member = { node : int; mutable server : int; mutable standby : int }
+(* [standby = -1] means no standby is currently armed. *)
 
 type stats = { joins : int; leaves : int; moves : int }
 
@@ -14,6 +15,8 @@ type t = {
   members : (client_id, member) Hashtbl.t;
   load : int array;
   ecc : float array;
+  sb_load : int array array;
+      (** [sb_load.(p).(s)] = members of primary [p] whose standby is [s] *)
   failed : bool array;
   node_drift : float array;  (** per-node multiplicative factor, 1.0 = none *)
   mutable next_id : int;
@@ -41,6 +44,7 @@ let create ?capacity matrix ~servers =
     members = Hashtbl.create 64;
     load = Array.make k 0;
     ecc = Array.make k neg_infinity;
+    sb_load = Array.make_matrix k k 0;
     failed = Array.make k false;
     node_drift = Array.make (Matrix.dim matrix) 1.0;
     next_id = 0;
@@ -82,6 +86,48 @@ let attach_cost t ecc node s =
   done;
   !worst
 
+(* --- standby replicas ---------------------------------------------------
+
+   Every member may carry a standby: the live server, other than its
+   primary, that minimises its attach cost in the surviving configuration
+   (primary eccentricity removed), subject to headroom —
+   [load s' + sb_load.(p).(s') < capacity], where the reservation matrix
+   counts the primary's members already pointing at [s']. The matrix
+   makes the promise compositional: every client of [p] reserving [s']
+   fits into [s'] together. Reservations are advisory for joins, moves
+   and rebalance (normal placement ignores them); the failover paths
+   honour them. Standbys never point at a failed server. *)
+
+let clear_standby t member =
+  if member.standby >= 0 then begin
+    let p = member.server and s = member.standby in
+    t.sb_load.(p).(s) <- t.sb_load.(p).(s) - 1;
+    member.standby <- -1
+  end
+
+let select_standby t member =
+  let p = member.server in
+  let trial = Array.copy t.ecc in
+  trial.(p) <- neg_infinity;
+  let best = ref (-1) and best_c = ref infinity in
+  for s = 0 to k t - 1 do
+    if
+      s <> p
+      && (not t.failed.(s))
+      && t.load.(s) + t.sb_load.(p).(s) < t.capacity
+    then begin
+      let c = attach_cost t trial member.node s in
+      if c < !best_c then begin
+        best_c := c;
+        best := s
+      end
+    end
+  done;
+  if !best >= 0 then begin
+    member.standby <- !best;
+    t.sb_load.(p).(!best) <- t.sb_load.(p).(!best) + 1
+  end
+
 let join t ~node =
   if node < 0 || node >= Matrix.dim t.matrix then
     invalid_arg (Printf.sprintf "Dynamic.join: node %d out of range" node);
@@ -100,9 +146,11 @@ let join t ~node =
   let s = !best in
   let id = t.next_id in
   t.next_id <- id + 1;
-  Hashtbl.replace t.members id { node; server = s };
+  let m = { node; server = s; standby = -1 } in
+  Hashtbl.replace t.members id m;
   t.load.(s) <- t.load.(s) + 1;
   t.ecc.(s) <- Float.max t.ecc.(s) (d_ns t node s);
+  select_standby t m;
   t.joins <- t.joins + 1;
   id
 
@@ -121,6 +169,7 @@ let recompute_ecc t s =
 
 let leave t id =
   let member = find t id in
+  clear_standby t member;
   Hashtbl.remove t.members id;
   t.load.(member.server) <- t.load.(member.server) - 1;
   recompute_ecc t member.server;
@@ -144,12 +193,14 @@ let move t id target =
   if member.server <> target then begin
     if t.load.(target) >= t.capacity then
       invalid_arg (Printf.sprintf "Dynamic.move: server %d is saturated" target);
+    clear_standby t member;
     let old_s = member.server in
     t.load.(old_s) <- t.load.(old_s) - 1;
     t.load.(target) <- t.load.(target) + 1;
     member.server <- target;
     recompute_ecc t old_s;
     t.ecc.(target) <- Float.max t.ecc.(target) (d_ns t member.node target);
+    select_standby t member;
     t.moves <- t.moves + 1
   end
 
@@ -210,11 +261,13 @@ let rebalance ?(max_moves = max_int) t =
       done;
       if !best >= 0 && !best_d < d -. 1e-12 then begin
         let s = !best in
+        clear_standby t member;
         t.load.(old_s) <- t.load.(old_s) - 1;
         t.load.(s) <- t.load.(s) + 1;
         member.server <- s;
         t.ecc.(old_s) <- trial.(old_s);
         t.ecc.(s) <- Float.max trial.(s) (d_ns t member.node s);
+        select_standby t member;
         t.moves <- t.moves + 1;
         incr moves;
         true
@@ -254,6 +307,41 @@ let members t =
   Hashtbl.fold (fun id m acc -> (id, m.node, m.server) :: acc) t.members []
   |> List.sort compare
 
+let standby_of t id =
+  let m = find t id in
+  if m.standby >= 0 then Some m.standby else None
+
+let standbys t =
+  Hashtbl.fold
+    (fun id m acc -> if m.standby >= 0 then (id, m.standby) :: acc else acc)
+    t.members []
+  |> List.sort compare
+
+let refresh_standbys t =
+  let entries =
+    Hashtbl.fold (fun id m acc -> (id, m) :: acc) t.members []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let old = List.map (fun (_, m) -> m.standby) entries in
+  List.iter (fun (_, m) -> clear_standby t m) entries;
+  List.iter (fun (_, m) -> select_standby t m) entries;
+  List.fold_left2
+    (fun changed (_, m) was -> if m.standby <> was then changed + 1 else changed)
+    0 entries old
+
+let standby_objective t s =
+  if s < 0 || s >= k t then
+    invalid_arg (Printf.sprintf "Dynamic.standby_objective: server %d out of range" s);
+  let trial = Array.copy t.ecc in
+  trial.(s) <- neg_infinity;
+  Hashtbl.iter
+    (fun _ m ->
+      if m.server = s && m.standby >= 0 then
+        trial.(m.standby) <-
+          Float.max trial.(m.standby) (d_ns t m.node m.standby))
+    t.members;
+  objective_of t trial
+
 (* Rebuild every cached eccentricity from scratch in one member pass —
    needed after a drift change rescales distances wholesale. *)
 let rebuild_ecc t =
@@ -285,8 +373,8 @@ let set_drift t ~server ~factor =
     rebuild_ecc t
   end
 
-let restore ?capacity matrix ~servers ~members:member_list ~next_id ~failed
-    ~drift:drift_list ~stats:(s : stats) =
+let restore ?capacity ?(standbys = []) matrix ~servers ~members:member_list
+    ~next_id ~failed ~drift:drift_list ~stats:(s : stats) =
   let t = create ?capacity matrix ~servers in
   List.iter
     (fun srv ->
@@ -307,12 +395,32 @@ let restore ?capacity matrix ~servers ~members:member_list ~next_id ~failed
         invalid_arg (Printf.sprintf "Dynamic.restore: duplicate client id %d" id);
       if t.load.(server) >= t.capacity then
         invalid_arg (Printf.sprintf "Dynamic.restore: server %d over capacity" server);
-      Hashtbl.replace t.members id { node; server };
+      Hashtbl.replace t.members id { node; server; standby = -1 };
       t.load.(server) <- t.load.(server) + 1;
       t.ecc.(server) <- Float.max t.ecc.(server) (d_ns t node server);
       if id >= next_id then
         invalid_arg (Printf.sprintf "Dynamic.restore: client id %d >= next_id" id))
     member_list;
+  List.iter
+    (fun (id, sb) ->
+      match Hashtbl.find_opt t.members id with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Dynamic.restore: standby for unknown client %d" id)
+      | Some m ->
+          if sb < 0 || sb >= k t then
+            invalid_arg (Printf.sprintf "Dynamic.restore: standby %d out of range" sb);
+          if t.failed.(sb) then
+            invalid_arg (Printf.sprintf "Dynamic.restore: standby on failed server %d" sb);
+          if sb = m.server then
+            invalid_arg
+              (Printf.sprintf "Dynamic.restore: client %d standby equals primary" id);
+          if m.standby >= 0 then
+            invalid_arg
+              (Printf.sprintf "Dynamic.restore: duplicate standby for client %d" id);
+          m.standby <- sb;
+          t.sb_load.(m.server).(sb) <- t.sb_load.(m.server).(sb) + 1)
+    standbys;
   t.next_id <- next_id;
   t.joins <- s.joins;
   t.leaves <- s.leaves;
@@ -328,10 +436,13 @@ let check_failable t s ~label =
     invalid_arg
       (Printf.sprintf "Dynamic.%s: server %d is the last live server" label s)
 
-(* Take [s] down and greedily re-home its clients (same rule as join).
-   Orphans that no live server has room for are disconnected and returned
-   as the stranded list. *)
-let fail_server_partial t s =
+(* Common prologue of both failover paths: mark [s] failed, collect its
+   orphans (ascending id, each with the standby it held at crash time),
+   release every reservation touching [s] — the orphans' own (row [s])
+   and those of members elsewhere whose standby {e was} [s] (column
+   [s]) — and zero the dead server's caches. Returns the orphans and the
+   ids whose standby was invalidated. *)
+let fail_prologue t s =
   t.failed.(s) <- true;
   let orphans =
     Hashtbl.fold
@@ -339,15 +450,64 @@ let fail_server_partial t s =
       t.members []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
+  let orphans = List.map (fun (id, m) -> (id, m, m.standby)) orphans in
+  List.iter (fun (_, m, _) -> clear_standby t m) orphans;
+  let invalidated = ref [] in
+  Hashtbl.iter
+    (fun id m ->
+      if m.standby = s then begin
+        clear_standby t m;
+        invalidated := id :: !invalidated
+      end)
+    t.members;
   t.load.(s) <- 0;
   t.ecc.(s) <- neg_infinity;
+  (orphans, !invalidated)
+
+(* Least-loaded live server with a free slot, ties to the lowest index;
+   -1 when every live server is saturated. *)
+let least_loaded_feasible t =
+  let fb = ref (-1) in
+  for s' = k t - 1 downto 0 do
+    if (not t.failed.(s')) && t.load.(s') < t.capacity
+       && (!fb < 0 || t.load.(s') <= t.load.(!fb))
+    then fb := s'
+  done;
+  !fb
+
+(* Fresh standbys for the members a failure touched: surviving orphans
+   (their primary changed) and members whose standby pointed at the dead
+   server — in ascending id order so resumes replay identically. *)
+let rearm_standbys t ~orphans ~invalidated =
+  List.filter_map
+    (fun (id, _, _) -> if Hashtbl.mem t.members id then Some id else None)
+    orphans
+  @ invalidated
+  |> List.sort_uniq compare
+  |> List.iter (fun id -> select_standby t (Hashtbl.find t.members id))
+
+(* Take [s] down and re-home its clients in ascending id order. Each
+   orphan is placed greedily (the join rule) over the servers that still
+   have room once the co-orphans' outstanding standby reservations are
+   discounted — greedy never steals a slot reserved for a later orphan.
+   When greedy finds nothing the orphan falls back to its own standby,
+   then to the least-loaded server with any free slot; only when every
+   live server is saturated is it disconnected and returned in the
+   stranded list as an [(id, node)] pair. *)
+let fail_server_partial t s =
+  let orphans, invalidated = fail_prologue t s in
+  let reserved = Array.make (k t) 0 in
+  List.iter
+    (fun (_, _, sb) -> if sb >= 0 then reserved.(sb) <- reserved.(sb) + 1)
+    orphans;
   let migrated = ref 0 and stranded = ref [] in
   List.iter
-    (fun (id, member) ->
+    (fun (id, member, sb) ->
       let current = objective t in
       let best = ref (-1) and best_d = ref infinity in
       for s' = 0 to k t - 1 do
-        if (not t.failed.(s')) && t.load.(s') < t.capacity then begin
+        let spare = reserved.(s') - (if sb = s' then 1 else 0) in
+        if (not t.failed.(s')) && t.load.(s') + spare < t.capacity then begin
           let resulting = Float.max current (attach_cost t t.ecc member.node s') in
           if resulting < !best_d then begin
             best_d := resulting;
@@ -355,18 +515,25 @@ let fail_server_partial t s =
           end
         end
       done;
-      if !best < 0 then begin
+      let target =
+        if !best >= 0 then !best
+        else if sb >= 0 && (not t.failed.(sb)) && t.load.(sb) < t.capacity then sb
+        else least_loaded_feasible t
+      in
+      if sb >= 0 then reserved.(sb) <- reserved.(sb) - 1;
+      if target < 0 then begin
         Hashtbl.remove t.members id;
-        stranded := id :: !stranded
+        stranded := (id, member.node) :: !stranded
       end
       else begin
-        member.server <- !best;
-        t.load.(!best) <- t.load.(!best) + 1;
-        t.ecc.(!best) <- Float.max t.ecc.(!best) (d_ns t member.node !best);
+        member.server <- target;
+        t.load.(target) <- t.load.(target) + 1;
+        t.ecc.(target) <- Float.max t.ecc.(target) (d_ns t member.node target);
         t.moves <- t.moves + 1;
         incr migrated
       end)
     orphans;
+  rearm_standbys t ~orphans ~invalidated;
   (!migrated, List.rev !stranded)
 
 let fail_server t s =
@@ -391,7 +558,7 @@ let fail_server t s =
 type degradation = {
   failed_server : int;
   migrated : int;
-  stranded : int list;
+  stranded : (client_id * int) list;
   objective_before : float;
   objective_after : float;
   objective_resolve : float;
@@ -426,6 +593,59 @@ let fail_server_report t s =
   in
   { failed_server = s; migrated; stranded; objective_before; objective_after;
     objective_resolve; factor }
+
+type promotion = {
+  failed_server : int;
+  promoted : int;
+  fallback : int;
+  stranded : (client_id * int) list;
+  objective_before : float;
+  objective_after : float;
+  promised : float;
+}
+
+(* The O(1)-per-client repair path: each orphan moves straight to its
+   armed standby — a constant-time reassignment (load bump, running-max
+   eccentricity update), no objective scan. The reservation matrix
+   guaranteed headroom at arm time, so under stable load every orphan's
+   slot is waiting; when load grew since (or the orphan had no standby),
+   the least-loaded feasible server catches it, and only a fully
+   saturated system strands anyone. *)
+let promote_standby t s =
+  check_failable t s ~label:"promote_standby";
+  let objective_before = objective t in
+  let promised = standby_objective t s in
+  let orphans, invalidated = fail_prologue t s in
+  let promoted = ref 0 and fallback = ref 0 and stranded = ref [] in
+  List.iter
+    (fun (id, member, sb) ->
+      let target, via_standby =
+        if sb >= 0 && (not t.failed.(sb)) && t.load.(sb) < t.capacity then
+          (sb, true)
+        else (least_loaded_feasible t, false)
+      in
+      if target < 0 then begin
+        Hashtbl.remove t.members id;
+        stranded := (id, member.node) :: !stranded
+      end
+      else begin
+        member.server <- target;
+        t.load.(target) <- t.load.(target) + 1;
+        t.ecc.(target) <- Float.max t.ecc.(target) (d_ns t member.node target);
+        t.moves <- t.moves + 1;
+        if via_standby then incr promoted else incr fallback
+      end)
+    orphans;
+  rearm_standbys t ~orphans ~invalidated;
+  {
+    failed_server = s;
+    promoted = !promoted;
+    fallback = !fallback;
+    stranded = List.rev !stranded;
+    objective_before;
+    objective_after = objective t;
+    promised;
+  }
 
 let recover_server t s =
   if s < 0 || s >= k t then

@@ -12,7 +12,19 @@
     drift.
 
     All operations are incremental: joins cost O(|S|²), leaves
-    O(|S| + load), rebalance O(moves · |S|²  + |C|) — no full re-solve. *)
+    O(|S| + load), rebalance O(moves · |S|²  + |C|) — no full re-solve.
+
+    {b Standby replicas.} Alongside its primary, every client carries a
+    {e standby} server — the live server (other than the primary) that
+    minimises the client's attach cost in the surviving configuration,
+    chosen under capacity headroom: a reservation matrix counts, per
+    (primary, standby) pair, the clients already pointing there, so all
+    of one server's clients reserving the same standby are guaranteed to
+    fit together. Standbys are maintained incrementally on join, move
+    and rebalance (reservations are advisory for normal placement — they
+    never block a join), and {!promote_standby} turns them into an
+    O(1)-per-client failover: orphans move straight to their armed
+    standby with no objective scan and no repair epoch. *)
 
 type t
 (** A mutable dynamic assignment session. *)
@@ -92,6 +104,34 @@ val members : t -> (client_id * int * int) list
 (** Current membership as [(id, node, server)] triples, ascending by id —
     the serializable session state consumed by checkpointing. *)
 
+val standby_of : t -> client_id -> int option
+(** The client's armed standby server, if any ([None] when no feasible
+    standby existed at the last (re)selection).
+
+    @raise Invalid_argument for unknown or departed ids. *)
+
+val standbys : t -> (client_id * int) list
+(** All armed standbys as [(id, standby)] pairs, ascending by id — the
+    serializable standby state consumed by checkpointing (v2). *)
+
+val refresh_standbys : t -> int
+(** Re-arm every client's standby from scratch, in ascending client-id
+    order (the canonical order — restoring a checkpoint and refreshing
+    reproduces the exact same map), and return how many standbys
+    changed. Incremental maintenance keeps standbys {e valid} but lets
+    their quality drift as eccentricities and loads evolve; callers run
+    this at natural barriers (the soak runs it at checkpoint
+    boundaries). *)
+
+val standby_objective : t -> int -> float
+(** The {e promised} post-failover objective of a server: D(A) of the
+    hypothetical assignment in which the server is removed and each of
+    its clients sits on its armed standby (clients without one are
+    ignored). Exactly what {!promote_standby} realises when every orphan
+    still finds its reserved slot free.
+
+    @raise Invalid_argument if the server index is out of range. *)
+
 val active_servers : t -> int list
 (** Server indices currently accepting clients (all of them until
     {!fail_server} is used), ascending. *)
@@ -119,6 +159,7 @@ val set_drift : t -> server:int -> factor:float -> unit
 
 val restore :
   ?capacity:int ->
+  ?standbys:(client_id * int) list ->
   Dia_latency.Matrix.t ->
   servers:int array ->
   members:(client_id * int * int) list ->
@@ -128,13 +169,17 @@ val restore :
   stats:stats ->
   t
 (** Rebuild a session from checkpointed state: the exact inverse of
-    reading {!members}, {!failed_servers}, {!drift}, {!stats} and the
-    id counter. Loads and eccentricities are recomputed, so the restored
-    session is behaviourally identical to the one that was saved.
+    reading {!members}, {!standbys}, {!failed_servers}, {!drift},
+    {!stats} and the id counter. Loads, eccentricities and standby
+    reservations are recomputed, so the restored session is
+    behaviourally identical to the one that was saved. When [standbys]
+    is omitted (a v1 checkpoint) every client restores standby-less;
+    callers wanting the canonical map run {!refresh_standbys}.
 
     @raise Invalid_argument on out-of-range ids/nodes/servers, duplicate
-    client ids, members on failed servers, ids at or above [next_id], or
-    capacity violations. *)
+    client ids, members on failed servers, ids at or above [next_id],
+    capacity violations, or standbys that are unknown, duplicated,
+    failed, out of range, or equal to the client's primary. *)
 
 val fail_server : t -> int -> int
 (** [fail_server t s] takes server [s] out of service: it stops accepting
@@ -150,10 +195,12 @@ val fail_server : t -> int -> int
 type degradation = {
   failed_server : int;
   migrated : int;  (** orphans re-homed by the failover *)
-  stranded : int list;
-      (** orphans no live server had room for — disconnected from the
-          session and reported here (never silently dropped), ascending
-          by client id; empty when surviving capacity sufficed *)
+  stranded : (client_id * int) list;
+      (** [(id, node)] of the orphans no live server had room for —
+          disconnected from the session and reported here (never
+          silently dropped), ascending by client id, with the network
+          node so supervisors can requeue them; empty whenever {e any}
+          live server still has a free slot per orphan *)
   objective_before : float;  (** D(A) just before the failure *)
   objective_after : float;  (** D(A) after greedy migration *)
   objective_resolve : float;
@@ -172,7 +219,41 @@ val fail_server_report : t -> int -> degradation
     instead of reassigning everyone. Unlike {!fail_server}, insufficient
     surviving capacity is not an error: the orphans that fit are
     migrated and the rest are disconnected and listed in [stranded] —
-    graceful degradation for supervised runtimes.
+    graceful degradation for supervised runtimes. Orphan placement is
+    greedy over the servers with room left after discounting co-orphans'
+    standby reservations (greedy never steals a reserved slot), falling
+    back to the orphan's own standby and then to the least-loaded
+    feasible server, so a client is stranded only when no feasible
+    server exists at all.
+
+    @raise Invalid_argument if [s] is out of range, already failed, or
+    the last live server. *)
+
+type promotion = {
+  failed_server : int;
+  promoted : int;  (** orphans that landed on their armed standby *)
+  fallback : int;
+      (** orphans whose standby was missing or saturated, placed on the
+          least-loaded feasible server instead *)
+  stranded : (client_id * int) list;
+      (** [(id, node)] pairs, as in {!degradation} — only when every
+          live server is saturated *)
+  objective_before : float;  (** D(A) just before the failure *)
+  objective_after : float;  (** D(A) after promotion *)
+  promised : float;
+      (** {!standby_objective} of the server at the instant of failure —
+          equals [objective_after] when every orphan was promoted *)
+}
+
+val promote_standby : t -> int -> promotion
+(** The O(1)-per-client failover: take the server down and move each of
+    its clients to its armed standby — a constant-time reassignment per
+    client (no objective scan, no repair epoch). The standby reservation
+    matrix guaranteed headroom when the standbys were armed, so under
+    stable load every orphan finds its slot free; orphans without a
+    usable standby fall back to the least-loaded feasible server, and
+    only a fully saturated system strands anyone. Afterwards the touched
+    clients' standbys are re-armed against the surviving servers.
 
     @raise Invalid_argument if [s] is out of range, already failed, or
     the last live server. *)

@@ -1,11 +1,13 @@
-let version = 1
+let version = 2
 
 type state = {
+  version : int;
   digest : string;
   cursor : int;
   now : float;
   capacity : int option;
   members : (int * int * int) list;
+  standbys : (int * int) list;
   next_id : int;
   failed : int list;
   drift : (int * float) list;
@@ -34,6 +36,7 @@ type state = {
   events_since_lb : int;
   checkpoints : int;
   trace_points : (float * float * float) list;
+  baseline_points : (float * float * float) list;
   log : Event_log.entry list;
 }
 
@@ -74,6 +77,7 @@ let encode s =
   line "events_since_lb=%d" s.events_since_lb;
   line "checkpoints=%d" s.checkpoints;
   List.iter (fun (id, node, server) -> line "member=%d,%d,%d" id node server) s.members;
+  List.iter (fun (id, standby) -> line "standby=%d,%d" id standby) s.standbys;
   List.iter (fun (session, client) -> line "session=%d,%d" session client) s.sessions;
   List.iter (fun (server, factor) -> line "drift=%d,%s" server (fs factor)) s.drift;
   List.iter (fun (session, node) -> line "queue=%d,%d" session node) s.queue;
@@ -81,6 +85,10 @@ let encode s =
     (fun (t, objective, ratio) ->
       line "trace=%s,%s,%s" (fs t) (fs objective) (fs ratio))
     s.trace_points;
+  List.iter
+    (fun (t, online, resolve) ->
+      line "baseline=%s,%s,%s" (fs t) (fs online) (fs resolve))
+    s.baseline_points;
   List.iter (fun e -> line "log=%s" (Codec.escape (Event_log.to_line e))) s.log;
   Buffer.add_string b "end\n";
   Buffer.contents b
@@ -113,15 +121,24 @@ let decode text =
     match lines with
     | [] -> Error "checkpoint: empty"
     | header :: rest ->
-        if header <> Printf.sprintf "dia-soak-checkpoint v%d" version then
-          fail "checkpoint: unsupported header %S" header;
+        (* v1 files (no standby/baseline lines) stay readable: the
+           missing lists decode to [] and the soak rebuilds the standby
+           map canonically on restore. *)
+        let file_version =
+          match header with
+          | "dia-soak-checkpoint v1" -> 1
+          | "dia-soak-checkpoint v2" -> 2
+          | _ -> fail "checkpoint: unsupported header %S" header
+        in
         (match List.rev rest with
         | "end" :: _ -> ()
         | _ -> fail "checkpoint: truncated (missing end marker)");
         let rest = List.filter (fun l -> l <> "end") rest in
         let scalars = Hashtbl.create 32 in
-        let members = ref [] and sessions = ref [] and drift = ref [] in
-        let queue = ref [] and trace_points = ref [] and log = ref [] in
+        let members = ref [] and standbys = ref [] in
+        let sessions = ref [] and drift = ref [] in
+        let queue = ref [] and trace_points = ref [] in
+        let baseline_points = ref [] and log = ref [] in
         List.iter
           (fun l ->
             match String.index_opt l '=' with
@@ -135,6 +152,9 @@ let decode text =
                     members :=
                       (int_of "member" a, int_of "member" b, int_of "member" c)
                       :: !members
+                | "standby" ->
+                    let a, b = split2 "standby" value in
+                    standbys := (int_of "standby" a, int_of "standby" b) :: !standbys
                 | "session" ->
                     let a, b = split2 "session" value in
                     sessions := (int_of "session" a, int_of "session" b) :: !sessions
@@ -149,6 +169,11 @@ let decode text =
                     trace_points :=
                       (Codec.float_of_str a, Codec.float_of_str b, Codec.float_of_str c)
                       :: !trace_points
+                | "baseline" ->
+                    let a, b, c = split3 "baseline" value in
+                    baseline_points :=
+                      (Codec.float_of_str a, Codec.float_of_str b, Codec.float_of_str c)
+                      :: !baseline_points
                 | "log" -> (
                     match Event_log.of_line (Codec.unescape value) with
                     | Ok entry -> log := entry :: !log
@@ -171,6 +196,7 @@ let decode text =
         in
         Ok
           {
+            version = file_version;
             digest = scalar "digest";
             cursor = int "cursor";
             now = Codec.float_of_str (scalar "now");
@@ -179,6 +205,7 @@ let decode text =
               | "none" -> None
               | c -> Some (int_of "capacity" c));
             members = List.rev !members;
+            standbys = List.rev !standbys;
             next_id = int "next_id";
             failed =
               (match scalar "failed" with
@@ -210,6 +237,7 @@ let decode text =
             events_since_lb = int "events_since_lb";
             checkpoints = int "checkpoints";
             trace_points = List.rev !trace_points;
+            baseline_points = List.rev !baseline_points;
             log = List.rev !log;
           }
   with

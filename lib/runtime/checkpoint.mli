@@ -17,17 +17,28 @@
     printed with {!Codec.float_str}, which round-trips exactly. Writes
     are atomic (temp file + rename), so a kill {e during} a checkpoint
     write leaves the previous checkpoint intact. A [scenario] digest
-    guards against resuming under a different configuration. *)
+    guards against resuming under a different configuration.
+
+    {b Versioning.} Format v2 adds the standby map ([standby=] lines)
+    and the offline-baseline samples ([baseline=] lines) to v1. Both
+    versions decode: a v1 file yields empty lists and [version = 1], and
+    the soak rebuilds the standby map canonically on restore
+    ({!Dia_core.Dynamic.refresh_standbys} in ascending client-id order —
+    the same order the soak re-arms standbys at every checkpoint
+    boundary), so resuming a v1 checkpoint stays bit-identical to the
+    uninterrupted run. {!encode} always writes the current version. *)
 
 val version : int
 
 type state = {
+  version : int;  (** format version of the decoded file; {!encode} writes the current one *)
   digest : string;  (** hex digest of the scenario/config, from the soak *)
   cursor : int;  (** next trace event index *)
   now : float;  (** trace time of the last processed event *)
   (* session *)
   capacity : int option;
   members : (int * int * int) list;  (** (client id, node, server) *)
+  standbys : (int * int) list;  (** (client id, standby server); [] in v1 files *)
   next_id : int;
   failed : int list;
   drift : (int * float) list;  (** (server, factor), only factors <> 1 *)
@@ -58,12 +69,18 @@ type state = {
   checkpoints : int;
   trace_points : (float * float * float) list;
       (** (time, objective, ratio), oldest first *)
+  baseline_points : (float * float * float) list;
+      (** (time, online objective, offline re-solve objective) samples
+          for the competitive-ratio harness, oldest first; [] unless the
+          soak ran with [offline_baseline] (and in v1 files) *)
   log : Event_log.entry list;  (** oldest first *)
 }
 
 val encode : state -> string
 val decode : string -> (state, string) result
-(** [decode (encode s) = Ok s], bit-exactly. Rejects unknown versions. *)
+(** [decode (encode s) = Ok s] bit-exactly for current-version states.
+    v1 files also decode (with [version = 1] and empty standby/baseline
+    lists); unknown versions are rejected. *)
 
 val save : string -> state -> unit
 (** Atomic write: the state is written to [path ^ ".tmp"] and renamed

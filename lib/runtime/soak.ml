@@ -45,6 +45,9 @@ type config = {
   checkpoint_every : int;
   protocol_repair : bool;
   max_protocol_attempts : int;
+  standby : bool;
+  standby_bound : float;
+  offline_baseline : bool;
 }
 
 let default_config =
@@ -56,6 +59,9 @@ let default_config =
     checkpoint_every = 100;
     protocol_repair = true;
     max_protocol_attempts = 3;
+    standby = true;
+    standby_bound = 3.0;
+    offline_baseline = false;
   }
 
 let validate scenario config =
@@ -79,7 +85,9 @@ let validate scenario config =
   if config.checkpoint_every < 0 then
     invalid_arg "Soak: checkpoint_every must be non-negative";
   if config.max_protocol_attempts < 1 then
-    invalid_arg "Soak: max_protocol_attempts must be >= 1"
+    invalid_arg "Soak: max_protocol_attempts must be >= 1";
+  if not (Float.is_finite config.standby_bound) || config.standby_bound < 1. then
+    invalid_arg "Soak: standby_bound must be finite and >= 1"
 
 let fs = Codec.float_str
 
@@ -90,7 +98,8 @@ let digest scenario config =
       "soak seed=%d nodes=%d servers=%d capacity=%s horizon=%s join_rate=%s \
        mean_lifetime=%s drift_period=%s drift_amplitude=%s fault=%s \
        slo=%s,%s,%d,%s budget=%d max_queue=%d lb_every=%d checkpoint_every=%d \
-       protocol_repair=%b max_protocol_attempts=%d"
+       protocol_repair=%b max_protocol_attempts=%d standby=%b standby_bound=%s \
+       offline_baseline=%b"
       s.seed s.nodes s.servers
       (match s.capacity with None -> "none" | Some c -> string_of_int c)
       (fs s.horizon) (fs s.join_rate) (fs s.mean_lifetime) (fs s.drift_period)
@@ -98,7 +107,8 @@ let digest scenario config =
       (Fault.to_string s.fault)
       (fs c.slo.Slo.degraded_at) (fs c.slo.Slo.critical_at) c.slo.Slo.hysteresis
       (fs c.slo.Slo.recover_margin) c.budget c.max_queue c.lb_every
-      c.checkpoint_every c.protocol_repair c.max_protocol_attempts
+      c.checkpoint_every c.protocol_repair c.max_protocol_attempts c.standby
+      (fs c.standby_bound) c.offline_baseline
   in
   Digest.to_hex (Digest.string canonical)
 
@@ -161,6 +171,12 @@ type report = {
   recoveries : int;
   drifts : int;
   stranded : int;
+  promotions : int;
+  promoted_clients : int;
+  fallback_clients : int;
+  standby_refreshes : int;
+  standby_changed : int;
+  standby_breaches : int;
   repairs : int;
   repair_moves : int;
   protocol_epochs : int;
@@ -168,6 +184,9 @@ type report = {
   checkpoints : int;
   session_stats : Dynamic.stats;
   trace_points : (float * float * float) list;
+  baseline_points : (float * float * float) list;
+  competitive_mean : float;
+  competitive_max : float;
   log : Event_log.entry list;
 }
 
@@ -201,11 +220,20 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
           invalid_arg
             "Soak.run: checkpoint digest mismatch (different scenario/config)";
         let session =
-          Dynamic.restore ?capacity:st.Checkpoint.capacity matrix
-            ~servers:server_nodes ~members:st.Checkpoint.members
+          Dynamic.restore ?capacity:st.Checkpoint.capacity
+            ?standbys:
+              (if st.Checkpoint.version >= 2 then Some st.Checkpoint.standbys
+               else None)
+            matrix ~servers:server_nodes ~members:st.Checkpoint.members
             ~next_id:st.Checkpoint.next_id ~failed:st.Checkpoint.failed
             ~drift:st.Checkpoint.drift ~stats:st.Checkpoint.session_stats
         in
+        (* A v1 checkpoint predates the standby map; rebuild it
+           canonically. Checkpoints are only written right after a
+           canonical refresh, so this reproduces the exact map a v2 file
+           would have carried — the upgrade is bit-identical. *)
+        if st.Checkpoint.version < 2 && config.standby then
+          ignore (Dynamic.refresh_standbys session);
         let sessions = Hashtbl.create 256 in
         List.iter
           (fun (sid, id) -> Hashtbl.replace sessions sid id)
@@ -227,6 +255,7 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
   let rng_cursor = ref 0 and lb = ref nan and events_since_lb = ref 0 in
   let checkpoints = ref 0 in
   let trace_points = ref [] (* newest first *) and log = ref [] in
+  let baseline_points = ref [] (* newest first *) in
   (match resume_from with
   | None -> ()
   | Some st ->
@@ -246,6 +275,7 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
       events_since_lb := st.Checkpoint.events_since_lb;
       checkpoints := st.Checkpoint.checkpoints;
       trace_points := List.rev st.Checkpoint.trace_points;
+      baseline_points := List.rev st.Checkpoint.baseline_points;
       log := List.rev st.Checkpoint.log);
   let log_event time kind = log := { Event_log.time; kind } :: !log in
   let has_capacity () =
@@ -277,12 +307,23 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
   in
   let recompute_lb now =
     events_since_lb := 0;
-    (match survivor_problem () with
+    let survivors = survivor_problem () in
+    (match survivors with
     | None -> lb := nan
     | Some (p, _) -> lb := Lower_bound.compute p);
     let obj = Dynamic.objective session in
     let ratio = if !lb > 0. && Float.is_finite obj then obj /. !lb else nan in
-    trace_points := (now, obj, ratio) :: !trace_points
+    trace_points := (now, obj, ratio) :: !trace_points;
+    (* Competitive-ratio sampling: at every refresh point, pit the online
+       (sticky) objective against a fresh offline Greedy re-solve over
+       the same survivors — the baseline the empirical competitive ratio
+       is measured from. *)
+    if config.offline_baseline then
+      match survivors with
+      | None -> ()
+      | Some (p, _) ->
+          let resolve = Objective.max_interaction_path p (Greedy.assign p) in
+          baseline_points := (now, obj, resolve) :: !baseline_points
   in
   let current_ratio () =
     let obj = Dynamic.objective session in
@@ -415,6 +456,31 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
       done
     end
   in
+  (* Stranded orphans are never dropped on the floor: their trace
+     sessions re-enter admission control (capacity is gone, so they
+     queue under Healthy/Degraded and shed under Critical or a full
+     queue), exactly like a fresh arrival that found no room. *)
+  let requeue_stranded now stranded =
+    if stranded <> [] then begin
+      let by_id = Hashtbl.create 8 in
+      Hashtbl.iter (fun sid id -> Hashtbl.replace by_id id sid) sessions;
+      List.iter
+        (fun (id, node) ->
+          match Hashtbl.find_opt by_id id with
+          | None -> ()
+          | Some sid -> (
+              Hashtbl.remove sessions sid;
+              match
+                Admission.consider admission ~level:(Slo.level slo)
+                  ~has_capacity:false ~session:sid ~node
+              with
+              | Admission.Admit -> ()  (* unreachable: has_capacity is false *)
+              | Admission.Queue -> log_event now (Event_log.Queued { session = sid })
+              | Admission.Shed -> log_event now (Event_log.Shed { session = sid })))
+        stranded
+    end
+  in
+  let breach_pending = ref false in
   let dispatch now kind =
     match kind with
     | Trace.Join { session = sid; node } -> (
@@ -455,24 +521,35 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
           log_event now (Event_log.Crash_skipped { server });
           false
         end
+        else if config.standby then begin
+          (* O(1)-per-client repair path: promote armed standbys first;
+             budgeted rebalance and protocol epochs only run afterwards
+             if the SLO (or the standby bound) says the result is not
+             good enough. *)
+          let r = Dynamic.promote_standby session server in
+          incr crashes;
+          stranded := !stranded + List.length r.Dynamic.stranded;
+          log_event now
+            (Event_log.Promote
+               {
+                 server;
+                 promoted = r.Dynamic.promoted;
+                 fallback = r.Dynamic.fallback;
+                 stranded = List.length r.Dynamic.stranded;
+               });
+          requeue_stranded now r.Dynamic.stranded;
+          breach_pending := true;
+          true
+        end
         else begin
           let r = Dynamic.fail_server_report session server in
           incr crashes;
           let n_stranded = List.length r.Dynamic.stranded in
           stranded := !stranded + n_stranded;
-          if n_stranded > 0 then begin
-            let victims =
-              Hashtbl.fold
-                (fun sid id acc ->
-                  if List.mem id r.Dynamic.stranded then sid :: acc else acc)
-                sessions []
-              |> List.sort compare
-            in
-            List.iter (Hashtbl.remove sessions) victims
-          end;
           log_event now
             (Event_log.Crash
                { server; migrated = r.Dynamic.migrated; stranded = n_stranded });
+          requeue_stranded now r.Dynamic.stranded;
           true
         end
     | Trace.Recover { server } ->
@@ -502,11 +579,13 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
         (List.init scenario.servers Fun.id)
     in
     {
-      Checkpoint.digest = dg;
+      Checkpoint.version = Checkpoint.version;
+      digest = dg;
       cursor;
       now;
       capacity = scenario.capacity;
       members = Dynamic.members session;
+      standbys = Dynamic.standbys session;
       next_id = Dynamic.next_id session;
       failed = Dynamic.failed_servers session;
       drift = drift_list;
@@ -535,6 +614,7 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
       events_since_lb = !events_since_lb;
       checkpoints = !checkpoints;
       trace_points = List.rev !trace_points;
+      baseline_points = List.rev !baseline_points;
       log = List.rev !log;
     }
   in
@@ -546,6 +626,19 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
     let structural = dispatch now ev.Trace.kind in
     incr events_since_lb;
     if structural || !events_since_lb >= config.lb_every then recompute_lb now;
+    (* Standby-bound guard: when a promotion just landed, check the
+       post-promotion D/LB against the configured bound and repair
+       immediately (budgeted) on a breach — before the SLO machinery
+       gets a say. *)
+    if !breach_pending then begin
+      breach_pending := false;
+      let ratio = current_ratio () in
+      if Float.is_finite ratio && ratio > config.standby_bound then begin
+        log_event now
+          (Event_log.Standby_breach { ratio; bound = config.standby_bound });
+        repair now Slo.Degraded
+      end
+    end;
     (match Slo.observe slo (current_ratio ()) with
     | None -> ()
     | Some (from_, to_) ->
@@ -555,6 +648,14 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
     drain now;
     if config.checkpoint_every > 0 && (i + 1) mod config.checkpoint_every = 0
     then begin
+      (* Canonical standby re-arm at the boundary, *before* capture: the
+         persisted map is then exactly what a restore-and-refresh would
+         rebuild, which is what keeps v1-checkpoint upgrades
+         bit-identical. *)
+      if config.standby then begin
+        let changed = Dynamic.refresh_standbys session in
+        log_event now (Event_log.Standby_refresh { changed })
+      end;
       incr checkpoints;
       log_event now (Event_log.Checkpoint { id = !checkpoints });
       let st = capture ~cursor:(i + 1) ~now in
@@ -590,6 +691,45 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
           final_objective /. resolve_objective
         else 1.0
       in
+      (* Failover/standby counters are derived from the event log rather
+         than checkpointed: the log is already part of the determinism
+         contract, so resumed runs reconstruct identical numbers without
+         widening the checkpoint format with more scalars. *)
+      let promotions = ref 0 and promoted_clients = ref 0 in
+      let fallback_clients = ref 0 and standby_refreshes = ref 0 in
+      let standby_changed = ref 0 and standby_breaches = ref 0 in
+      List.iter
+        (fun e ->
+          match e.Event_log.kind with
+          | Event_log.Promote { promoted; fallback; _ } ->
+              incr promotions;
+              promoted_clients := !promoted_clients + promoted;
+              fallback_clients := !fallback_clients + fallback
+          | Event_log.Standby_refresh { changed } ->
+              incr standby_refreshes;
+              standby_changed := !standby_changed + changed
+          | Event_log.Standby_breach _ -> incr standby_breaches
+          | _ -> ())
+        !log;
+      let ratios =
+        List.filter_map
+          (fun (_, online, resolve) ->
+            if resolve > 0. && Float.is_finite online then
+              Some (online /. resolve)
+            else None)
+          !baseline_points
+      in
+      let competitive_max =
+        match ratios with
+        | [] -> nan
+        | r :: rest -> List.fold_left Float.max r rest
+      in
+      let competitive_mean =
+        match ratios with
+        | [] -> nan
+        | _ ->
+            List.fold_left ( +. ) 0. ratios /. float_of_int (List.length ratios)
+      in
       Completed
         {
           digest = dg;
@@ -617,6 +757,12 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
           recoveries = !recoveries;
           drifts = !drifts;
           stranded = !stranded;
+          promotions = !promotions;
+          promoted_clients = !promoted_clients;
+          fallback_clients = !fallback_clients;
+          standby_refreshes = !standby_refreshes;
+          standby_changed = !standby_changed;
+          standby_breaches = !standby_breaches;
           repairs = !repairs;
           repair_moves = !repair_moves;
           protocol_epochs = !protocol_epochs;
@@ -624,6 +770,9 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
           checkpoints = !checkpoints;
           session_stats = Dynamic.stats session;
           trace_points = List.rev !trace_points;
+          baseline_points = List.rev !baseline_points;
+          competitive_mean;
+          competitive_max;
           log = List.rev !log;
         }
 
@@ -645,6 +794,13 @@ let render r =
   line "  churn               leaves=%d" r.leaves;
   line "  chaos               crashes=%d refused=%d recoveries=%d drifts=%d stranded=%d"
     r.crashes r.crashes_skipped r.recoveries r.drifts r.stranded;
+  line "  failover            promotions=%d promoted=%d fallback=%d breaches=%d"
+    r.promotions r.promoted_clients r.fallback_clients r.standby_breaches;
+  line "  standby             refreshes=%d changed=%d" r.standby_refreshes
+    r.standby_changed;
+  line "  competitive         samples=%d mean=%s max=%s"
+    (List.length r.baseline_points)
+    (fs r.competitive_mean) (fs r.competitive_max);
   line "  repair              epochs=%d moves=%d max-epoch-moves=%d budget=%d"
     r.repairs r.repair_moves r.max_epoch_moves r.budget;
   line "  protocol repair     epochs=%d stalls=%d" r.protocol_epochs

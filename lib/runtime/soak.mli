@@ -10,6 +10,17 @@
       [D(A) / LB] ratio (the lower bound is recomputed every [lb_every]
       events and eagerly after structural changes: crash, recovery,
       drift);
+    - a crash is repaired by {b standby promotion} first (when [standby]
+      is on, the default): {!Dia_core.Dynamic.promote_standby} moves each
+      orphan to its pre-armed standby in O(1) per client — no objective
+      scan, no repair epoch. Only if the post-promotion [D/LB] exceeds
+      [standby_bound] does a budgeted rebalance run immediately
+      ([Standby_breach] in the log), and the usual SLO escalations still
+      apply afterwards. With [standby] off, crashes fall back to the
+      greedy {!Dia_core.Dynamic.fail_server_report} migration. Either
+      way, stranded orphans re-enter admission control (queued or shed,
+      never silently dropped), and standbys are re-armed canonically at
+      every checkpoint boundary ([Standby_refresh]);
     - an escalation to {b Degraded} triggers a bounded repair:
       [Dynamic.rebalance ~max_moves:budget];
     - an escalation to {b Critical} additionally runs a
@@ -63,11 +74,19 @@ type config = {
   checkpoint_every : int;  (** events between checkpoints; [0] disables *)
   protocol_repair : bool;  (** run protocol epochs on Critical *)
   max_protocol_attempts : int;  (** watchdog restarts per epoch *)
+  standby : bool;  (** repair crashes by standby promotion first *)
+  standby_bound : float;
+      (** max tolerated post-promotion [D/LB]; a breach triggers an
+          immediate budgeted rebalance *)
+  offline_baseline : bool;
+      (** sample an offline Greedy re-solve at every lower-bound refresh
+          — the baseline stream for the competitive-ratio harness *)
 }
 
 val default_config : config
 (** [Slo.default_config], budget 8, queue 64, LB every 10 events,
-    checkpoint every 100, protocol repair on with 3 attempts. *)
+    checkpoint every 100, protocol repair on with 3 attempts, standby
+    promotion on with bound 3.0, offline baseline off. *)
 
 val digest : scenario -> config -> string
 (** Hex digest of the canonical rendering of both records — stamped into
@@ -104,6 +123,12 @@ type report = {
   recoveries : int;
   drifts : int;
   stranded : int;
+  promotions : int;  (** crashes repaired by standby promotion *)
+  promoted_clients : int;  (** orphans that landed on their armed standby *)
+  fallback_clients : int;  (** orphans placed by the least-loaded fallback *)
+  standby_refreshes : int;  (** canonical re-arms at checkpoint boundaries *)
+  standby_changed : int;  (** standbys changed across those refreshes *)
+  standby_breaches : int;  (** post-promotion [D/LB] over [standby_bound] *)
   repairs : int;
   repair_moves : int;
   protocol_epochs : int;
@@ -112,6 +137,13 @@ type report = {
   session_stats : Dia_core.Dynamic.stats;
   trace_points : (float * float * float) list;
       (** (time, objective, ratio) at every lower-bound refresh *)
+  baseline_points : (float * float * float) list;
+      (** (time, online objective, offline re-solve) at every refresh;
+          empty unless [offline_baseline] was on *)
+  competitive_mean : float;
+      (** mean online/offline ratio over [baseline_points] (nan if none) *)
+  competitive_max : float;
+      (** worst online/offline ratio — the empirical competitive ratio *)
   log : Event_log.entry list;
 }
 

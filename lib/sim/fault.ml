@@ -176,11 +176,18 @@ let parse_rule atom =
           match split_once ~on:'~' window with
           | None -> parse_error "%s: window must be AT~UNTIL" atom
           | Some (at, until) ->
-              let side =
-                String.split_on_char ',' side
-                |> List.filter (fun s -> String.trim s <> "")
-                |> List.map (parse_int atom)
-              in
+              (* Strict side parsing: an empty entry ("0,,1", "0,1,") is
+                 a typo, not something to filter away silently. *)
+              let entries = String.split_on_char ',' side in
+              List.iteri
+                (fun i s ->
+                  if String.trim s = "" then
+                    parse_error
+                      "%s: empty entry %d in partition side %S (trailing or \
+                       doubled comma?)"
+                      atom (i + 1) side)
+                entries;
+              let side = List.map (parse_int atom) entries in
               if side = [] then parse_error "%s: empty partition side" atom;
               partition ~at:(parse_float atom at) ~until:(parse_float atom until)
                 ~side))
@@ -200,10 +207,33 @@ let of_string spec =
   let spec = String.trim spec in
   try
     if spec = "" || spec = "reliable" || spec = "none" then Ok reliable
-    else
-      Ok
-        (String.split_on_char '+' spec
-        |> List.concat_map (fun atom -> parse_rule (String.trim atom)))
+    else begin
+      (* Split on '+' while remembering where each atom starts, so every
+         rejection names the offending token and its character position —
+         nothing is ever silently ignored. *)
+      let atoms = ref [] and start = ref 0 in
+      String.iteri
+        (fun i c ->
+          if c = '+' then begin
+            atoms := (!start, String.sub spec !start (i - !start)) :: !atoms;
+            start := i + 1
+          end)
+        spec;
+      atoms :=
+        (!start, String.sub spec !start (String.length spec - !start)) :: !atoms;
+      let parse idx (pos, raw) =
+        let atom = String.trim raw in
+        if atom = "" then
+          parse_error "atom %d at char %d: empty rule (stray '+'?)" (idx + 1) pos;
+        match parse_rule atom with
+        | rules -> rules
+        | exception Parse m ->
+            parse_error "atom %d at char %d: %s" (idx + 1) pos m
+        | exception Invalid_argument m ->
+            parse_error "atom %d at char %d: %s" (idx + 1) pos m
+      in
+      Ok (List.concat (List.mapi parse (List.rev !atoms)))
+    end
   with
   | Parse message -> Error message
   | Invalid_argument message -> Error message

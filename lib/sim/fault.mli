@@ -101,7 +101,11 @@ val pp_plan : Format.formatter -> plan -> unit
 val of_string : string -> (plan, string) result
 (** Parse the DSL. All the smart-constructor validations apply ([rate]
     ranges, window ordering, ...); violations come back as [Error]
-    messages, never exceptions. *)
+    messages, never exceptions. Parsing is strict: empty atoms (stray
+    ['+']), empty partition-side entries (doubled or trailing commas)
+    and any trailing garbage inside an atom are rejected, and the error
+    names the offending token with its atom number and character
+    position — malformed input is never silently ignored. *)
 
 type t
 (** An instantiated plan: rules plus a private PRNG state. *)

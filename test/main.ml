@@ -59,6 +59,7 @@ let () =
       ("bucket", Test_bucket.suite);
       ("parallel", Test_parallel.suite);
       ("runtime", Test_runtime.suite);
+      ("standby", Test_standby.suite);
       ("golden", Test_golden.suite);
     ]
   in

@@ -332,7 +332,7 @@ let test_capacitated_failover_strands () =
   Alcotest.(check int) "every orphan reported stranded" 3
     (List.length r.Dynamic.stranded);
   List.iter
-    (fun id ->
+    (fun (id, _node) ->
       match Dynamic.server_of t id with
       | exception Invalid_argument _ -> ()
       | _ -> Alcotest.fail "stranded client still connected")

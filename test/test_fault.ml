@@ -292,6 +292,37 @@ let test_dsl_rejects_invalid () =
       "spike:0.5";
       "loss:0.1@x>y";
       "loss:0.1+";
+      "+loss:0.1";
+      "loss:0.1++crash:1@2";
+      "part:1~2@0,,1";
+      "part:1~2@0,1,";
+      "part:1~2@,0";
+      "loss:0.1@1>2>3";
+      "crash:1@2~3~4";
+    ]
+
+let test_dsl_errors_name_the_offender () =
+  (* Strict parsing is only useful if the message points at the problem:
+     every rejection names the atom number and character position. *)
+  List.iter
+    (fun (spec, fragment) ->
+      match Fault.of_string spec with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S accepted" spec)
+      | Error m ->
+          let contains s =
+            let n = String.length m and k = String.length s in
+            let rec go i = i + k <= n && (String.sub m i k = s || go (i + 1)) in
+            go 0
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%S error %S mentions %S" spec m fragment)
+            true (contains fragment))
+    [
+      ("loss:0.1+", "atom 2 at char 9");
+      ("+loss:0.1", "atom 1 at char 0");
+      ("loss:0.1+bogus:1", "atom 2 at char 9");
+      ("part:1~2@0,,1", "empty entry 2");
+      ("part:1~2@0,1,", "empty entry 3");
     ]
 
 let test_pp_plan_matches_to_string () =
@@ -303,10 +334,9 @@ let test_pp_plan_matches_to_string () =
     (Fault.to_string p)
     (Format.asprintf "%a" Fault.pp_plan p)
 
-let prop_dsl_roundtrips_random_plans =
-  (* Random plans through the smart constructors: the canonical
-     rendering must parse back to a structurally equal plan. *)
-  let gen_rule rng =
+(* Random rules through the smart constructors — shared by the
+   round-trip and malformed-input properties. *)
+let gen_rule rng =
     let float01 = float_of_int (Random.State.int rng 1000) /. 1000. in
     let actor () = Random.State.int rng 10 in
     let endpoint () = if Random.State.bool rng then None else Some (actor ()) in
@@ -330,7 +360,10 @@ let prop_dsl_roundtrips_random_plans =
           else Some (at +. 0.5 +. Random.State.float rng 5.)
         in
         Fault.crash ?recover_at ~at (actor ())
-  in
+
+let prop_dsl_roundtrips_random_plans =
+  (* Random plans through the smart constructors: the canonical
+     rendering must parse back to a structurally equal plan. *)
   QCheck.Test.make ~name:"fault DSL round-trips random plans" ~count:100
     QCheck.(pair (int_bound 1_000_000) (int_range 0 6))
     (fun (seed, rules) ->
@@ -340,15 +373,33 @@ let prop_dsl_roundtrips_random_plans =
       | Ok p' -> Fault.equal p p' && Fault.to_string p' = Fault.to_string p
       | Error _ -> false)
 
+let prop_dsl_rejects_malformed_suffixes =
+  (* Appending garbage to any canonical plan string must be rejected —
+     the strict parser never silently drops a trailing fragment. The
+     suffixes are chosen so no rule can absorb them (no digits — a
+     trailing number would extend a float; no "xN" — a dup rule printed
+     without an explicit copies count would accept it). *)
+  let suffixes = [| "+"; "++"; ","; ",,"; "@"; "~"; ":"; "+junk" |] in
+  QCheck.Test.make ~name:"fault DSL rejects any malformed suffix" ~count:200
+    QCheck.(triple (int_bound 1_000_000) (int_range 1 6) (int_bound 1_000_000))
+    (fun (seed, rules, pick) ->
+      let rng = Random.State.make [| seed; 0xfa17 |] in
+      let p = Fault.all (List.init rules (fun _ -> gen_rule rng)) in
+      let spec = Fault.to_string p ^ suffixes.(pick mod Array.length suffixes) in
+      match Fault.of_string spec with Error _ -> true | Ok _ -> false)
+
 let suite =
   [
     Alcotest.test_case "seeded plans replay identically" `Quick test_seeded_replay;
     Alcotest.test_case "fault DSL round-trips" `Quick test_dsl_roundtrip;
     Alcotest.test_case "fault DSL rejects invalid specs" `Quick
       test_dsl_rejects_invalid;
+    Alcotest.test_case "fault DSL errors name the offending atom" `Quick
+      test_dsl_errors_name_the_offender;
     Alcotest.test_case "pp_plan matches to_string" `Quick
       test_pp_plan_matches_to_string;
     QCheck_alcotest.to_alcotest prop_dsl_roundtrips_random_plans;
+    QCheck_alcotest.to_alcotest prop_dsl_rejects_malformed_suffixes;
     Alcotest.test_case "loss 1.0 kills exactly one directed link" `Quick
       test_directed_loss_partitions_one_link;
     Alcotest.test_case "crash window drops in-flight and recovers" `Quick

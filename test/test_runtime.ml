@@ -197,6 +197,9 @@ let all_kinds =
     Event_log.Protocol_repair
       { attempt = 2; stalled = true; moves = 6; applied = false };
     Event_log.Checkpoint { id = 3 };
+    Event_log.Promote { server = 2; promoted = 5; fallback = 1; stranded = 0 };
+    Event_log.Standby_refresh { changed = 7 };
+    Event_log.Standby_breach { ratio = 3.25; bound = 3.0 };
   ]
 
 let test_event_log_roundtrip () =
