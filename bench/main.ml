@@ -236,6 +236,41 @@ let make_churn_kernel ~clients =
    standby promotion; the baseline pays the greedy full-migration path
    plus its Greedy re-solve report — the cost a control plane without
    standbys eats on every crash. *)
+(* Weighted-churn kernel: the same steady-state batch, but the million
+   sessions sit behind a coreset bucket layer, so the Dynamic only ever
+   holds one member per occupied cell and each leave/join is a counter
+   bump. The objective and lower bound are queried every batch — the
+   incremental caches are the other half of what keeps this flat in the
+   session count. *)
+let make_weighted_churn_kernel ~clients ~eps =
+  let w =
+    Dia_coreset.Weighted.create ~seed:6 ~eps churn_matrix
+      ~servers:churn_servers
+  in
+  let live = Queue.create () in
+  for i = 0 to clients - 1 do
+    let node = i mod churn_nodes in
+    Dia_coreset.Weighted.add w ~node;
+    Queue.add node live
+  done;
+  let batch = 50 in
+  let cursor = ref 0 in
+  fun () ->
+    for _ = 1 to batch do
+      Dia_coreset.Weighted.remove w ~node:(Queue.pop live);
+      let node = !cursor mod churn_nodes in
+      incr cursor;
+      Dia_coreset.Weighted.add w ~node;
+      Queue.add node live
+    done;
+    Dia_coreset.Weighted.objective w +. Dia_coreset.Weighted.lower_bound w
+
+(* Coreset construction: bucket a 10k-client population (round-robin
+   over the 400 nodes) and certify the radius — the O(|C|·|S|) offline
+   path `dia assign --coreset-eps` pays once per instance. *)
+let coreset_build_clients =
+  Array.init 10_000 (fun i -> i mod churn_nodes)
+
 let make_failover_kernel ~clients ~promote =
   let session = Dia_core.Dynamic.create churn_matrix ~servers:churn_servers in
   for i = 0 to clients - 1 do
@@ -298,6 +333,12 @@ let tests =
       (Staged.stage (make_churn_kernel ~clients:1_000));
     Test.make ~name:"churn/steady-state(clients=10000)"
       (Staged.stage (make_churn_kernel ~clients:10_000));
+    Test.make ~name:"churn/steady-state(weighted n=1M)"
+      (Staged.stage (make_weighted_churn_kernel ~clients:1_000_000 ~eps:0.1));
+    Test.make ~name:"coreset/build(clients=10000,k=10)"
+      (Staged.stage (fun () ->
+           Dia_coreset.Coreset.build ~seed:6 ~eps:0.1 churn_matrix
+             ~servers:churn_servers ~clients:coreset_build_clients));
     Test.make ~name:"failover/promote(clients=1000)"
       (Staged.stage (make_failover_kernel ~clients:1_000 ~promote:true));
     Test.make ~name:"failover/resolve(clients=1000)"

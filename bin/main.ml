@@ -227,7 +227,18 @@ let assign_cmd =
          & info [ "explain" ]
              ~doc:"Also print the worst interaction paths and per-server contributions for each algorithm.")
   in
-  let run dataset profile matrix_file seed k placement algorithm capacity explain jobs fault =
+  let coreset_eps_arg =
+    Arg.(value & opt (some float) None
+         & info [ "coreset-eps" ] ~docv:"E"
+             ~doc:"Solve on a weighted coreset at resolution $(docv) instead \
+                   of the full client set: clients sharing a Vivaldi grid \
+                   cell collapse into one representative, the algorithm runs \
+                   on the reduced instance, and the expanded assignment is \
+                   reported next to the certified additive bound \
+                   |D_reduced - D_full| <= 2r. Requires an uncapacitated \
+                   instance; $(docv)=0 dedups co-located clients exactly.")
+  in
+  let run dataset profile matrix_file seed k placement algorithm capacity explain jobs fault coreset_eps =
     let matrix = load_matrix ~matrix_file ~dataset ~profile ~seed in
     let faulty = not (Dia_sim.Fault.equal fault Dia_sim.Fault.reliable) in
     if faulty && Dia_latency.Matrix.dim matrix > 600 then
@@ -235,6 +246,11 @@ let assign_cmd =
         ( false,
           "--fault runs the message-level protocol, which is impractical at \
            this instance size; use --profile quick (or a smaller --matrix)" )
+    else if coreset_eps <> None && capacity <> None then
+      `Error
+        ( false,
+          "--coreset-eps requires an uncapacitated instance (a coreset point \
+           stands for a whole client population)" )
     else
     Pool.with_pool ~jobs:(resolve_jobs jobs) @@ fun pool ->
     let servers = Placement.place placement ~seed ~pool matrix ~k in
@@ -243,6 +259,45 @@ let assign_cmd =
     let algorithms =
       match algorithm with Some a -> [ a ] | None -> Algorithm.heuristics
     in
+    match coreset_eps with
+    | Some eps ->
+        let module Coreset = Dia_coreset.Coreset in
+        let cs =
+          Coreset.build ~seed ~eps matrix ~servers ~clients:(Problem.clients p)
+        in
+        let reduced = Coreset.reduced cs in
+        Printf.printf
+          "instance: %d clients, %d servers (%s placement)\n\
+           coreset:  %d points at eps %g (radius %.2f ms, additive bound \
+           %.2f ms)\n\
+           lower bound: %.2f ms\n"
+          (Problem.num_clients p) (Problem.num_servers p)
+          (Placement.strategy_name placement)
+          (Coreset.points cs) eps (Coreset.radius cs) (Coreset.bound cs) lb;
+        let table =
+          Dia_stats.Table.make
+            ~columns:
+              [ "algorithm"; "D reduced"; "D full"; "|delta|"; "normalized" ]
+        in
+        List.iter
+          (fun algorithm ->
+            let a_red = Algorithm.run ~seed algorithm reduced in
+            let d_red = Objective.max_interaction_path reduced a_red in
+            let d_full =
+              Objective.max_interaction_path p (Coreset.expand cs a_red)
+            in
+            Dia_stats.Table.add_row table
+              [
+                Algorithm.name algorithm;
+                Printf.sprintf "%.2f" d_red;
+                Printf.sprintf "%.2f" d_full;
+                Printf.sprintf "%.2f" (Float.abs (d_full -. d_red));
+                Printf.sprintf "%.3f" (d_full /. lb);
+              ])
+          algorithms;
+        Dia_stats.Table.print table;
+        `Ok ()
+    | None ->
     let table =
       Dia_stats.Table.make
         ~columns:[ "algorithm"; "D (ms)"; "normalized"; "max load"; "used servers" ]
@@ -300,7 +355,7 @@ let assign_cmd =
     (Cmd.info "assign" ~doc:"Assign clients to servers on a data set and report interactivity.")
     Term.(ret (const run $ dataset_arg $ profile_arg $ matrix_file_arg $ seed_arg
                $ servers_arg $ placement_arg $ algorithm_arg $ capacity_arg
-               $ explain_arg $ jobs_arg $ fault_arg))
+               $ explain_arg $ jobs_arg $ fault_arg $ coreset_eps_arg))
 
 (* dia dataset *)
 
@@ -497,10 +552,34 @@ let soak_cmd =
              ~doc:"Sample an offline Greedy re-solve at every lower-bound \
                    refresh (the competitive-ratio baseline stream).")
   in
+  let clients_arg =
+    Arg.(value & opt int d.Soak.clients
+         & info [ "clients" ] ~docv:"N"
+             ~doc:"Pre-populate $(docv) sessions before the trace starts \
+                   (uniform random nodes from the seed). They bypass \
+                   admission and the event log — the steady base load for \
+                   million-client runs.")
+  in
+  let coreset_eps_arg =
+    Arg.(value & opt (some float) d.Soak.coreset_eps
+         & info [ "coreset-eps" ] ~docv:"E"
+             ~doc:"Weighted mode: bucket sessions into coreset cells of \
+                   resolution $(docv) on the Vivaldi embedding, so the \
+                   session layer sees one member per occupied cell and \
+                   steady-state per-event cost is independent of the client \
+                   count. Requires an uncapacitated scenario; $(docv)=0 \
+                   still dedups co-located sessions exactly.")
+  in
+  let soak_csv_arg =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE"
+             ~doc:"Write the objective trace (t,objective,ratio per \
+                   lower-bound refresh) to $(docv) as CSV.")
+  in
   let run seed nodes servers capacity horizon rate lifetime drift_period
       drift_amplitude fault budget max_queue lb_every checkpoint
       checkpoint_every resume kill_after log_path no_standby standby_bound
-      baseline =
+      baseline clients coreset_eps csv_path =
     let scenario =
       {
         Soak.seed;
@@ -513,6 +592,8 @@ let soak_cmd =
         drift_period;
         drift_amplitude;
         fault;
+        clients;
+        coreset_eps;
       }
     in
     let config =
@@ -535,6 +616,22 @@ let soak_cmd =
       | exception Invalid_argument m -> `Error (false, m)
       | Soak.Completed r ->
           print_string (Soak.render r);
+          (* Timing is wall clock — parenthesised so determinism checks
+             (which strip '(' lines) ignore it. Printed only for the
+             at-scale modes where it is the point. *)
+          if r.Soak.weighted || clients > 0 then
+            Printf.printf
+              "(prepopulated %d sessions in %.3fs; %d trace events in %.3fs = \
+               %.2f us/event)\n"
+              clients r.Soak.prepop_seconds r.Soak.events r.Soak.loop_seconds
+              (1e6 *. r.Soak.loop_seconds /. float_of_int (max 1 r.Soak.events));
+          (match csv_path with
+          | Some path ->
+              let oc = open_out path in
+              output_string oc (Soak.csv r);
+              close_out oc;
+              Printf.printf "(csv written to %s)\n" path
+          | None -> ());
           (match log_path with
           | Some path ->
               Dia_runtime.Event_log.save path r.Soak.log;
@@ -572,7 +669,8 @@ let soak_cmd =
                $ drift_amplitude_arg $ soak_fault_arg $ budget_arg
                $ max_queue_arg $ lb_every_arg $ checkpoint_arg
                $ checkpoint_every_arg $ resume_arg $ kill_after_arg $ log_arg
-               $ no_standby_arg $ standby_bound_arg $ baseline_arg))
+               $ no_standby_arg $ standby_bound_arg $ baseline_arg
+               $ clients_arg $ coreset_eps_arg $ soak_csv_arg))
 
 (* dia competitive *)
 

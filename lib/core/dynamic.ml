@@ -7,6 +7,13 @@ type member = { node : int; mutable server : int; mutable standby : int }
 
 type stats = { joins : int; leaves : int; moves : int }
 
+(* Per-server distance multiset: exact latency value -> number of members
+   at that distance. The eccentricity is the greatest key, so removals
+   are O(log load) instead of the O(n) member scan a recompute needs,
+   and the maintained value is bit-identical to the from-scratch maximum
+   (max over a multiset does not depend on arrival order). *)
+module Fmap = Map.Make (Float)
+
 type t = {
   base : Matrix.t;  (** pristine latencies, never mutated *)
   mutable matrix : Matrix.t;  (** == [base] until drift copies it *)
@@ -15,10 +22,21 @@ type t = {
   members : (client_id, member) Hashtbl.t;
   load : int array;
   ecc : float array;
+  dists : int Fmap.t array;  (** per-server distance multiset backing [ecc] *)
   sb_load : int array array;
       (** [sb_load.(p).(s)] = members of primary [p] whose standby is [s] *)
   failed : bool array;
   node_drift : float array;  (** per-node multiplicative factor, 1.0 = none *)
+  node_count : int array;  (** members per network node (occupancy) *)
+  mutable d_cache : float;  (** D(A); valid iff [not d_dirty] *)
+  mutable d_dirty : bool;
+  reach_rows : (int, float array) Hashtbl.t;
+      (** per-node [f_u(s') = min_s (d(u,s) +. d(s,s'))] over live
+          servers; reset whenever the matrix or the live set changes *)
+  mutable lb_cache : float;  (** super-optimal LB; valid iff [lb_valid] *)
+  mutable lb_valid : bool;
+  mutable lb_wa : int;  (** witness node pair realising [lb_cache]... *)
+  mutable lb_wb : int;  (** ...(-1,-1) when empty *)
   mutable next_id : int;
   mutable joins : int;
   mutable leaves : int;
@@ -44,9 +62,18 @@ let create ?capacity matrix ~servers =
     members = Hashtbl.create 64;
     load = Array.make k 0;
     ecc = Array.make k neg_infinity;
+    dists = Array.make k Fmap.empty;
     sb_load = Array.make_matrix k k 0;
     failed = Array.make k false;
     node_drift = Array.make (Matrix.dim matrix) 1.0;
+    node_count = Array.make (Matrix.dim matrix) 0;
+    d_cache = neg_infinity;
+    d_dirty = false;
+    reach_rows = Hashtbl.create 64;
+    lb_cache = neg_infinity;
+    lb_valid = true;
+    lb_wa = -1;
+    lb_wb = -1;
     next_id = 0;
     joins = 0;
     leaves = 0;
@@ -71,7 +98,237 @@ let objective_of t ecc =
   done;
   !best
 
-let objective t = objective_of t t.ecc
+(* --- incremental D(A) ---------------------------------------------------
+
+   [d_cache] holds [objective_of t t.ecc] whenever [d_dirty] is false.
+   When a single eccentricity {e increases} (join, move-in, failover
+   landing) only the pairs through that server can raise the maximum,
+   and because float addition is monotone the grown pairs dominate their
+   old values — so folding the k refreshed pairs into the cached D gives
+   the exact scratch result in O(k). Decreases (leave, move-out, server
+   failure, drift) mark the cache dirty and the next {!objective} call
+   re-scans all pairs in O(k²) — still independent of the member
+   count. *)
+
+let bump_objective t s =
+  if not t.d_dirty then begin
+    let best = ref t.d_cache in
+    for s' = 0 to k t - 1 do
+      if t.ecc.(s') > neg_infinity then begin
+        let a = if s' < s then s' else s and b = if s' < s then s else s' in
+        let len = t.ecc.(a) +. d_ss t a b +. t.ecc.(b) in
+        if len > !best then best := len
+      end
+    done;
+    t.d_cache <- !best
+  end
+
+let objective t =
+  if t.d_dirty then begin
+    t.d_cache <- objective_of t t.ecc;
+    t.d_dirty <- false
+  end;
+  t.d_cache
+
+let objective_scratch t =
+  let ecc = Array.make (k t) neg_infinity in
+  Hashtbl.iter
+    (fun _ m -> ecc.(m.server) <- Float.max ecc.(m.server) (d_ns t m.node m.server))
+    t.members;
+  objective_of t ecc
+
+let mset_add t s d =
+  t.dists.(s) <-
+    Fmap.update d (function None -> Some 1 | Some c -> Some (c + 1)) t.dists.(s)
+
+let mset_remove t s d =
+  t.dists.(s) <-
+    Fmap.update d
+      (function
+        | None | Some 1 -> None
+        | Some c -> Some (c - 1))
+      t.dists.(s)
+
+let mset_max m =
+  match Fmap.max_binding_opt m with Some (d, _) -> d | None -> neg_infinity
+
+(* Record that a member at distance [d] now sits on [s]. *)
+let ecc_add t s d =
+  mset_add t s d;
+  if d > t.ecc.(s) then begin
+    t.ecc.(s) <- d;
+    bump_objective t s
+  end
+
+(* Record that a member at distance [d] left [s]. *)
+let ecc_remove t s d =
+  mset_remove t s d;
+  let m = mset_max t.dists.(s) in
+  if m < t.ecc.(s) then begin
+    t.ecc.(s) <- m;
+    t.d_dirty <- true
+  end
+
+(* Eccentricity of [s] with one member at distance [d] discounted —
+   the O(log load) replacement for scanning every member. *)
+let ecc_without t s d =
+  mset_max
+    (Fmap.update d
+       (function
+         | None | Some 1 -> None
+         | Some c -> Some (c - 1))
+       t.dists.(s))
+
+(* --- incremental lower bound --------------------------------------------
+
+   The super-optimal lower bound depends only on the {e set} of occupied
+   client nodes, the live servers, and the matrix — not on the
+   assignment — so it is cached at node granularity: for occupied nodes
+   u <= v, LB = max over pairs of min_{s'} (f_u(s') +. d(v,s')) with
+   f_u(s') = min_s (d(u,s) +. d(s,s')), all server scans over the live
+   set in ascending index order (the canonical orientation
+   {!lower_bound_scratch} re-derives). Occupying a fresh node only adds
+   pairs, so the cache extends by maxing in the new node's pairs;
+   vacating a node removes pairs, which can only lower the maximum, so
+   the cache stays exact unless the witness pair itself died. Server
+   failures/recoveries and drift invalidate wholesale (the reach rows
+   change), and the next {!lower_bound} query rebuilds lazily. *)
+
+let lb_invalidate t =
+  t.lb_valid <- false;
+  Hashtbl.reset t.reach_rows
+
+let reach_row t u =
+  match Hashtbl.find_opt t.reach_rows u with
+  | Some row -> row
+  | None ->
+      let kk = k t in
+      let row = Array.make kk infinity in
+      for s' = 0 to kk - 1 do
+        if not t.failed.(s') then begin
+          let best = ref infinity in
+          for s = 0 to kk - 1 do
+            if not t.failed.(s) then begin
+              let v = d_ns t u s +. d_ss t s s' in
+              if v < !best then best := v
+            end
+          done;
+          row.(s') <- !best
+        end
+      done;
+      Hashtbl.replace t.reach_rows u row;
+      row
+
+(* Longest-pair cost for occupied nodes [u <= v], via [u]'s reach row. *)
+let pair_cost t u v =
+  let row = reach_row t u in
+  let best = ref infinity in
+  for s' = 0 to k t - 1 do
+    if not t.failed.(s') then begin
+      let len = row.(s') +. d_ns t v s' in
+      if len < !best then best := len
+    end
+  done;
+  !best
+
+(* Node [u] just became occupied: max in its pairs against every
+   occupied node (itself included). Old pairs are untouched, so
+   [max lb_cache (new pairs)] is exactly the scratch maximum. *)
+let lb_extend t u =
+  if t.lb_valid then begin
+    let best = ref t.lb_cache in
+    let wa = ref t.lb_wa and wb = ref t.lb_wb in
+    Array.iteri
+      (fun v count ->
+        if count > 0 then begin
+          let a = if v < u then v else u and b = if v < u then u else v in
+          let len = pair_cost t a b in
+          if len > !best then begin
+            best := len;
+            wa := a;
+            wb := b
+          end
+        end)
+      t.node_count;
+    t.lb_cache <- !best;
+    t.lb_wa <- !wa;
+    t.lb_wb <- !wb
+  end
+
+let node_add t node =
+  let c = t.node_count.(node) in
+  t.node_count.(node) <- c + 1;
+  if c = 0 then lb_extend t node
+
+let node_remove t node =
+  let c = t.node_count.(node) - 1 in
+  t.node_count.(node) <- c;
+  if c = 0 && t.lb_valid && (node = t.lb_wa || node = t.lb_wb) then
+    t.lb_valid <- false
+
+let lower_bound t =
+  if not t.lb_valid then begin
+    let best = ref neg_infinity and wa = ref (-1) and wb = ref (-1) in
+    let n = Array.length t.node_count in
+    for u = 0 to n - 1 do
+      if t.node_count.(u) > 0 then
+        for v = u to n - 1 do
+          if t.node_count.(v) > 0 then begin
+            let len = pair_cost t u v in
+            if len > !best then begin
+              best := len;
+              wa := u;
+              wb := v
+            end
+          end
+        done
+    done;
+    t.lb_cache <- !best;
+    t.lb_wa <- !wa;
+    t.lb_wb <- !wb;
+    t.lb_valid <- true
+  end;
+  t.lb_cache
+
+let lower_bound_scratch t =
+  (* Reference recompute sharing no cached state with {!lower_bound}:
+     occupancy from the member table, reach rows rebuilt fresh. *)
+  let n = Array.length t.node_count in
+  let occupied = Array.make n false in
+  Hashtbl.iter (fun _ m -> occupied.(m.node) <- true) t.members;
+  let kk = k t in
+  let row = Array.make kk infinity in
+  let best = ref neg_infinity in
+  for u = 0 to n - 1 do
+    if occupied.(u) then begin
+      for s' = 0 to kk - 1 do
+        row.(s') <- infinity;
+        if not t.failed.(s') then begin
+          let b = ref infinity in
+          for s = 0 to kk - 1 do
+            if not t.failed.(s) then begin
+              let v = d_ns t u s +. d_ss t s s' in
+              if v < !b then b := v
+            end
+          done;
+          row.(s') <- !b
+        end
+      done;
+      for v = u to n - 1 do
+        if occupied.(v) then begin
+          let pair = ref infinity in
+          for s' = 0 to kk - 1 do
+            if not t.failed.(s') then begin
+              let len = row.(s') +. d_ns t v s' in
+              if len < !pair then pair := len
+            end
+          done;
+          if !pair > !best then best := !pair
+        end
+      done
+    end
+  done;
+  !best
 
 (* Longest interaction path involving a node attached to server [s],
    given the other servers' eccentricities. *)
@@ -149,7 +406,8 @@ let join t ~node =
   let m = { node; server = s; standby = -1 } in
   Hashtbl.replace t.members id m;
   t.load.(s) <- t.load.(s) + 1;
-  t.ecc.(s) <- Float.max t.ecc.(s) (d_ns t node s);
+  ecc_add t s (d_ns t node s);
+  node_add t node;
   select_standby t m;
   t.joins <- t.joins + 1;
   id
@@ -159,25 +417,19 @@ let find t id =
   | Some member -> member
   | None -> invalid_arg (Printf.sprintf "Dynamic: unknown client id %d" id)
 
-let recompute_ecc t s =
-  let worst = ref neg_infinity in
-  Hashtbl.iter
-    (fun _ member ->
-      if member.server = s then worst := Float.max !worst (d_ns t member.node s))
-    t.members;
-  t.ecc.(s) <- !worst
-
 let leave t id =
   let member = find t id in
   clear_standby t member;
   Hashtbl.remove t.members id;
   t.load.(member.server) <- t.load.(member.server) - 1;
-  recompute_ecc t member.server;
+  ecc_remove t member.server (d_ns t member.node member.server);
+  node_remove t member.node;
   t.leaves <- t.leaves + 1
 
 let server_of t id = (find t id).server
 
 let num_clients t = Hashtbl.length t.members
+let capacity t = if t.capacity = max_int then None else Some t.capacity
 
 let load t s =
   if s < 0 || s >= k t then
@@ -197,22 +449,12 @@ let move t id target =
     let old_s = member.server in
     t.load.(old_s) <- t.load.(old_s) - 1;
     t.load.(target) <- t.load.(target) + 1;
+    ecc_remove t old_s (d_ns t member.node old_s);
     member.server <- target;
-    recompute_ecc t old_s;
-    t.ecc.(target) <- Float.max t.ecc.(target) (d_ns t member.node target);
+    ecc_add t target (d_ns t member.node target);
     select_standby t member;
     t.moves <- t.moves + 1
   end
-
-(* Eccentricity of server [s] excluding one specific member. *)
-let ecc_excluding t s excluded_id =
-  let worst = ref neg_infinity in
-  Hashtbl.iter
-    (fun id member ->
-      if member.server = s && id <> excluded_id then
-        worst := Float.max !worst (d_ns t member.node s))
-    t.members;
-  !worst
 
 let rebalance ?(max_moves = max_int) t =
   if max_moves <= 0 then 0
@@ -244,10 +486,11 @@ let rebalance ?(max_moves = max_int) t =
         t.members []
       |> List.sort (fun (a, _) (b, _) -> compare a b)
     in
-    let try_move (id, member) =
+    let try_move (_id, member) =
       let old_s = member.server in
+      let d_old = d_ns t member.node old_s in
       let trial = Array.copy t.ecc in
-      trial.(old_s) <- ecc_excluding t old_s id;
+      trial.(old_s) <- ecc_without t old_s d_old;
       let d_rest = objective_of t trial in
       let best = ref (-1) and best_d = ref infinity in
       for s = 0 to k t - 1 do
@@ -264,9 +507,9 @@ let rebalance ?(max_moves = max_int) t =
         clear_standby t member;
         t.load.(old_s) <- t.load.(old_s) - 1;
         t.load.(s) <- t.load.(s) + 1;
+        ecc_remove t old_s d_old;
         member.server <- s;
-        t.ecc.(old_s) <- trial.(old_s);
-        t.ecc.(s) <- Float.max trial.(s) (d_ns t member.node s);
+        ecc_add t s (d_ns t member.node s);
         select_standby t member;
         t.moves <- t.moves + 1;
         incr moves;
@@ -342,13 +585,22 @@ let standby_objective t s =
     t.members;
   objective_of t trial
 
-(* Rebuild every cached eccentricity from scratch in one member pass —
-   needed after a drift change rescales distances wholesale. *)
+(* Rebuild every cached eccentricity (and its backing multiset) from
+   scratch in one member pass — needed after a drift change rescales
+   distances wholesale. *)
 let rebuild_ecc t =
   Array.fill t.ecc 0 (k t) neg_infinity;
+  for s = 0 to k t - 1 do
+    t.dists.(s) <- Fmap.empty
+  done;
   Hashtbl.iter
-    (fun _ m -> t.ecc.(m.server) <- Float.max t.ecc.(m.server) (d_ns t m.node m.server))
-    t.members
+    (fun _ m ->
+      let d = d_ns t m.node m.server in
+      mset_add t m.server d;
+      t.ecc.(m.server) <- Float.max t.ecc.(m.server) d)
+    t.members;
+  t.d_dirty <- true;
+  lb_invalidate t
 
 let drift t s =
   if s < 0 || s >= k t then
@@ -367,8 +619,15 @@ let set_drift t ~server ~factor =
     let n = Matrix.dim t.base in
     for u = 0 to n - 1 do
       if u <> sv then
+        (* The factor product is grouped apart from the base entry:
+           [*.] is commutative, so [base *. (f_a *. f_b)] is bit-equal
+           no matter which end drifted last — a restore that replays
+           final factors in server order reproduces the incrementally
+           drifted matrix exactly. Left-associated it would not
+           ([base *. f_a *. f_b] vs [base *. f_b *. f_a] differ by
+           ulps), which used to break kill/resume bit-identity. *)
         Matrix.set t.matrix u sv
-          (Matrix.get t.base u sv *. factor *. t.node_drift.(u))
+          (Matrix.get t.base u sv *. (factor *. t.node_drift.(u)))
     done;
     rebuild_ecc t
   end
@@ -397,7 +656,8 @@ let restore ?capacity ?(standbys = []) matrix ~servers ~members:member_list
         invalid_arg (Printf.sprintf "Dynamic.restore: server %d over capacity" server);
       Hashtbl.replace t.members id { node; server; standby = -1 };
       t.load.(server) <- t.load.(server) + 1;
-      t.ecc.(server) <- Float.max t.ecc.(server) (d_ns t node server);
+      ecc_add t server (d_ns t node server);
+      node_add t node;
       if id >= next_id then
         invalid_arg (Printf.sprintf "Dynamic.restore: client id %d >= next_id" id))
     member_list;
@@ -462,6 +722,9 @@ let fail_prologue t s =
     t.members;
   t.load.(s) <- 0;
   t.ecc.(s) <- neg_infinity;
+  t.dists.(s) <- Fmap.empty;
+  t.d_dirty <- true;
+  lb_invalidate t;
   (orphans, !invalidated)
 
 (* Least-loaded live server with a free slot, ties to the lowest index;
@@ -523,12 +786,13 @@ let fail_server_partial t s =
       if sb >= 0 then reserved.(sb) <- reserved.(sb) - 1;
       if target < 0 then begin
         Hashtbl.remove t.members id;
+        node_remove t member.node;
         stranded := (id, member.node) :: !stranded
       end
       else begin
         member.server <- target;
         t.load.(target) <- t.load.(target) + 1;
-        t.ecc.(target) <- Float.max t.ecc.(target) (d_ns t member.node target);
+        ecc_add t target (d_ns t member.node target);
         t.moves <- t.moves + 1;
         incr migrated
       end)
@@ -605,7 +869,7 @@ type promotion = {
 }
 
 (* The O(1)-per-client repair path: each orphan moves straight to its
-   armed standby — a constant-time reassignment (load bump, running-max
+   armed standby — a constant-time reassignment (load bump, multiset
    eccentricity update), no objective scan. The reservation matrix
    guaranteed headroom at arm time, so under stable load every orphan's
    slot is waiting; when load grew since (or the orphan had no standby),
@@ -626,12 +890,13 @@ let promote_standby t s =
       in
       if target < 0 then begin
         Hashtbl.remove t.members id;
+        node_remove t member.node;
         stranded := (id, member.node) :: !stranded
       end
       else begin
         member.server <- target;
         t.load.(target) <- t.load.(target) + 1;
-        t.ecc.(target) <- Float.max t.ecc.(target) (d_ns t member.node target);
+        ecc_add t target (d_ns t member.node target);
         t.moves <- t.moves + 1;
         if via_standby then incr promoted else incr fallback
       end)
@@ -652,4 +917,5 @@ let recover_server t s =
     invalid_arg (Printf.sprintf "Dynamic.recover_server: server %d out of range" s);
   if not t.failed.(s) then
     invalid_arg (Printf.sprintf "Dynamic.recover_server: server %d is not failed" s);
-  t.failed.(s) <- false
+  t.failed.(s) <- false;
+  lb_invalidate t

@@ -60,6 +60,10 @@ val server_of : t -> client_id -> int
 val num_clients : t -> int
 (** Currently connected clients. *)
 
+val capacity : t -> int option
+(** The per-server capacity the session was created with ([None] when
+    uncapacitated). *)
+
 val load : t -> int -> int
 (** Number of clients currently assigned to a server.
 
@@ -76,7 +80,36 @@ val move : t -> client_id -> int -> unit
 
 val objective : t -> float
 (** Current maximum interaction-path length ([neg_infinity] when empty).
-    O(|S|²). *)
+    Maintained incrementally: events that can only raise an eccentricity
+    (joins, move-ins, failover landings) fold their server's refreshed
+    pairs into the cached value in O(|S|); events that lower one mark it
+    dirty and the next call re-scans the pairs in O(|S|²). Either way
+    the cost is independent of the number of clients, and the value is
+    bit-identical to {!objective_scratch}. *)
+
+val objective_scratch : t -> float
+(** Reference recompute of {!objective} from the member table alone —
+    O(|C| + |S|²), sharing no cached state. Exposed so tests can pin
+    the incremental value to the from-scratch one exactly. *)
+
+val lower_bound : t -> float
+(** Super-optimal lower bound on D(A) over the {e live} servers and the
+    currently occupied client nodes ([neg_infinity] when empty) — the
+    dynamic counterpart of {!Lower_bound.compute} on {!snapshot}
+    restricted to live servers, evaluated at node granularity: pairs are
+    enumerated over occupied nodes in ascending node order (client
+    multiplicity cannot change a maximum), so the value can differ from
+    the client-indexed offline scan by float-association ulps, never
+    more. Maintained incrementally: occupying a fresh node extends the
+    cached maximum with that node's pairs, vacating one invalidates only
+    when it carried the witness pair, and server failures/recoveries or
+    drift trigger a lazy full recompute on the next call. Amortized
+    cost under churn is O(|S|) per event. *)
+
+val lower_bound_scratch : t -> float
+(** Reference recompute of {!lower_bound} sharing no cached state —
+    O(m²·|S| + m·|S|²) for m occupied nodes. The incremental value is
+    bit-identical to this, which tests enforce. *)
 
 val rebalance : ?max_moves:int -> t -> int
 (** Perform up to [max_moves] (default unlimited) strictly improving

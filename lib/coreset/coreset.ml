@@ -1,0 +1,136 @@
+module Matrix = Dia_latency.Matrix
+module Vivaldi = Dia_latency.Vivaldi
+module Problem = Dia_core.Problem
+module Assignment = Dia_core.Assignment
+
+type t = {
+  eps : float;
+  matrix : Matrix.t;
+  servers : int array;
+  full_clients : int array;
+  reps : int array;
+  weights : int array;
+  bucket_of : int array;
+  radius : float;
+}
+
+let check_eps eps =
+  if not (Float.is_finite eps) || eps < 0. then
+    invalid_arg (Printf.sprintf "Coreset: eps %g must be finite and >= 0" eps)
+
+let node_partition ?(seed = 0) ?rounds ~eps matrix =
+  check_eps eps;
+  let n = Matrix.dim matrix in
+  let rep = Array.init n Fun.id in
+  if eps > 0. && n > 1 then begin
+    let emb = Vivaldi.embed_matrix ~seed ?rounds matrix in
+    let coords = Array.init n (Vivaldi.coordinates emb) in
+    let xmin = ref infinity and xmax = ref neg_infinity in
+    let ymin = ref infinity and ymax = ref neg_infinity in
+    Array.iter
+      (fun (x, y, _) ->
+        if x < !xmin then xmin := x;
+        if x > !xmax then xmax := x;
+        if y < !ymin then ymin := y;
+        if y > !ymax then ymax := y)
+      coords;
+    let extent = Float.max (!xmax -. !xmin) (!ymax -. !ymin) in
+    if extent > 0. then begin
+      let side = eps *. extent in
+      let cells = Hashtbl.create n in
+      for node = 0 to n - 1 do
+        let x, y, _ = coords.(node) in
+        let key =
+          ( int_of_float (Float.floor ((x -. !xmin) /. side)),
+            int_of_float (Float.floor ((y -. !ymin) /. side)) )
+        in
+        match Hashtbl.find_opt cells key with
+        | Some r -> rep.(node) <- r
+        | None -> Hashtbl.add cells key node
+      done
+    end
+  end;
+  rep
+
+let build ?seed ?rounds ~eps matrix ~servers ~clients =
+  check_eps eps;
+  if Array.length clients = 0 then invalid_arg "Coreset.build: no clients";
+  if Array.length servers = 0 then invalid_arg "Coreset.build: no servers";
+  Array.iter
+    (fun node ->
+      if node < 0 || node >= Matrix.dim matrix then
+        invalid_arg (Printf.sprintf "Coreset.build: node %d out of range" node))
+    (Array.append servers clients);
+  let rep = node_partition ?seed ?rounds ~eps matrix in
+  (* Bucket the clients by representative node; points are numbered by
+     first appearance in client order, so the reduced instance is a pure
+     function of (matrix, eps, seed, clients). *)
+  let index = Hashtbl.create 64 in
+  let reps = ref [] and count = ref 0 in
+  let bucket_of =
+    Array.map
+      (fun node ->
+        let r = rep.(node) in
+        match Hashtbl.find_opt index r with
+        | Some b -> b
+        | None ->
+            let b = !count in
+            Hashtbl.add index r b;
+            reps := r :: !reps;
+            incr count;
+            b)
+      clients
+  in
+  let reps = Array.of_list (List.rev !reps) in
+  let weights = Array.make !count 0 in
+  Array.iter (fun b -> weights.(b) <- weights.(b) + 1) bucket_of;
+  (* Certify the additive bound on the instance itself rather than
+     trusting the embedding: the radius is the worst client-vs-
+     representative disagreement actually visible to any server, so the
+     |D_reduced - D_full| <= 2r sandwich holds on non-metric matrices
+     and embedding failures alike. O(|C|·|S|). *)
+  let radius = ref 0. in
+  Array.iteri
+    (fun c node ->
+      let r = reps.(bucket_of.(c)) in
+      if r <> node then
+        Array.iter
+          (fun s ->
+            let gap = Float.abs (Matrix.get matrix node s -. Matrix.get matrix r s) in
+            if gap > !radius then radius := gap)
+          servers)
+    clients;
+  {
+    eps;
+    matrix;
+    servers = Array.copy servers;
+    full_clients = Array.copy clients;
+    reps;
+    weights;
+    bucket_of;
+    radius = !radius;
+  }
+
+let eps t = t.eps
+let points t = Array.length t.reps
+let clients t = Array.length t.full_clients
+let reps t = Array.copy t.reps
+let weights t = Array.copy t.weights
+let bucket_of t c = t.bucket_of.(c)
+let radius t = t.radius
+let bound t = 2. *. t.radius
+
+let reduced t =
+  Problem.make ~latency:t.matrix ~servers:t.servers ~clients:t.reps ()
+
+let full t =
+  Problem.make ~latency:t.matrix ~servers:t.servers ~clients:t.full_clients ()
+
+let expand t assignment =
+  let ra = Assignment.to_array assignment in
+  if Array.length ra <> points t then
+    invalid_arg
+      (Printf.sprintf "Coreset.expand: assignment over %d clients, expected %d"
+         (Array.length ra) (points t));
+  let arr = Array.map (fun b -> ra.(b)) t.bucket_of in
+  Assignment.of_array (full t) arr

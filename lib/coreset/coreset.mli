@@ -1,0 +1,95 @@
+(** Weighted coresets for million-client instances.
+
+    Every algorithm in the reproduction is dense over the client set, so
+    the paper's D(A) machinery tops out around 10⁴ clients. This module
+    buckets clients into {e coreset points} on the existing Vivaldi
+    embedding: nodes whose coordinates share a grid cell of side
+    [eps × embedding extent] collapse into one representative, a client
+    population collapses into one weighted client per occupied cell, and
+    the reduced instance — a perfectly ordinary {!Dia_core.Problem.t} —
+    is what the nine assignment algorithms run on, unchanged. Because
+    D(A) is a maximum, client multiplicity never moves it: weight only
+    matters for capacities, which the coreset layer therefore refuses
+    (reduced instances are always uncapacitated).
+
+    {b The additive bound.} The build {e certifies} its own accuracy on
+    the actual matrix rather than trusting the embedding: the radius [r]
+    is the maximum over clients [c] and servers [s] of
+    [|d(c,s) − d(rep(c),s)|]. Expanding a reduced assignment gives every
+    client its representative's server, so each endpoint of every
+    interaction path moves by at most [r], and
+
+    {v |D_reduced(A) − D_full(expand A)| ≤ 2r = bound t v}
+
+    for {e any} assignment [A] — metric or not, embedding quality
+    notwithstanding. [eps = 0] degenerates to exact node deduplication
+    with [r = 0] and the bound collapses to equality. The conformance
+    suite enforces the bound on every oracle instance
+    (`coreset-bound`). *)
+
+type t
+(** An immutable coreset of a client population. *)
+
+val node_partition :
+  ?seed:int -> ?rounds:int -> eps:float -> Dia_latency.Matrix.t -> int array
+(** [node_partition ~eps m] maps every node of [m] to its cell
+    representative (the lowest-numbered node in its Vivaldi grid cell);
+    [eps <= 0] yields the identity. Deterministic per [seed] (default 0)
+    — the dynamic {!Weighted} layer and the static {!build} share this
+    partition, so a weighted session and an offline coreset of the same
+    population agree on membership.
+
+    @raise Invalid_argument if [eps] is negative or not finite. *)
+
+val build :
+  ?seed:int ->
+  ?rounds:int ->
+  eps:float ->
+  Dia_latency.Matrix.t ->
+  servers:int array ->
+  clients:int array ->
+  t
+(** Bucket [clients] (node ids, duplicates welcome — that is the point)
+    by {!node_partition} cell and certify the radius against [servers].
+    Points are numbered by first appearance in client order. O(|C|·|S|)
+    plus the embedding.
+
+    @raise Invalid_argument on empty clients/servers, out-of-range
+    nodes, or invalid [eps]. *)
+
+val eps : t -> float
+
+val points : t -> int
+(** Number of coreset points (distinct occupied cells). *)
+
+val clients : t -> int
+(** Number of full clients the coreset summarises. *)
+
+val reps : t -> int array
+(** Representative node per point. *)
+
+val weights : t -> int array
+(** Clients per point; sums to {!clients}. *)
+
+val bucket_of : t -> int -> int
+(** Point index of a full client index. *)
+
+val radius : t -> float
+(** Certified worst client-vs-representative distance disagreement. *)
+
+val bound : t -> float
+(** The additive D(A) approximation bound [f(eps) = 2 ·{!radius}]. *)
+
+val reduced : t -> Dia_core.Problem.t
+(** The weighted instance: one client per point, uncapacitated. *)
+
+val full : t -> Dia_core.Problem.t
+(** The original population as an uncapacitated instance. *)
+
+val expand : t -> Dia_core.Assignment.t -> Dia_core.Assignment.t
+(** Lift an assignment of {!reduced} to {!full}: every client goes where
+    its representative went. The result's D is within {!bound} of the
+    reduced D.
+
+    @raise Invalid_argument if the assignment is not over {!points}
+    clients. *)

@@ -1,0 +1,107 @@
+module Matrix = Dia_latency.Matrix
+module Dynamic = Dia_core.Dynamic
+
+type bucket = { mutable count : int; id : Dynamic.client_id }
+
+type t = {
+  rep : int array;
+  dyn : Dynamic.t;
+  buckets : (int, bucket) Hashtbl.t;  (* representative node -> bucket *)
+  mutable sessions : int;
+}
+
+let attach ?seed ?rounds ~eps matrix ~counts dyn =
+  (* A coreset point stands for an unbounded population, so per-server
+     client capacities are meaningless at this granularity. *)
+  if Dynamic.capacity dyn <> None then
+    invalid_arg "Weighted.attach: the wrapped session must be uncapacitated";
+  let rep = Coreset.node_partition ?seed ?rounds ~eps matrix in
+  let buckets = Hashtbl.create 64 in
+  List.iter
+    (fun (id, node, _) ->
+      if Hashtbl.mem buckets node then
+        invalid_arg
+          (Printf.sprintf "Weighted.attach: two members at node %d" node);
+      if rep.(node) <> node then
+        invalid_arg
+          (Printf.sprintf
+             "Weighted.attach: member node %d is not a representative" node);
+      Hashtbl.replace buckets node { count = 0; id })
+    (Dynamic.members dyn);
+  let t = { rep; dyn; buckets; sessions = 0 } in
+  List.iter
+    (fun (node, count) ->
+      if count < 0 then invalid_arg "Weighted.attach: negative count";
+      if count > 0 then begin
+        let r = rep.(node) in
+        match Hashtbl.find_opt buckets r with
+        | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "Weighted.attach: sessions at node %d but no member at \
+                  representative %d"
+                 node r)
+        | Some b ->
+            b.count <- b.count + count;
+            t.sessions <- t.sessions + count
+      end)
+    counts;
+  Hashtbl.iter
+    (fun node b ->
+      if b.count = 0 then
+        invalid_arg
+          (Printf.sprintf "Weighted.attach: member at node %d has no sessions"
+             node))
+    buckets;
+  t
+
+let create ?seed ?rounds ~eps matrix ~servers =
+  attach ?seed ?rounds ~eps matrix ~counts:[]
+    (Dynamic.create matrix ~servers)
+
+let rep_of t node = t.rep.(node)
+
+let add t ~node =
+  if node < 0 || node >= Array.length t.rep then
+    invalid_arg (Printf.sprintf "Weighted.add: node %d out of range" node);
+  let r = t.rep.(node) in
+  (match Hashtbl.find_opt t.buckets r with
+  | Some b -> b.count <- b.count + 1
+  | None ->
+      let id = Dynamic.join t.dyn ~node:r in
+      Hashtbl.replace t.buckets r { count = 1; id });
+  t.sessions <- t.sessions + 1
+
+let remove t ~node =
+  if node < 0 || node >= Array.length t.rep then
+    invalid_arg (Printf.sprintf "Weighted.remove: node %d out of range" node);
+  let r = t.rep.(node) in
+  match Hashtbl.find_opt t.buckets r with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Weighted.remove: no sessions at representative %d" r)
+  | Some b ->
+      b.count <- b.count - 1;
+      t.sessions <- t.sessions - 1;
+      if b.count = 0 then begin
+        Hashtbl.remove t.buckets r;
+        Dynamic.leave t.dyn b.id
+      end
+
+let sessions t = t.sessions
+let points t = Hashtbl.length t.buckets
+let dynamic t = t.dyn
+let objective t = Dynamic.objective t.dyn
+let lower_bound t = Dynamic.lower_bound t.dyn
+
+let handle t ~node =
+  match Hashtbl.find_opt t.buckets t.rep.(node) with
+  | Some b -> b.id
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Weighted.handle: no member in node %d's cell" node)
+
+let weight t ~node =
+  match Hashtbl.find_opt t.buckets t.rep.(node) with
+  | Some b -> b.count
+  | None -> 0

@@ -1,0 +1,92 @@
+(** Dynamic sessions over a coreset: million-client churn in O(1).
+
+    The dynamic counterpart of {!Coreset}: weighted clients ("sessions")
+    join and leave at arbitrary nodes, but the underlying
+    {!Dia_core.Dynamic} session only ever sees one member per occupied
+    {!Coreset.node_partition} cell. A join lands in an already-occupied
+    bucket (the steady-state case) in O(1) — a counter bump; only the
+    first session of a cell activates its representative, and only the
+    last departure deactivates it. Combined with Dynamic's incremental
+    D(A)/lower-bound caches, steady-state per-event cost is independent
+    of the session count, which is what lets the soak and the bench
+    drive a million weighted clients.
+
+    The layer is strictly uncapacitated (a coreset point stands for an
+    unbounded population, so per-server client capacities are
+    meaningless at this granularity); callers must wrap an uncapacitated
+    Dynamic. The bucket partition is fixed at attach time from the
+    supplied (undrifted) matrix — later drift changes distances, not
+    membership. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?rounds:int ->
+  eps:float ->
+  Dia_latency.Matrix.t ->
+  servers:int array ->
+  t
+(** Fresh weighted session: an empty uncapacitated {!Dia_core.Dynamic}
+    over the matrix, bucketed at resolution [eps] (0 = one bucket per
+    node). *)
+
+val attach :
+  ?seed:int ->
+  ?rounds:int ->
+  eps:float ->
+  Dia_latency.Matrix.t ->
+  counts:(int * int) list ->
+  Dia_core.Dynamic.t ->
+  t
+(** Rebuild the bucket layer around an existing (typically
+    checkpoint-restored) session. [counts] lists [(node, sessions)] for
+    the original — pre-bucketing — nodes; every member of the Dynamic
+    must sit at its own cell's representative and carry at least one
+    session. Deterministic: same matrix/eps/seed/counts, same layer.
+
+    @raise Invalid_argument if the session is capacitated, a member is
+    off-representative, two members share a node, counts are negative,
+    sessions reference a cell with no member, or a member has no
+    sessions. *)
+
+val rep_of : t -> int -> int
+(** Representative node of a node's cell. *)
+
+val add : t -> node:int -> unit
+(** One session joins at [node]: O(1) when its cell is already occupied,
+    otherwise the representative joins the Dynamic.
+
+    @raise Invalid_argument if [node] is out of range.
+    @raise Failure if activation finds every server saturated (cannot
+    happen on the required uncapacitated sessions). *)
+
+val remove : t -> node:int -> unit
+(** One session leaves from [node]: O(1) unless it was the cell's last,
+    which makes the representative leave the Dynamic.
+
+    @raise Invalid_argument if no session is present in [node]'s cell. *)
+
+val sessions : t -> int
+(** Total weighted clients. *)
+
+val points : t -> int
+(** Occupied cells = members of the underlying Dynamic. *)
+
+val weight : t -> node:int -> int
+(** Sessions currently in [node]'s cell. *)
+
+val handle : t -> node:int -> Dia_core.Dynamic.client_id
+(** The Dynamic client id of [node]'s cell representative.
+
+    @raise Invalid_argument if the cell is unoccupied. *)
+
+val dynamic : t -> Dia_core.Dynamic.t
+(** The underlying session — rebalance, failover, drift and snapshots
+    all operate here, on the reduced membership. *)
+
+val objective : t -> float
+(** D(A) of the reduced session ({!Dia_core.Dynamic.objective}). *)
+
+val lower_bound : t -> float
+(** Incremental lower bound of the reduced session. *)

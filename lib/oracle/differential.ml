@@ -138,6 +138,13 @@ let check_instance ~seed =
     (fun (k, v) -> checked (k ^ " >= LB") (Invariant.dominates_lb ~lb ~label:k v))
     values;
   checked "clock tight" (Invariant.clock_tight p (List.assoc "nearest" assignments));
+  (* Coreset additive bound, always on: the resolution cycles with the
+     seed so every eps — including the exact-equality eps=0 corner —
+     gets the full instance mix. *)
+  checked "coreset-bound"
+    (Invariant.coreset_bound
+       ~resolution:[| 0.; 0.05; 0.15; 0.3 |].(seed mod 4)
+       ~seed p);
   (* Per-instance dominance relations. *)
   if not capacitated then
     checked "lfb <= nearest"

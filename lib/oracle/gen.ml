@@ -11,11 +11,14 @@ type kind =
   | Single_server
   | Server_heavy
   | Duplicate_coords
+  | Weighted_stacked
+  | Clustered_scale
 
 let kinds =
   [
     Metric_euclidean; Metric_grid; Internet; Uniform_nonmetric;
     Clustered_zipf; Single_server; Server_heavy; Duplicate_coords;
+    Weighted_stacked; Clustered_scale;
   ]
 
 let kind_name = function
@@ -27,15 +30,17 @@ let kind_name = function
   | Single_server -> "single-server"
   | Server_heavy -> "server-heavy"
   | Duplicate_coords -> "duplicate-coords"
+  | Weighted_stacked -> "weighted-stacked"
+  | Clustered_scale -> "clustered-scale"
 
-(* Euclidean embeddings (including duplicated points) are pseudometrics,
-   so the triangle inequality — the 3-approximation precondition —
-   holds; grid shortest paths are metric by construction. Internet-like
-   matrices violate it on purpose. *)
+(* Euclidean embeddings (including duplicated or clustered points) are
+   pseudometrics, so the triangle inequality — the 3-approximation
+   precondition — holds; grid shortest paths are metric by construction.
+   Internet-like matrices violate it on purpose. *)
 let is_metric = function
-  | Metric_euclidean | Metric_grid | Duplicate_coords -> true
+  | Metric_euclidean | Metric_grid | Duplicate_coords | Clustered_scale -> true
   | Internet | Uniform_nonmetric | Clustered_zipf | Single_server
-  | Server_heavy -> false
+  | Server_heavy | Weighted_stacked -> false
 
 type descriptor = {
   kind : kind;
@@ -73,6 +78,9 @@ let counts d =
     match d.kind with
     | Clustered_zipf -> clamp 1 96 d.clients
     | Server_heavy -> min (clamp 1 nodes d.clients) servers
+    (* Population well beyond the node count: many clients per node is
+       the weighted/coreset regime. *)
+    | Weighted_stacked | Clustered_scale -> clamp 8 160 (d.clients * 5)
     | _ -> nodes
   in
   let capacity =
@@ -123,6 +131,26 @@ let duplicate_matrix ~seed n =
       let xi, yi = pts.(i mod half) and xj, yj = pts.(j mod half) in
       Float.hypot (xi -. xj) (yi -. yj))
 
+(* Tight Gaussian-ish clusters of Euclidean points: most node pairs are
+   either near-coincident (same cluster) or far apart — the geometry a
+   coreset collapses best, and still a pseudometric. *)
+let clustered_matrix ~seed n =
+  let rng = Random.State.make [| seed; 0xc7a5 |] in
+  let hubs = 3 + Random.State.int rng 3 in
+  let centers =
+    Array.init hubs (fun _ ->
+        (Random.State.float rng 400., Random.State.float rng 400.))
+  in
+  let pts =
+    Array.init n (fun _ ->
+        let cx, cy = centers.(Random.State.int rng hubs) in
+        ( cx +. Random.State.float rng 12. -. 6.,
+          cy +. Random.State.float rng 12. -. 6. ))
+  in
+  Matrix.init n (fun i j ->
+      let xi, yi = pts.(i) and xj, yj = pts.(j) in
+      Float.hypot (xi -. xj) (yi -. yj))
+
 let matrix_of d nodes =
   match d.kind with
   | Metric_euclidean -> Synthetic.euclidean ~seed:d.seed ~n:nodes ~side:400.
@@ -130,12 +158,13 @@ let matrix_of d nodes =
       let rows = max 2 (int_of_float (sqrt (float_of_int nodes))) in
       let cols = max 2 (nodes / rows) in
       Synthetic.grid ~rows ~cols ~spacing:10.
-  | Internet | Clustered_zipf | Single_server ->
+  | Internet | Clustered_zipf | Single_server | Weighted_stacked ->
       Synthetic.internet_like ~seed:d.seed nodes
   | Uniform_nonmetric ->
       Synthetic.uniform_random ~seed:d.seed ~n:nodes ~lo:1. ~hi:300.
   | Server_heavy -> Synthetic.euclidean ~seed:d.seed ~n:nodes ~side:400.
   | Duplicate_coords -> duplicate_matrix ~seed:d.seed nodes
+  | Clustered_scale -> clustered_matrix ~seed:d.seed nodes
 
 (* Zipf-weighted client placement: rank r (over a seed-shuffled node
    order) gets weight 1/(r+1), so a few nodes host most clients. *)
@@ -169,6 +198,24 @@ let instantiate d =
       let clients = zipf_clients rng ~nodes ~count:n_clients in
       Problem.make ?capacity ~latency:matrix ~servers:server_nodes ~clients ()
   | Server_heavy ->
+      let clients = Array.init n_clients (fun _ -> Random.State.int rng nodes) in
+      Problem.make ?capacity ~latency:matrix ~servers:server_nodes ~clients ()
+  | Weighted_stacked ->
+      (* The whole population stacks onto a few hub nodes — the reduced
+         (weighted) instance is far smaller than the client count. *)
+      let hubs = max 2 (nodes / 6) in
+      let order = Array.init nodes Fun.id in
+      for i = nodes - 1 downto 1 do
+        let j = Random.State.int rng (i + 1) in
+        let t = order.(i) in
+        order.(i) <- order.(j);
+        order.(j) <- t
+      done;
+      let clients =
+        Array.init n_clients (fun _ -> order.(Random.State.int rng hubs))
+      in
+      Problem.make ?capacity ~latency:matrix ~servers:server_nodes ~clients ()
+  | Clustered_scale ->
       let clients = Array.init n_clients (fun _ -> Random.State.int rng nodes) in
       Problem.make ?capacity ~latency:matrix ~servers:server_nodes ~clients ()
   | _ ->

@@ -25,6 +25,13 @@ type kind =
   | Single_server  (** |S| = 1 *)
   | Server_heavy  (** |S| >= |C| *)
   | Duplicate_coords  (** duplicated embedding points: zero distances, ties *)
+  | Weighted_stacked
+      (** the whole population stacked on a few hub nodes of an
+          Internet-like matrix — the weighted/coreset regime, clients
+          well beyond the node count *)
+  | Clustered_scale
+      (** tight Euclidean clusters with clients beyond the node count;
+          metric, and the geometry a coreset collapses best *)
 
 val kinds : kind list
 val kind_name : kind -> string

@@ -161,3 +161,38 @@ let evaluator_scale_invariant p a =
       Error (Printf.sprintf "LB not linear in scale: %.17g <> 2 x %.17g" lb' lb)
     else Ok ()
   end
+
+(* -- Coreset additive bound (lib/coreset) -------------------------------- *)
+
+let coreset_bound ~resolution ~seed p =
+  (* The coreset layer refuses capacities (a point stands for an
+     unbounded population), so the bound is checked on the instance's
+     uncapacitated relaxation — the radius certificate does not involve
+     capacities anyway. *)
+  let cs =
+    Dia_coreset.Coreset.build ~seed ~eps:resolution (Problem.latency p)
+      ~servers:(Problem.servers p) ~clients:(Problem.clients p)
+  in
+  let reduced = Dia_coreset.Coreset.reduced cs in
+  let a_red = Dia_core.Greedy.assign reduced in
+  let d_red = Objective.max_interaction_path reduced a_red in
+  let d_full =
+    Objective.max_interaction_path
+      (Dia_coreset.Coreset.full cs)
+      (Dia_coreset.Coreset.expand cs a_red)
+  in
+  let gap = Float.abs (d_full -. d_red) in
+  let bound = Dia_coreset.Coreset.bound cs in
+  if resolution = 0. && gap <> 0. then
+    Error
+      (Printf.sprintf
+         "eps=0 must be exact: D_reduced %.17g <> D_full %.17g" d_red d_full)
+  else if gap > bound +. eps then
+    Error
+      (Printf.sprintf
+         "|D_reduced - D_full| = |%.9g - %.9g| = %.9g exceeds bound 2r = %.9g \
+          (eps %g, %d clients -> %d points)"
+         d_red d_full gap bound resolution
+         (Dia_coreset.Coreset.clients cs)
+         (Dia_coreset.Coreset.points cs))
+  else Ok ()

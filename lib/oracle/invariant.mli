@@ -85,3 +85,12 @@ val evaluator_scale_invariant :
   Dia_core.Problem.t -> Dia_core.Assignment.t -> check
 (** [D(scale p 2) = 2 * D(p)] and [LB(scale p 2) = 2 * LB(p)], exactly
     (doubling is exact in binary floating point). *)
+
+(** {2 Coreset bound (lib/coreset)} *)
+
+val coreset_bound : resolution:float -> seed:int -> Dia_core.Problem.t -> check
+(** Build a coreset of the instance's uncapacitated relaxation at
+    [resolution], solve Greedy on the reduced instance, expand, and
+    check the certified additive sandwich
+    [|D_reduced - D_full| <= 2r = bound] (within {!eps}); at
+    [resolution = 0] the two objectives must be exactly equal. *)

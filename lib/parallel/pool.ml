@@ -131,8 +131,19 @@ let with_pool ?jobs f =
 let check_alive t =
   if t.stopped then invalid_arg "Pool: used after shutdown"
 
-(* More chunks than workers so triangular / uneven loops balance. *)
-let chunk_count t n = if n <= 1 then n else min n (4 * t.pool_jobs)
+(* More chunks than workers lets triangular / uneven loops balance — but
+   every chunk pays fixed dispatch overhead, and per-chunk setup cost in
+   the caller's [f] (scratch allocation, problem views) multiplies with
+   the chunk count. On small batches the 4x oversplit therefore costs
+   far more than the imbalance it cures (the fig8 seed sweep at jobs=4
+   ran 6.7x slower than jobs=1). Oversplit only when every resulting
+   chunk still holds at least [grain] items; otherwise issue at most one
+   chunk per worker. *)
+let chunk_count ?(grain = 4) t n =
+  if n <= 1 then n
+  else
+    let fine = 4 * t.pool_jobs in
+    if n >= grain * fine then min n fine else min n t.pool_jobs
 
 let chunk_bounds ~n ~chunks c = (c * n / chunks, (c + 1) * n / chunks)
 
@@ -176,7 +187,7 @@ let run_batch t ~chunks run_chunk =
 
 let sequential t = t.pool_jobs <= 1 || Domain.DLS.get in_chunk
 
-let parallel_for t ~n f =
+let parallel_for ?grain t ~n f =
   check_alive t;
   if n > 0 then
     if sequential t || n = 1 then
@@ -184,7 +195,7 @@ let parallel_for t ~n f =
         f i
       done
     else begin
-      let chunks = chunk_count t n in
+      let chunks = chunk_count ?grain t n in
       run_batch t ~chunks (fun c ->
           let lo, hi = chunk_bounds ~n ~chunks c in
           for i = lo to hi - 1 do
@@ -192,12 +203,12 @@ let parallel_for t ~n f =
           done)
     end
 
-let init t n f =
+let init ?grain t n f =
   check_alive t;
   if n <= 0 then [||]
   else if sequential t || n = 1 then Array.init n f
   else begin
-    let chunks = chunk_count t n in
+    let chunks = chunk_count ?grain t n in
     let parts = Array.make chunks [||] in
     run_batch t ~chunks (fun c ->
         let lo, hi = chunk_bounds ~n ~chunks c in
@@ -212,12 +223,12 @@ let map_reduce t ~map ~reduce ~init:acc arr =
 
 let run_seeds t ~seeds f = init t seeds f
 
-let chunk_map t ~n f =
+let chunk_map ?grain t ~n f =
   check_alive t;
   if n <= 0 then [||]
   else if sequential t || n = 1 then [| f ~lo:0 ~hi:n |]
   else begin
-    let chunks = chunk_count t n in
+    let chunks = chunk_count ?grain t n in
     let parts = Array.make chunks None in
     run_batch t ~chunks (fun c ->
         let lo, hi = chunk_bounds ~n ~chunks c in

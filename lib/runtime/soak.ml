@@ -6,6 +6,7 @@ module Lower_bound = Dia_core.Lower_bound
 module Assignment = Dia_core.Assignment
 module Fault = Dia_sim.Fault
 module Dgreedy_protocol = Dia_sim.Dgreedy_protocol
+module Weighted = Dia_coreset.Weighted
 
 type scenario = {
   seed : int;
@@ -18,6 +19,8 @@ type scenario = {
   drift_period : float;
   drift_amplitude : float;
   fault : Fault.plan;
+  clients : int;
+  coreset_eps : float option;
 }
 
 let default_scenario =
@@ -35,6 +38,8 @@ let default_scenario =
       (match Fault.of_string "loss:0.1+crash:2@60~180" with
       | Ok p -> p
       | Error m -> failwith m);
+    clients = 0;
+    coreset_eps = None;
   }
 
 type config = {
@@ -78,6 +83,19 @@ let validate scenario config =
     invalid_arg "Soak: mean_lifetime must be positive";
   if scenario.drift_amplitude < 0. || scenario.drift_amplitude > 1. then
     invalid_arg "Soak: drift_amplitude must be in [0, 1]";
+  if scenario.clients < 0 then invalid_arg "Soak: clients must be non-negative";
+  (match (scenario.capacity, scenario.clients) with
+  | Some c, n when n > c * scenario.servers ->
+      invalid_arg "Soak: pre-populated clients exceed total capacity"
+  | _ -> ());
+  (match scenario.coreset_eps with
+  | Some eps when (not (Float.is_finite eps)) || eps < 0. ->
+      invalid_arg "Soak: coreset_eps must be finite and >= 0"
+  | Some _ when scenario.capacity <> None ->
+      invalid_arg
+        "Soak: coreset_eps requires an uncapacitated scenario (a coreset \
+         point stands for an unbounded population)"
+  | _ -> ());
   Slo.validate_config config.slo;
   if config.budget < 0 then invalid_arg "Soak: budget must be non-negative";
   if config.max_queue < 0 then invalid_arg "Soak: max_queue must be non-negative";
@@ -109,6 +127,16 @@ let digest scenario config =
       (fs c.slo.Slo.recover_margin) c.budget c.max_queue c.lb_every
       c.checkpoint_every c.protocol_repair c.max_protocol_attempts c.standby
       (fs c.standby_bound) c.offline_baseline
+  in
+  (* The weighted-mode fields extend the canonical string only when in
+     use, so classic scenarios keep their historical digests (and their
+     checkpoints stay resumable). *)
+  let canonical =
+    if s.clients = 0 && s.coreset_eps = None then canonical
+    else
+      canonical
+      ^ Printf.sprintf " clients=%d coreset_eps=%s" s.clients
+          (match s.coreset_eps with None -> "none" | Some e -> fs e)
   in
   Digest.to_hex (Digest.string canonical)
 
@@ -150,6 +178,10 @@ type report = {
   events : int;
   horizon : float;
   clients : int;
+  weighted : bool;
+  coreset_points : int;
+  prepop_seconds : float;
+  loop_seconds : float;
   live_servers : int;
   total_servers : int;
   final_objective : float;
@@ -248,6 +280,72 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
         (session, sessions, admission, Slo.decode config.slo st.Checkpoint.slo,
          st.Checkpoint.cursor)
   in
+  (* Weighted mode: the [sessions] table maps session id -> original
+     node (not Dynamic client id), and a coreset bucket layer in front
+     of the Dynamic turns most joins/leaves into O(1) counter bumps.
+     The layer is rebuilt canonically from the session list on resume —
+     the checkpoint format does not change. *)
+  let weighted =
+    match scenario.coreset_eps with
+    | None -> None
+    | Some eps ->
+        let counts = Hashtbl.create 64 in
+        Hashtbl.iter
+          (fun _sid node ->
+            Hashtbl.replace counts node
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts node)))
+          sessions;
+        let counts = Hashtbl.fold (fun node c acc -> (node, c) :: acc) counts [] in
+        Some (Weighted.attach ~seed:scenario.seed ~eps matrix ~counts session)
+  in
+  (* Connect/disconnect one session, in either mode; both return the
+     Dynamic client id the event log names (in weighted mode, the id of
+     the bucket's representative member). *)
+  let connect sid node =
+    match weighted with
+    | Some w ->
+        Weighted.add w ~node;
+        Hashtbl.replace sessions sid node;
+        Weighted.handle w ~node
+    | None ->
+        let id = Dynamic.join session ~node in
+        Hashtbl.replace sessions sid id;
+        id
+  in
+  let disconnect sid value =
+    Hashtbl.remove sessions sid;
+    match weighted with
+    | Some w ->
+        let id = Weighted.handle w ~node:value in
+        Weighted.remove w ~node:value;
+        id
+    | None ->
+        Dynamic.leave session value;
+        value
+  in
+  let connected () =
+    match weighted with
+    | Some w -> Weighted.sessions w
+    | None -> Dynamic.num_clients session
+  in
+  (* Pre-populate the base load (fresh runs only — a resumed run carries
+     it in the checkpointed session list). Synthetic sessions use
+     negative ids, which no trace event references, so they never leave;
+     they bypass admission control and the event log (a million log
+     lines would drown the signal). *)
+  let prepop_seconds = ref 0. in
+  (match resume_from with
+  | Some _ -> ()
+  | None ->
+      if scenario.clients > 0 then begin
+        let t0 = Sys.time () in
+        let rng = Random.State.make [| scenario.seed; 0xc11e |] in
+        for i = 1 to scenario.clients do
+          let node = Random.State.int rng scenario.nodes in
+          ignore (connect (-i) node)
+        done;
+        prepop_seconds := Sys.time () -. t0
+      end);
   let leaves = ref 0 and crashes = ref 0 and crashes_skipped = ref 0 in
   let recoveries = ref 0 and drifts = ref 0 and stranded = ref 0 in
   let repairs = ref 0 and repair_moves = ref 0 and max_epoch_moves = ref 0 in
@@ -307,10 +405,12 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
   in
   let recompute_lb now =
     events_since_lb := 0;
-    let survivors = survivor_problem () in
-    (match survivors with
-    | None -> lb := nan
-    | Some (p, _) -> lb := Lower_bound.compute p);
+    (* The session maintains the bound incrementally (node-level, live
+       servers only) — equal to [Lower_bound.compute] on the survivor
+       problem up to float association, at amortized O(|S|) instead of
+       O(n²·|S|) per refresh. *)
+    if Dynamic.num_clients session = 0 then lb := nan
+    else lb := Dynamic.lower_bound session;
     let obj = Dynamic.objective session in
     let ratio = if !lb > 0. && Float.is_finite obj then obj /. !lb else nan in
     trace_points := (now, obj, ratio) :: !trace_points;
@@ -319,7 +419,7 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
        the same survivors — the baseline the empirical competitive ratio
        is measured from. *)
     if config.offline_baseline then
-      match survivors with
+      match survivor_problem () with
       | None -> ()
       | Some (p, _) ->
           let resolve = Objective.max_interaction_path p (Greedy.assign p) in
@@ -448,8 +548,7 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
           match Admission.pop admission with
           | None -> continue := false
           | Some (sid, node) ->
-              let id = Dynamic.join session ~node in
-              Hashtbl.replace sessions sid id;
+              let id = connect sid node in
               log_event now
                 (Event_log.Drained
                    { session = sid; client = id; server = Dynamic.server_of session id })
@@ -489,8 +588,7 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
             ~has_capacity:(has_capacity ()) ~session:sid ~node
         with
         | Admission.Admit ->
-            let id = Dynamic.join session ~node in
-            Hashtbl.replace sessions sid id;
+            let id = connect sid node in
             log_event now
               (Event_log.Join
                  { session = sid; client = id; server = Dynamic.server_of session id });
@@ -503,9 +601,8 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
             false)
     | Trace.Leave { session = sid } -> (
         match Hashtbl.find_opt sessions sid with
-        | Some id ->
-            Dynamic.leave session id;
-            Hashtbl.remove sessions sid;
+        | Some value ->
+            let id = disconnect sid value in
             incr leaves;
             log_event now (Event_log.Leave { session = sid; client = id });
             false
@@ -658,15 +755,23 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
       end;
       incr checkpoints;
       log_event now (Event_log.Checkpoint { id = !checkpoints });
-      let st = capture ~cursor:(i + 1) ~now in
-      (match checkpoint_path with
-      | Some path -> Checkpoint.save path st
-      | None -> ());
-      match kill_after with
-      | Some n when !checkpoints >= n -> raise (Kill st)
-      | _ -> ()
+      (* Materialising the state is O(sessions) — with a million
+         weighted sessions it would dwarf the events themselves — so
+         only capture when someone consumes it. The boundary itself
+         (refresh + log entry + counter) is identical either way, which
+         is what the determinism contract hashes. *)
+      if checkpoint_path <> None || kill_after <> None then begin
+        let st = capture ~cursor:(i + 1) ~now in
+        (match checkpoint_path with
+        | Some path -> Checkpoint.save path st
+        | None -> ());
+        match kill_after with
+        | Some n when !checkpoints >= n -> raise (Kill st)
+        | _ -> ()
+      end
     end
   in
+  let loop_start = Sys.time () in
   match
     for i = start_cursor to Array.length trace - 1 do
       step i
@@ -674,6 +779,7 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
   with
   | exception Kill st -> Killed st
   | () ->
+      let loop_seconds = Sys.time () -. loop_start in
       recompute_lb !last_now;
       let final_objective = Dynamic.objective session in
       let final_ratio =
@@ -735,7 +841,11 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
           digest = dg;
           events = Array.length trace;
           horizon = scenario.horizon;
-          clients = Dynamic.num_clients session;
+          clients = connected ();
+          weighted = weighted <> None;
+          coreset_points = Dynamic.num_clients session;
+          prepop_seconds = !prepop_seconds;
+          loop_seconds;
           live_servers = List.length (Dynamic.active_servers session);
           total_servers = scenario.servers;
           final_objective;
@@ -783,6 +893,9 @@ let render r =
   line "  events              %d over horizon %s" r.events (fs r.horizon);
   line "  clients             %d connected, servers %d/%d live" r.clients
     r.live_servers r.total_servers;
+  if r.weighted then
+    line "  coreset             %d points carry the %d weighted sessions"
+      r.coreset_points r.clients;
   line "  objective D(A)      %s" (fs r.final_objective);
   line "  lower bound LB      %s" (fs r.final_lb);
   line "  ratio D/LB          %s (slo %s)" (fs r.final_ratio)
@@ -809,4 +922,13 @@ let render r =
   line "  session             joins=%d leaves=%d moves=%d"
     r.session_stats.Dynamic.joins r.session_stats.Dynamic.leaves
     r.session_stats.Dynamic.moves;
+  Buffer.contents b
+
+let csv r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "t,objective,ratio\n";
+  List.iter
+    (fun (t, obj, ratio) ->
+      Buffer.add_string b (Printf.sprintf "%s,%s,%s\n" (fs t) (fs obj) (fs ratio)))
+    r.trace_points;
   Buffer.contents b

@@ -59,12 +59,25 @@ type scenario = {
   fault : Dia_sim.Fault.plan;
       (** crash rules feed the membership layer; the whole plan is the
           ambient network weather for protocol-repair epochs *)
+  clients : int;
+      (** sessions pre-populated before the trace starts (uniform random
+          nodes from the scenario seed); they bypass admission and the
+          event log, and the trace never disconnects them — the steady
+          base load for million-client runs *)
+  coreset_eps : float option;
+      (** weighted mode: bucket sessions through a
+          {!Dia_coreset.Weighted} layer at this resolution, so the
+          Dynamic only sees one member per occupied coreset cell and
+          steady-state per-event cost is independent of the session
+          count. Requires [capacity = None]. [Some 0.] still dedups
+          co-located sessions exactly. *)
 }
 
 val default_scenario : scenario
 (** 120 nodes, 8 servers, uncapacitated, horizon 300 at one join per
     unit time (mean lifetime 80), drift every 20 units at ±30%, fault
-    plan [loss:0.1+crash:2@60~180]. *)
+    plan [loss:0.1+crash:2@60~180]; no pre-population, classic
+    (unweighted) mode. *)
 
 type config = {
   slo : Slo.config;
@@ -100,7 +113,13 @@ type report = {
   digest : string;
   events : int;
   horizon : float;
-  clients : int;  (** connected at the end *)
+  clients : int;  (** sessions connected at the end (weighted included) *)
+  weighted : bool;  (** ran through a coreset bucket layer *)
+  coreset_points : int;
+      (** members of the underlying Dynamic — equals [clients] in
+          classic mode, occupied coreset cells in weighted mode *)
+  prepop_seconds : float;  (** wall clock spent pre-populating (0 on resume) *)
+  loop_seconds : float;  (** wall clock spent in this process's event loop *)
   live_servers : int;
   total_servers : int;
   final_objective : float;
@@ -174,4 +193,10 @@ val render : report -> string
 (** Deterministic human-readable report. Two runs are considered
     bit-identical when their [render] outputs and
     {!Event_log.render}ed logs are equal byte-for-byte — floats are
-    printed with {!Codec.float_str}, so this is an exact comparison. *)
+    printed with {!Codec.float_str}, so this is an exact comparison.
+    (Timing fields are deliberately not rendered.) *)
+
+val csv : report -> string
+(** The objective trace as CSV — header [t,objective,ratio], one row per
+    lower-bound refresh, floats via {!Codec.float_str}. Deterministic
+    for the same reasons as {!render}. *)

@@ -60,6 +60,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("runtime", Test_runtime.suite);
       ("standby", Test_standby.suite);
+      ("coreset", Test_coreset.suite);
       ("golden", Test_golden.suite);
     ]
   in

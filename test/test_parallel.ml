@@ -115,6 +115,30 @@ let test_kcenter_deterministic () =
       Alcotest.(check (array int)) "greedy" seq_b (Kcenter.greedy ~pool m ~k:12))
     pools
 
+(* Chunk granularity: a small batch must not be oversplit into more
+   chunks than workers — per-chunk setup overhead dominated and made
+   jobs=4 slower than jobs=1 (the fig8 regression). chunk_map returns
+   one value per chunk, so its length is the chunk count. *)
+let test_small_batch_not_oversplit () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      List.iter
+        (fun n ->
+          let parts = Pool.chunk_map pool ~n (fun ~lo ~hi -> hi - lo) in
+          if Array.length parts > 4 then
+            Alcotest.failf "n=%d split into %d chunks (> jobs=4)" n
+              (Array.length parts);
+          Alcotest.(check int)
+            (Printf.sprintf "n=%d items covered" n)
+            n
+            (Array.fold_left ( + ) 0 parts))
+        [ 2; 4; 8; 12; 24; 63 ];
+      (* Large batches still oversplit for balance. *)
+      let parts = Pool.chunk_map pool ~n:1024 (fun ~lo ~hi -> hi - lo) in
+      Alcotest.(check int) "n=1024 oversplit 4x" 16 (Array.length parts);
+      (* A raised grain keeps even big batches coarse. *)
+      let parts = Pool.chunk_map ~grain:512 pool ~n:1024 (fun ~lo ~hi -> hi - lo) in
+      Alcotest.(check int) "grain=512 caps at jobs" 4 (Array.length parts))
+
 (* -- qcheck determinism properties ---------------------------------------- *)
 
 (* Exact float equality on purpose: the contract is bit-identity. *)
@@ -177,6 +201,8 @@ let suite =
       test_anneal_restarts_deterministic;
     Alcotest.test_case "K-center scans deterministic across pools" `Quick
       test_kcenter_deterministic;
+    Alcotest.test_case "small batches issue at most jobs chunks" `Quick
+      test_small_batch_not_oversplit;
     QCheck_alcotest.to_alcotest prop_map_reduce_bit_identical;
     QCheck_alcotest.to_alcotest prop_lower_bound_bit_identical;
     QCheck_alcotest.to_alcotest prop_average_normalized_bit_identical;
