@@ -456,6 +456,10 @@ type scaling_row = {
   sjobs : int;
   wall_s : float;
   speedup : float;  (* vs the jobs = 1 row of the same kernel *)
+  contended : bool; (* jobs > usable cores: domains time-slice one CPU,
+                       so the "speedup" measures scheduling overhead,
+                       not parallelism. Tagged so downstream tooling
+                       never reads these rows as a scaling regression. *)
 }
 
 let scaling_jobs = [ 1; 2; 4 ]
@@ -482,6 +486,7 @@ let measure_scaling () =
               ~jobs:(Pool.jobs pool) ()));
     ]
   in
+  let cores = Domain.recommended_domain_count () in
   List.concat_map
     (fun (kernel, f) ->
       let base = ref nan in
@@ -489,7 +494,8 @@ let measure_scaling () =
         (fun jobs ->
           let wall = Pool.with_pool ~jobs (fun pool -> wall_best (fun () -> f pool)) in
           if jobs = 1 then base := wall;
-          { kernel; sjobs = jobs; wall_s = wall; speedup = !base /. wall })
+          { kernel; sjobs = jobs; wall_s = wall; speedup = !base /. wall;
+            contended = jobs > cores })
         scaling_jobs)
     kernels
 
@@ -504,9 +510,13 @@ let print_scaling rows =
     (fun r ->
       Dia_stats.Table.add_row table
         [ r.kernel; string_of_int r.sjobs; Printf.sprintf "%.3f" r.wall_s;
-          Printf.sprintf "%.2f" r.speedup ])
+          Printf.sprintf "%.2f%s" r.speedup (if r.contended then "*" else "") ])
     rows;
-  Dia_stats.Table.print table
+  Dia_stats.Table.print table;
+  if List.exists (fun r -> r.contended) rows then
+    Printf.printf
+      "(* = contended: more jobs than cores; the row measures scheduling \
+       overhead, not parallel speedup)\n"
 
 (* -- Machine-readable output: BENCH.json ---------------------------------- *)
 
@@ -527,7 +537,11 @@ let write_bench_json ~path measurements scaling =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"schema\": 1,\n";
+  (* schema 2: parallel_scaling rows carry a "contended" flag — true
+     when the row ran more jobs than the host has cores, in which case
+     its "speedup" is a scheduling-overhead measurement and must not be
+     compared against genuinely parallel runs. *)
+  out "  \"schema\": 2,\n";
   out "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"kernels\": [\n";
   List.iteri
@@ -541,8 +555,10 @@ let write_bench_json ~path measurements scaling =
   List.iteri
     (fun i r ->
       out
-        "    {\"kernel\": \"%s\", \"jobs\": %d, \"wall_s\": %s, \"speedup\": %s}%s\n"
+        "    {\"kernel\": \"%s\", \"jobs\": %d, \"wall_s\": %s, \"speedup\": %s, \
+         \"contended\": %b}%s\n"
         (json_escape r.kernel) r.sjobs (json_float r.wall_s) (json_float r.speedup)
+        r.contended
         (if i = List.length scaling - 1 then "" else ","))
     scaling;
   out "  ]\n";

@@ -1,0 +1,119 @@
+(* Kernel-speedup smoke check.
+
+   Times the two kernels named by ROADMAP item 3 — assign/greedy(n=300)
+   and lower-bound/pruned(n=300) — on the exact instance the bechamel
+   suite uses, and compares against the committed pre-refactor numbers in
+   bench/BENCH.seed.json. Exits non-zero if either kernel's win over the
+   seed drops below the --min factor (default 3.0: the refactor targets
+   >= 5x on a quiet machine; CI runners are noisy, so the gate is
+   deliberately generous).
+
+   Timing is best-of-N wall clock after warmup — the minimum is the right
+   statistic for a regression gate because noise only ever adds time. *)
+
+module Problem = Dia_core.Problem
+module Placement = Dia_placement.Placement
+
+let usage = "speedup [--seed-json PATH] [--min FACTOR] [--runs N]"
+let seed_json = ref "bench/BENCH.seed.json"
+let min_factor = ref 3.0
+let runs = ref 12
+
+let () =
+  Arg.parse
+    [
+      ("--seed-json", Arg.Set_string seed_json, "seed BENCH.json to compare against");
+      ("--min", Arg.Set_float min_factor, "minimum acceptable speedup factor");
+      ("--runs", Arg.Set_int runs, "timed repetitions (best-of)");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    usage
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let after ~key line =
+  let kl = String.length key and ll = String.length line in
+  let rec go i =
+    if i + kl > ll then None
+    else if String.sub line i kl = key then Some (i + kl)
+    else go (i + 1)
+  in
+  go 0
+
+(* Pull "ns_per_run" for a kernel out of the seed JSON by string scanning
+   — the file is machine-written with one kernel per line, and a JSON
+   dependency is not worth it for a smoke tool. *)
+let seed_ns name =
+  let needle = Printf.sprintf "\"name\": \"%s\"" name in
+  let ic = open_in !seed_json in
+  let found = ref None in
+  (try
+     while !found = None do
+       let line = input_line ic in
+       if contains ~needle line then
+         match after ~key:"\"ns_per_run\": " line with
+         | None -> ()
+         | Some start ->
+             let stop = ref start in
+             while
+               !stop < String.length line
+               && (match line.[!stop] with
+                  | '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true
+                  | _ -> false)
+             do
+               incr stop
+             done;
+             found := float_of_string_opt (String.sub line start (!stop - start))
+     done
+   with End_of_file -> ());
+  close_in ic;
+  match !found with
+  | Some ns -> ns
+  | None ->
+      Printf.eprintf "speedup: kernel %S not found in %s\n" name !seed_json;
+      exit 2
+
+let best_of_wall f =
+  for _ = 1 to 3 do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let best = ref infinity in
+  for _ = 1 to !runs do
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best *. 1e9
+
+let () =
+  (* The exact instance the bechamel kernels time. *)
+  let matrix = Dia_latency.Synthetic.internet_like ~seed:3 300 in
+  let servers = Placement.random ~seed:3 ~k:20 ~n:300 in
+  let p = Problem.all_nodes_clients matrix ~servers in
+  let kernels =
+    [
+      ("assign/greedy(n=300,k=20)", fun () -> ignore (Dia_core.Greedy.assign p));
+      ("lower-bound/pruned(n=300)", fun () -> ignore (Dia_core.Lower_bound.compute p));
+    ]
+  in
+  let ok = ref true in
+  List.iter
+    (fun (name, f) ->
+      let seed = seed_ns name in
+      let now = best_of_wall f in
+      let factor = seed /. now in
+      let verdict = if factor >= !min_factor then "OK" else "TOO SLOW" in
+      if factor < !min_factor then ok := false;
+      Printf.printf "%-32s seed %10.0f ns   now %10.0f ns   speedup %5.2fx   [%s]\n"
+        name seed now factor verdict)
+    kernels;
+  if not !ok then begin
+    Printf.eprintf
+      "speedup: a kernel fell below the %.1fx gate (refactor target: 5x)\n"
+      !min_factor;
+    exit 1
+  end

@@ -227,6 +227,17 @@ let assign_cmd =
          & info [ "explain" ]
              ~doc:"Also print the worst interaction paths and per-server contributions for each algorithm.")
   in
+  let index_arg =
+    Arg.(value & flag
+         & info [ "index" ]
+             ~doc:"Build a landmark index over the servers and answer \
+                   Nearest-Server queries through it. Prints whether the \
+                   index's triangle bounds verified against the matrix; on \
+                   non-metric data (all real latency sets) every query falls \
+                   back to the exhaustive scan. The assignment is \
+                   bit-identical either way — the flag only changes how many \
+                   candidates each query touches.")
+  in
   let coreset_eps_arg =
     Arg.(value & opt (some float) None
          & info [ "coreset-eps" ] ~docv:"E"
@@ -238,7 +249,7 @@ let assign_cmd =
                    |D_reduced - D_full| <= 2r. Requires an uncapacitated \
                    instance; $(docv)=0 dedups co-located clients exactly.")
   in
-  let run dataset profile matrix_file seed k placement algorithm capacity explain jobs fault coreset_eps =
+  let run dataset profile matrix_file seed k placement algorithm capacity explain jobs fault use_index coreset_eps =
     let matrix = load_matrix ~matrix_file ~dataset ~profile ~seed in
     let faulty = not (Dia_sim.Fault.equal fault Dia_sim.Fault.reliable) in
     if faulty && Dia_latency.Matrix.dim matrix > 600 then
@@ -255,6 +266,18 @@ let assign_cmd =
     Pool.with_pool ~jobs:(resolve_jobs jobs) @@ fun pool ->
     let servers = Placement.place placement ~seed ~pool matrix ~k in
     let p = Problem.all_nodes_clients ?capacity matrix ~servers in
+    let index =
+      if not use_index then None
+      else begin
+        let idx = Dia_latency.Landmark.build matrix ~candidates:servers in
+        Printf.printf "landmark index: %d landmarks, triangle bounds %s\n"
+          (Dia_latency.Landmark.num_landmarks idx)
+          (if Dia_latency.Landmark.metric_ok idx then
+             "verified — queries prune"
+           else "violated — exhaustive fallback");
+        Some idx
+      end
+    in
     let lb = Lower_bound.compute ~pool p in
     let algorithms =
       match algorithm with Some a -> [ a ] | None -> Algorithm.heuristics
@@ -305,7 +328,12 @@ let assign_cmd =
     let explanations = Buffer.create 256 in
     List.iter
       (fun algorithm ->
-        let a = Algorithm.run ~seed algorithm p in
+        let a =
+          match (algorithm, index) with
+          | Algorithm.Nearest_server, Some index ->
+              Dia_core.Nearest.assign ~index p
+          | _ -> Algorithm.run ~seed algorithm p
+        in
         let d = Objective.max_interaction_path p a in
         let loads = Assignment.loads p a in
         Dia_stats.Table.add_row table
@@ -355,7 +383,7 @@ let assign_cmd =
     (Cmd.info "assign" ~doc:"Assign clients to servers on a data set and report interactivity.")
     Term.(ret (const run $ dataset_arg $ profile_arg $ matrix_file_arg $ seed_arg
                $ servers_arg $ placement_arg $ algorithm_arg $ capacity_arg
-               $ explain_arg $ jobs_arg $ fault_arg $ coreset_eps_arg))
+               $ explain_arg $ jobs_arg $ fault_arg $ index_arg $ coreset_eps_arg))
 
 (* dia dataset *)
 

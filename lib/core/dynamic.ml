@@ -1,4 +1,5 @@
 module Matrix = Dia_latency.Matrix
+module Landmark = Dia_latency.Landmark
 
 type client_id = int
 
@@ -37,6 +38,10 @@ type t = {
   mutable lb_valid : bool;
   mutable lb_wa : int;  (** witness node pair realising [lb_cache]... *)
   mutable lb_wb : int;  (** ...(-1,-1) when empty *)
+  mutable landmark : Landmark.t option;
+      (** lazy pruning index over [matrix] with the servers as
+          candidates; dropped whenever the matrix changes (drift) *)
+  landmark_lb : float array;  (** per-server bound scratch for one query *)
   mutable next_id : int;
   mutable joins : int;
   mutable leaves : int;
@@ -74,6 +79,8 @@ let create ?capacity matrix ~servers =
     lb_valid = true;
     lb_wa = -1;
     lb_wb = -1;
+    landmark = None;
+    landmark_lb = Array.make k 0.;
     next_id = 0;
     joins = 0;
     leaves = 0;
@@ -343,6 +350,28 @@ let attach_cost t ecc node s =
   done;
   !worst
 
+(* Landmark pruning for the placement scans below (join, standby
+   re-arm, failover re-homing). Every cost those scans minimise is at
+   least [2 d(node, s)] — [attach_cost]'s round-trip floor survives the
+   [Float.max]es stacked on top — so a certified bound lb <= d(node, s)
+   retires server s whenever [2 lb] already fails to beat the best cost
+   in hand: the skipped cost is >= 2 d >= 2 lb >= best, and the scans
+   update on strict <. Doubling is exact in binary floating point, so
+   results are bit-identical with or without the index; on non-metric
+   matrices the bounds are all 0 and nothing is skipped. The index is
+   built lazily from the {e current} matrix and dropped on drift. *)
+let query_bounds t node =
+  let idx =
+    match t.landmark with
+    | Some idx -> idx
+    | None ->
+        let idx = Landmark.build t.matrix ~candidates:t.servers in
+        t.landmark <- Some idx;
+        idx
+  in
+  Landmark.lower_bounds idx ~query:node t.landmark_lb;
+  t.landmark_lb
+
 (* --- standby replicas ---------------------------------------------------
 
    Every member may carry a standby: the live server, other than its
@@ -366,12 +395,14 @@ let select_standby t member =
   let p = member.server in
   let trial = Array.copy t.ecc in
   trial.(p) <- neg_infinity;
+  let lb = query_bounds t member.node in
   let best = ref (-1) and best_c = ref infinity in
   for s = 0 to k t - 1 do
     if
       s <> p
       && (not t.failed.(s))
       && t.load.(s) + t.sb_load.(p).(s) < t.capacity
+      && 2. *. Array.unsafe_get lb s < !best_c
     then begin
       let c = attach_cost t trial member.node s in
       if c < !best_c then begin
@@ -389,9 +420,14 @@ let join t ~node =
   if node < 0 || node >= Matrix.dim t.matrix then
     invalid_arg (Printf.sprintf "Dynamic.join: node %d out of range" node);
   let current = objective t in
+  let lb = query_bounds t node in
   let best = ref (-1) and best_d = ref infinity in
   for s = 0 to k t - 1 do
-    if (not t.failed.(s)) && t.load.(s) < t.capacity then begin
+    if
+      (not t.failed.(s))
+      && t.load.(s) < t.capacity
+      && 2. *. Array.unsafe_get lb s < !best_d
+    then begin
       let resulting = Float.max current (attach_cost t t.ecc node s) in
       if resulting < !best_d then begin
         best_d := resulting;
@@ -629,6 +665,8 @@ let set_drift t ~server ~factor =
         Matrix.set t.matrix u sv
           (Matrix.get t.base u sv *. (factor *. t.node_drift.(u)))
     done;
+    (* The index read the pre-drift entries; next query rebuilds it. *)
+    t.landmark <- None;
     rebuild_ecc t
   end
 
@@ -767,10 +805,15 @@ let fail_server_partial t s =
   List.iter
     (fun (id, member, sb) ->
       let current = objective t in
+      let lb = query_bounds t member.node in
       let best = ref (-1) and best_d = ref infinity in
       for s' = 0 to k t - 1 do
         let spare = reserved.(s') - (if sb = s' then 1 else 0) in
-        if (not t.failed.(s')) && t.load.(s') + spare < t.capacity then begin
+        if
+          (not t.failed.(s'))
+          && t.load.(s') + spare < t.capacity
+          && 2. *. Array.unsafe_get lb s' < !best_d
+        then begin
           let resulting = Float.max current (attach_cost t t.ecc member.node s') in
           if resulting < !best_d then begin
             best_d := resulting;

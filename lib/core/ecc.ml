@@ -1,43 +1,82 @@
+module Matrix = Dia_latency.Matrix
+
+(* All four scans read the latency Bigarray directly ([Matrix.unsafe_get]
+   on node ids validated at [Problem.make]); array accesses that depend
+   on caller-supplied assignment entries stay checked. Values are the
+   exact doubles [Problem.d_cs]/[d_ss] return. *)
+
 let of_assignment p assignment =
+  let m = Problem.latency p in
+  let clients = Problem.clients p in
+  let servers = Problem.servers p in
   let ecc = Array.make (Problem.num_servers p) neg_infinity in
   Array.iteri
     (fun c s ->
-      let d = Problem.d_cs p c s in
+      let d = Matrix.unsafe_get m clients.(c) servers.(s) in
       if d > ecc.(s) then ecc.(s) <- d)
     assignment;
   ecc
 
 let objective p ecc =
+  let m = Problem.latency p in
+  let servers = Problem.servers p in
   let k = Problem.num_servers p in
-  let best = ref neg_infinity in
-  for s1 = 0 to k - 1 do
-    if ecc.(s1) > neg_infinity then
-      for s2 = s1 to k - 1 do
-        if ecc.(s2) > neg_infinity then begin
-          let len = ecc.(s1) +. Problem.d_ss p s1 s2 +. ecc.(s2) in
-          if len > !best then best := len
-        end
-      done
+  (* Gather the used servers once; the pair scan then touches only
+     used x used instead of testing every pair — the same pairs the
+     dense loop evaluated, in the same order. *)
+  let used = Array.make k 0 in
+  let u = ref 0 in
+  for s = 0 to k - 1 do
+    if ecc.(s) > neg_infinity then begin
+      Array.unsafe_set used !u s;
+      incr u
+    end
   done;
-  !best
+  if !u = 0 then 0.
+    (* No server is used: D over an empty configuration is an empty max.
+       Normalised to [0.] — the identity of the objective (mirroring
+       [Checker.analyze]'s [empty] flag) — rather than leaking
+       [neg_infinity] into downstream arithmetic. *)
+  else begin
+    let best = ref neg_infinity in
+    for i = 0 to !u - 1 do
+      let s1 = Array.unsafe_get used i in
+      let e1 = Array.unsafe_get ecc s1 in
+      let n1 = Array.unsafe_get servers s1 in
+      for j = i to !u - 1 do
+        let s2 = Array.unsafe_get used j in
+        let len = e1 +. Matrix.unsafe_get m n1 (Array.unsafe_get servers s2)
+                  +. Array.unsafe_get ecc s2 in
+        if len > !best then best := len
+      done
+    done;
+    !best
+  end
 
 let excluding p assignment ~server ~client =
+  let m = Problem.latency p in
+  let clients = Problem.clients p in
+  let snode = (Problem.servers p).(server) in
   let worst = ref neg_infinity in
   Array.iteri
     (fun c s ->
       if s = server && c <> client then begin
-        let d = Problem.d_cs p c s in
+        let d = Matrix.unsafe_get m clients.(c) snode in
         if d > !worst then worst := d
       end)
     assignment;
   !worst
 
 let attach p ecc ~client ~server =
-  let d = Problem.d_cs p client server in
+  let m = Problem.latency p in
+  let servers = Problem.servers p in
+  let snode = servers.(server) in
+  let d = Matrix.unsafe_get m (Problem.clients p).(client) snode in
   let worst = ref (2. *. d) in
   for s'' = 0 to Problem.num_servers p - 1 do
-    if ecc.(s'') > neg_infinity then begin
-      let len = d +. Problem.d_ss p server s'' +. ecc.(s'') in
+    let e = ecc.(s'') in
+    if e > neg_infinity then begin
+      let len = d +. Matrix.unsafe_get m snode (Array.unsafe_get servers s'') +. e in
       if len > !worst then worst := len
     end
   done;

@@ -15,7 +15,11 @@ val of_assignment : Problem.t -> int array -> float array
 val objective : Problem.t -> float array -> float
 (** [D] from an eccentricity array: the maximum over used server pairs
     (including a server with itself) of [l(s1) + d(s1, s2) + l(s2)].
-    [neg_infinity] when no server is used. O(|S|²). *)
+    [0.] when no server is used — the identity of the objective, so an
+    empty configuration composes with downstream arithmetic instead of
+    leaking [neg_infinity] (contrast {!Dynamic.objective}, whose
+    [neg_infinity]-on-empty is part of its protocol and pinned).
+    O(|used|²) after an O(|S|) gather. *)
 
 val excluding : Problem.t -> int array -> server:int -> client:int -> float
 (** Eccentricity of [server] if [client] were removed from it. O(|C|). *)

@@ -22,91 +22,124 @@ let assign p =
   let capacity = match Problem.capacity p with None -> max_int | Some c -> c in
   let result = Array.make n (-1) in
   if n > 0 then begin
-    (* Ls: for each server, clients sorted by distance ascending. *)
-    let sorted =
+    (* Flat server-major snapshot: dsc.(s * n + c) = d_cs p c s. Every
+       inner loop below runs over clients at a fixed server, so this
+       layout keeps the hot reads contiguous and unchecked; the values
+       are the exact doubles [Problem.d_cs] returns, so the assignment
+       is bit-identical to the boxed implementation. *)
+    let dsc = Problem.sc_table p in
+    let dss = Problem.ss_table p in
+    (* unass.(s): the unassigned clients in Ls order (distance to s
+       ascending, ties by client index), compacted after every commit.
+       The paper's index[s, c] — the Δn of candidate (s, c) — is then
+       just c's position + 1, and both the candidate scan and the batch
+       commit walk only live entries instead of rescanning all n. The
+       selection itself is unchanged: [better] is a strict total order
+       (ties fully broken by (s, c)), so the best candidate does not
+       depend on enumeration order and the result stays bit-identical to
+       the original full rescan. *)
+    let unass =
       Array.init k (fun s ->
           let order = Array.init n Fun.id in
-          Array.sort
-            (fun a b -> Float.compare (Problem.d_cs p a s) (Problem.d_cs p b s))
-            order;
+          Keysort.by_key ~base:(s * n) dsc order;
           order)
     in
-    (* index.(s).(c) = number of unassigned clients c' with position <=
-       position of c in Ls — the paper's index[s, c], i.e. Δn. *)
-    let index = Array.make_matrix k n 0 in
-    let rebuild_indexes () =
-      for s = 0 to k - 1 do
-        let row = index.(s) and ls = sorted.(s) in
-        let unassigned = ref 0 in
-        for i = 0 to n - 1 do
-          let c = ls.(i) in
-          if result.(c) < 0 then incr unassigned;
-          row.(c) <- !unassigned
-        done
-      done
-    in
-    rebuild_indexes ();
+    let ulen = Array.make k n in
     let ecc = Array.make k neg_infinity in
     let load = Array.make k 0 in
     let max_len = ref 0. in
     let remaining = ref n in
+    (* Best candidate so far, kept in scalars: the inner loop allocates
+       nothing. best_c < 0 means none yet. *)
+    let best_num = ref 0. and best_den = ref 0 and best_len = ref 0. in
+    let best_c = ref (-1) and best_s = ref (-1) in
     while !remaining > 0 do
-      let best = ref None in
+      best_c := -1;
       for s = 0 to k - 1 do
         if load.(s) < capacity then begin
           (* m = max over assigned clients b of d(s, sA(b)) + d(sA(b), b);
              neg_infinity while nothing is assigned, in which case only
              the 2 d(c, s) term matters. *)
           let m = ref neg_infinity in
+          let sbase = s * k in
           for s' = 0 to k - 1 do
             if ecc.(s') > neg_infinity then begin
-              let reach = Problem.d_ss p s s' +. ecc.(s') in
+              let reach = Array.unsafe_get dss (sbase + s') +. ecc.(s') in
               if reach > !m then m := reach
             end
           done;
+          let m = !m in
+          let cur_max = !max_len in
           let room = capacity - load.(s) in
-          for c = 0 to n - 1 do
-            if result.(c) < 0 && index.(s).(c) <= room then begin
-              let d = Problem.d_cs p c s in
-              let len = Float.max (2. *. d) (Float.max (d +. !m) !max_len) in
-              let cand =
-                { cost_num = len -. !max_len; cost_den = index.(s).(c); len; c; s }
+          let base = s * n in
+          let live = unass.(s) in
+          (* Δn = i + 1 grows along the walk, so the capacity filter
+             (Δn <= room) becomes a stopping bound. *)
+          let stop = if room < ulen.(s) then room else ulen.(s) in
+          for i = 0 to stop - 1 do
+            let c = Array.unsafe_get live i in
+            let d = Array.unsafe_get dsc (base + c) in
+            (* max (2d) (d + m) (cur_max): d is finite non-negative and
+               m is finite or neg_infinity, so plain comparisons agree
+               with Float.max — no NaN, no signed-zero split. *)
+            let a = 2. *. d and b = d +. m in
+            let hi = if a >= b then a else b in
+            let len = if hi >= cur_max then hi else cur_max in
+            let num = len -. cur_max in
+            let den = i + 1 in
+            let take =
+              !best_c < 0
+              ||
+              let cross =
+                Float.compare
+                  (num *. float_of_int !best_den)
+                  (!best_num *. float_of_int den)
               in
-              match !best with
-              | Some b when not (better cand b) -> ()
-              | _ -> best := Some cand
+              if cross <> 0 then cross < 0
+              else if den <> !best_den then den > !best_den
+              else s < !best_s || (s = !best_s && c < !best_c)
+            in
+            if take then begin
+              best_num := num;
+              best_den := den;
+              best_len := len;
+              best_c := c;
+              best_s := s
             end
           done
         end
       done;
-      let chosen =
-        match !best with
-        | Some cand -> cand
-        | None ->
-            (* Unreachable: an unsaturated server always admits its nearest
-               unassigned client (Δn = 1) and total capacity covers |C|. *)
-            assert false
-      in
-      (* Commit exactly Δn clients: the unassigned ones closest to s*, the
-         last of which is c* (or ties with it). Walking Ls rather than
-         filtering on distance keeps capacitated batches exact even when
-         several clients are equidistant. *)
-      let ls = sorted.(chosen.s) in
-      let taken = ref 0 and i = ref 0 in
-      while !taken < chosen.cost_den do
-        let c = ls.(!i) in
-        if result.(c) < 0 then begin
-          result.(c) <- chosen.s;
-          load.(chosen.s) <- load.(chosen.s) + 1;
-          decr remaining;
-          incr taken;
-          let d = Problem.d_cs p c chosen.s in
-          if d > ecc.(chosen.s) then ecc.(chosen.s) <- d
-        end;
-        incr i
+      (* Unreachable: an unsaturated server always admits its nearest
+         unassigned client (Δn = 1) and total capacity covers |C|. *)
+      assert (!best_c >= 0);
+      (* Commit exactly Δn clients: the first Δn entries of the winning
+         server's live list — the unassigned clients closest to s*, the
+         last of which is c* (or ties with it). *)
+      let s_star = !best_s in
+      let live = unass.(s_star) in
+      let sbase = s_star * n in
+      for i = 0 to !best_den - 1 do
+        let c = Array.unsafe_get live i in
+        result.(c) <- s_star;
+        let d = Array.unsafe_get dsc (sbase + c) in
+        if d > ecc.(s_star) then ecc.(s_star) <- d
       done;
-      max_len := chosen.len;
-      rebuild_indexes ()
+      load.(s_star) <- load.(s_star) + !best_den;
+      remaining := !remaining - !best_den;
+      max_len := !best_len;
+      (* Compact every live list past the commit. *)
+      for s = 0 to k - 1 do
+        let live = unass.(s) in
+        let w = ref 0 in
+        for i = 0 to ulen.(s) - 1 do
+          let c = Array.unsafe_get live i in
+          if Array.unsafe_get result c < 0 then begin
+            Array.unsafe_set live !w c;
+            incr w
+          end
+        done;
+        ulen.(s) <- !w
+      done
     done
   end;
   Assignment.unsafe_of_array result

@@ -1,0 +1,94 @@
+(* Sort int ids by (float key, id) — a total order, so the output is
+   the unique sorted permutation regardless of algorithm.
+
+   Comparison sorts pay an unpredictable branch per comparison (a ~50%
+   mispredict in merge/heap loops), which dominates their cost on this
+   workload. Instead: a stable counting pass over value buckets (the
+   bucket map x -> (x - min) * scale is monotone, so the scattered array
+   is sorted by bucket with equal-bucket ids kept in ascending order),
+   then one insertion-sort pass with the exact (key, id) comparator.
+   The insertion pass makes the result exact unconditionally — the
+   bucketing is purely an accelerator that leaves it nearly sorted, so
+   its branches almost never fire. Uniform-ish keys give O(n) total;
+   adversarially clustered keys degrade to insertion sort's O(n^2)
+   but never to a wrong order.
+
+   Float comparisons are direct [<]/[=], not [Float.compare]: keys are
+   latencies, validated finite at [Matrix.set], so there is no NaN to
+   order, and -0. = 0. falls through to the id tie-break. *)
+
+let by_key ?(base = 0) (keys : float array) (a : int array) =
+  let n = Array.length a in
+  if n > 1 then begin
+    let kmin = ref (Array.unsafe_get keys (base + Array.unsafe_get a 0)) in
+    let kmax = ref !kmin in
+    for i = 1 to n - 1 do
+      let kv = Array.unsafe_get keys (base + Array.unsafe_get a i) in
+      if kv < !kmin then kmin := kv;
+      if kv > !kmax then kmax := kv
+    done;
+    if !kmax > !kmin then begin
+      let kmin = !kmin in
+      (* Strictly less than n so the top key lands in bucket n - 1
+         without clamping; truncation keeps the map monotone. *)
+      let scale = (float_of_int n -. 0.5) /. (!kmax -. kmin) in
+      let bucket = Array.make n 0 in
+      let count = Array.make (n + 1) 0 in
+      for i = 0 to n - 1 do
+        let kv = Array.unsafe_get keys (base + Array.unsafe_get a i) in
+        let b = int_of_float ((kv -. kmin) *. scale) in
+        (* Rounding at the extremes cannot escape [0, n): kv = kmin maps
+           to 0 and kv = kmax to at most n - 1 by construction; clamp
+           anyway so a surprise stays a misplaced element for the
+           insertion pass rather than an out-of-bounds write. *)
+        let b = if b < 0 then 0 else if b >= n then n - 1 else b in
+        Array.unsafe_set bucket i b;
+        Array.unsafe_set count (b + 1) (Array.unsafe_get count (b + 1) + 1)
+      done;
+      for b = 1 to n do
+        Array.unsafe_set count b (Array.unsafe_get count b + Array.unsafe_get count (b - 1))
+      done;
+      let buf = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let b = Array.unsafe_get bucket i in
+        let pos = Array.unsafe_get count b in
+        Array.unsafe_set buf pos (Array.unsafe_get a i);
+        Array.unsafe_set count b (pos + 1)
+      done;
+      Array.blit buf 0 a 0 n;
+      (* Exact fix-up: the array is sorted by bucket, so inversions only
+         exist between near-equal keys inside a bucket and the scan is
+         effectively linear. *)
+      for i = 1 to n - 1 do
+        let x = Array.unsafe_get a i in
+        let kx = Array.unsafe_get keys (base + x) in
+        let j = ref (i - 1) in
+        let continue = ref true in
+        while !continue && !j >= 0 do
+          let y = Array.unsafe_get a !j in
+          let ky = Array.unsafe_get keys (base + y) in
+          if ky > kx || (ky = kx && y > x) then begin
+            Array.unsafe_set a (!j + 1) y;
+            decr j
+          end
+          else continue := false
+        done;
+        Array.unsafe_set a (!j + 1) x
+      done
+    end
+    (* else: all keys equal; ids are untouched, and any existing order
+       by id is already the sorted order when the input is ascending.
+       Callers passing arbitrary id order still need the exact order,
+       so fall through to a plain insertion sort on ids. *)
+    else begin
+      for i = 1 to n - 1 do
+        let x = Array.unsafe_get a i in
+        let j = ref (i - 1) in
+        while !j >= 0 && Array.unsafe_get a !j > x do
+          Array.unsafe_set a (!j + 1) (Array.unsafe_get a !j);
+          decr j
+        done;
+        Array.unsafe_set a (!j + 1) x
+      done
+    end
+  end

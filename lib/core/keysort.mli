@@ -1,0 +1,12 @@
+(** Monomorphic key-table sort for hot paths.
+
+    [by_key ~base keys ids] sorts [ids] in place by
+    [(keys.(base + id), id)] ascending — i.e. by key (numeric [<], so
+    [-0.] and [0.] tie), equal keys by id. The order is total, so the
+    result is the unique sorted permutation independent of the sorting
+    algorithm. Keys must be NaN-free (latencies are validated finite at
+    [Matrix.set]); entries of [ids] must index [keys] within bounds
+    after adding [base] — reads are unchecked. Several times faster
+    than [Array.sort] with an equivalent closure. *)
+
+val by_key : ?base:int -> float array -> int array -> unit

@@ -1,6 +1,33 @@
-let assign_uncapacitated p =
-  Assignment.unsafe_of_array
-    (Array.init (Problem.num_clients p) (fun c -> Problem.nearest_server p c))
+module Landmark = Dia_latency.Landmark
+
+(* An index is only usable when it answers exactly the queries the
+   exhaustive scan would: same matrix (physically — a drifted copy has
+   different entries) and the same candidate nodes in server order, so
+   index i in an answer IS server i. *)
+let check_index p index =
+  if Landmark.matrix index != Problem.latency p then
+    invalid_arg "Nearest.assign: index built over a different matrix";
+  let cands = Landmark.candidates index in
+  let servers = Problem.servers p in
+  if
+    Array.length cands <> Array.length servers
+    || not (Array.for_all2 ( = ) cands servers)
+  then invalid_arg "Nearest.assign: index candidates do not match the servers"
+
+let assign_uncapacitated ?index p =
+  match index with
+  | None ->
+      Assignment.unsafe_of_array
+        (Array.init (Problem.num_clients p) (fun c -> Problem.nearest_server p c))
+  | Some index ->
+      check_index p index;
+      let clients = Problem.clients p in
+      (* Landmark.nearest runs the same strict-< ascending scan as
+         [Problem.nearest_server] (pruned candidates provably cannot
+         win), so the assignment is identical — index or not. *)
+      Assignment.unsafe_of_array
+        (Array.init (Problem.num_clients p) (fun c ->
+             fst (Landmark.nearest index ~query:clients.(c))))
 
 let assign_capacitated p cap =
   let load = Array.make (Problem.num_servers p) 0 in
@@ -24,7 +51,7 @@ let assign_capacitated p cap =
   in
   Assignment.unsafe_of_array (Array.init (Problem.num_clients p) pick)
 
-let assign p =
+let assign ?index p =
   match Problem.capacity p with
-  | None -> assign_uncapacitated p
+  | None -> assign_uncapacitated ?index p
   | Some cap -> assign_capacitated p cap

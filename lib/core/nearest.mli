@@ -10,6 +10,14 @@
     distance order until it finds one with room (Section IV-E); clients
     are processed in index order, which models their arrival order. *)
 
-val assign : Problem.t -> Assignment.t
+val assign : ?index:Dia_latency.Landmark.t -> Problem.t -> Assignment.t
 (** Runs the capacitated variant automatically when the instance has a
-    capacity. O(|C| |S|) uncapacitated, O(|C| |S| log |S|) capacitated. *)
+    capacity. O(|C| |S|) uncapacitated, O(|C| |S| log |S|) capacitated.
+
+    [index] — a {!Dia_latency.Landmark} index built over this problem's
+    matrix with the server nodes as candidates — prunes the per-client
+    scan on the uncapacitated path. The assignment is bit-identical with
+    or without it (the index skips only provably losing candidates, and
+    falls back to the exhaustive scan on non-metric instances); the
+    capacitated path needs full distance orders and ignores it. Raises
+    [Invalid_argument] if the index does not match the instance. *)

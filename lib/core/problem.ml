@@ -56,6 +56,54 @@ let d_cs p c s = Matrix.get p.latency p.clients.(c) p.servers.(s)
 let d_ss p s1 s2 = Matrix.get p.latency p.servers.(s1) p.servers.(s2)
 let d_cc p c1 c2 = Matrix.get p.latency p.clients.(c1) p.clients.(c2)
 
+(* Flat snapshots of the client-server / server-server distance blocks.
+   Hot algorithms build one up front (O(nk) with a single bounds check
+   per row) and then index it unchecked; a snapshot owned by the caller
+   is also immune to in-place matrix drift and safe to share read-only
+   across domains. Entries are the same doubles [d_cs]/[d_ss] return, so
+   swapping an algorithm onto a table is bit-preserving. *)
+let cs_table p =
+  let n = Array.length p.clients and k = Array.length p.servers in
+  let m = p.latency in
+  let t = Array.make (max 1 (n * k)) 0. in
+  for c = 0 to n - 1 do
+    let node = Array.unsafe_get p.clients c in
+    let base = c * k in
+    for s = 0 to k - 1 do
+      Array.unsafe_set t (base + s)
+        (Matrix.unsafe_get m node (Array.unsafe_get p.servers s))
+    done
+  done;
+  t
+
+let sc_table p =
+  let n = Array.length p.clients and k = Array.length p.servers in
+  let m = p.latency in
+  let t = Array.make (max 1 (n * k)) 0. in
+  for s = 0 to k - 1 do
+    let node = Array.unsafe_get p.servers s in
+    let base = s * n in
+    for c = 0 to n - 1 do
+      Array.unsafe_set t (base + c)
+        (Matrix.unsafe_get m node (Array.unsafe_get p.clients c))
+    done
+  done;
+  t
+
+let ss_table p =
+  let k = Array.length p.servers in
+  let m = p.latency in
+  let t = Array.make (max 1 (k * k)) 0. in
+  for s = 0 to k - 1 do
+    let node = Array.unsafe_get p.servers s in
+    let base = s * k in
+    for s' = 0 to k - 1 do
+      Array.unsafe_set t (base + s')
+        (Matrix.unsafe_get m node (Array.unsafe_get p.servers s'))
+    done
+  done;
+  t
+
 let nearest_server p c =
   let best = ref 0 in
   for s = 1 to num_servers p - 1 do

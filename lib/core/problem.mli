@@ -59,6 +59,22 @@ val d_cc : t -> int -> int -> float
     used by the objective, which always routes through servers, but useful
     for diagnostics). *)
 
+val cs_table : t -> float array
+(** [cs_table p] is a fresh flat client-major snapshot of the
+    client-server distance block: entry [c * |S| + s] is [d_cs p c s],
+    bit-identical. O(|C||S|) to build with one bounds check per client
+    row; callers index it unchecked. Being a snapshot, it does not track
+    later in-place mutation of the latency matrix. *)
+
+val sc_table : t -> float array
+(** [sc_table p] is the server-major transpose of {!cs_table}: entry
+    [s * |C| + c] is [d_cs p c s]. Preferred when inner loops run over
+    clients at a fixed server. *)
+
+val ss_table : t -> float array
+(** [ss_table p] is a fresh flat snapshot of the server-server block:
+    entry [s * |S| + s'] is [d_ss p s s']. *)
+
 val nearest_server : t -> int -> int
 (** [nearest_server p c] is the server index minimising [d_cs p c], ties
     broken by lowest index. O(|S|). *)

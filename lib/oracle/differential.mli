@@ -60,6 +60,11 @@ type outcome = {
   transport_checked : bool;
   greedy_monotonic : bool option;
       (** diagnostic only: did adding a server not worsen Greedy here? *)
+  index_metric : bool;
+      (** did the landmark index's triangle bounds verify on this
+          instance's matrix? (Its nearest-server answers are checked
+          against the exhaustive scan either way — [false] means the
+          exhaustive fallback was the path exercised.) *)
 }
 
 val run_algo : seed:int -> string -> Dia_core.Problem.t -> Dia_core.Assignment.t

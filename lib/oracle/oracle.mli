@@ -41,6 +41,9 @@ type report = {
   greedy_monotonic_violations : int;
       (** diagnostic: instances where one more server worsened Greedy *)
   greedy_monotonic_total : int;
+  index_metric : int;
+      (** instances whose landmark index verified its triangle bounds
+          (the rest exercised the exhaustive fallback) *)
 }
 
 val run : ?jobs:int -> ?count:int -> seed:int -> unit -> report

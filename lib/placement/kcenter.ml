@@ -1,4 +1,5 @@
 module Matrix = Dia_latency.Matrix
+module Landmark = Dia_latency.Landmark
 module Pool = Dia_parallel.Pool
 
 let check_k m k =
@@ -20,19 +21,24 @@ let argmax_dist ?pool dist n =
   match pool with
   | None -> scan ~lo:0 ~hi:n
   | Some pool ->
-      let candidates = Pool.chunk_map pool ~n scan in
+      (* One compare per item over a flat array: only worth splitting
+         finer than one chunk per worker on very large n. *)
+      let candidates = Pool.chunk_map ~grain:256 pool ~n scan in
       Array.fold_left
         (fun best v -> if dist.(v) > dist.(best) then v else best)
         candidates.(0) candidates
 
+(* [v] ranges over [0, n) and [center] is an in-range node, so the reads
+   are unchecked; [d(center, v)] is read from [center]'s row — the same
+   double as [d(v, center)] because [Matrix.set] mirrors both triangles. *)
 let relax ?pool dist m center n =
-  let body v = dist.(v) <- Float.min dist.(v) (Matrix.get m v center) in
+  let body v = dist.(v) <- Float.min dist.(v) (Matrix.unsafe_get m center v) in
   match pool with
   | None ->
       for v = 0 to n - 1 do
         body v
       done
-  | Some pool -> Pool.parallel_for pool ~n body
+  | Some pool -> Pool.parallel_for ~grain:256 pool ~n body
 
 let two_approx ?(seed = 0) ?pool m ~k =
   check_k m k;
@@ -68,8 +74,12 @@ let greedy ?pool m ~k =
     for cand = lo to hi - 1 do
       if not chosen.(cand) then begin
         let radius = ref 0. in
+        (* Walk cand's row (= column, the matrix is symmetric) with
+           unchecked contiguous reads; same doubles as [Matrix.get]. *)
         for v = 0 to n - 1 do
-          let d = Float.min dist.(v) (Matrix.get m v cand) in
+          let dv = Array.unsafe_get dist v in
+          let dc = Matrix.unsafe_get m cand v in
+          let d = if dv <= dc then dv else dc in
           if d > !radius then radius := d
         done;
         if !radius < !best_radius then begin
@@ -90,7 +100,9 @@ let greedy ?pool m ~k =
               if cand >= 0 && radius < best_radius then (cand, radius)
               else (best, best_radius))
             (-1, infinity)
-            (Pool.chunk_map pool ~n scan_candidates)
+            (* O(n) contiguous flops per candidate since the flat
+               conversion — raise the oversplit floor to match. *)
+            (Pool.chunk_map ~grain:32 pool ~n scan_candidates)
     in
     chosen.(best) <- true;
     centers := best :: !centers;
@@ -100,18 +112,39 @@ let greedy ?pool m ~k =
   Array.sort compare centers;
   centers
 
-let radius m centers =
+let radius ?index m centers =
   let n = Matrix.dim m in
   if n = 0 then 0.
   else if Array.length centers = 0 then infinity
   else begin
+    (match index with
+    | None -> ()
+    | Some idx ->
+        if Landmark.matrix idx != m then
+          invalid_arg "Kcenter.radius: index built over a different matrix";
+        let cands = Landmark.candidates idx in
+        if
+          Array.length cands <> Array.length centers
+          || not (Array.for_all2 ( = ) cands centers)
+        then invalid_arg "Kcenter.radius: index candidates do not match the centers");
     let worst = ref 0. in
-    for v = 0 to n - 1 do
-      let nearest =
-        Array.fold_left (fun acc c -> Float.min acc (Matrix.get m v c)) infinity centers
-      in
-      if nearest > !worst then worst := nearest
-    done;
+    (match index with
+    | Some idx ->
+        (* The pruned scan returns the same nearest-center distance as
+           the fold (min over identical doubles; the zero-sign edge a
+           [Float.min] fold can produce never survives the strict [>]
+           against the non-negative running max). *)
+        for v = 0 to n - 1 do
+          let _, nearest = Landmark.nearest idx ~query:v in
+          if nearest > !worst then worst := nearest
+        done
+    | None ->
+        for v = 0 to n - 1 do
+          let nearest =
+            Array.fold_left (fun acc c -> Float.min acc (Matrix.get m v c)) infinity centers
+          in
+          if nearest > !worst then worst := nearest
+        done);
     !worst
   end
 

@@ -61,6 +61,7 @@ let () =
       ("runtime", Test_runtime.suite);
       ("standby", Test_standby.suite);
       ("coreset", Test_coreset.suite);
+      ("substrate", Test_substrate.suite);
       ("golden", Test_golden.suite);
     ]
   in

@@ -92,6 +92,30 @@ let test_iter_pairs_count () =
       incr count);
   Alcotest.(check int) "pair count" 15 !count
 
+(* Pins the printer contract: degenerate dimensions get a plain tag
+   (never [mean=nan]), small matrices print in full, large ones print
+   the one-pass min/mean/max summary. [mean_entry]'s own nan-for-dim<=1
+   behaviour is API and unchanged. *)
+let test_pp_shapes () =
+  let render m = Format.asprintf "%a" Matrix.pp m in
+  Alcotest.(check string) "0x0" "<matrix 0x0>" (render (Matrix.create 0));
+  Alcotest.(check string) "1x1" "<matrix 1x1>" (render (Matrix.create 1));
+  let small = render (Matrix.init 3 (fun i j -> float_of_int (i + j))) in
+  Alcotest.(check bool) "small prints entries" true
+    (String.length small > 0 && not (String.contains small '<'));
+  let big = render (Matrix.init 13 (fun i j -> float_of_int ((i * 13) + j))) in
+  Alcotest.(check bool) "large prints summary" true
+    (String.length big >= 13
+    && String.sub big 0 13 = "<matrix 13x13"
+    && not
+         (let rec has_nan i =
+            i + 3 <= String.length big
+            && (String.sub big i 3 = "nan" || has_nan (i + 1))
+          in
+          has_nan 0));
+  Alcotest.(check bool) "degenerate mean_entry still nan" true
+    (Float.is_nan (Matrix.mean_entry (Matrix.create 1)))
+
 let test_equal_eps () =
   let a = Matrix.init 3 (fun _ _ -> 1. ) in
   let b = Matrix.init 3 (fun _ _ -> 1.0000001) in
@@ -114,4 +138,5 @@ let suite =
     Alcotest.test_case "to_rows/of_rows roundtrip" `Quick test_roundtrip_rows;
     Alcotest.test_case "iter_pairs visits each unordered pair once" `Quick test_iter_pairs_count;
     Alcotest.test_case "equal honours epsilon" `Quick test_equal_eps;
+    Alcotest.test_case "pp: tag, grid and nan-free summary" `Quick test_pp_shapes;
   ]

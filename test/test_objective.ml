@@ -5,6 +5,7 @@ module Synthetic = Dia_latency.Synthetic
 module Problem = Dia_core.Problem
 module Assignment = Dia_core.Assignment
 module Objective = Dia_core.Objective
+module Ecc = Dia_core.Ecc
 
 (* Fig. 2-style hand instance: 2 servers, 3 clients, known distances.
    Node layout: s1=0, s2=1, c1=2, c2=3, c3=4. *)
@@ -59,6 +60,19 @@ let test_unused_server_ignored () =
   let a = Assignment.of_array p [| 0; 0; 0 |] in
   let ecc = Objective.eccentricities p a in
   Alcotest.(check bool) "unused server has -inf ecc" true (ecc.(1) = neg_infinity)
+
+(* Pins the empty-configuration normalisation: [Ecc.objective] over an
+   all-unused eccentricity array is [0.] (the identity of the max-plus
+   objective), NOT [neg_infinity] — while [Dynamic.objective] keeps its
+   pinned [neg_infinity]-on-empty protocol (see test_dynamic). *)
+let test_ecc_objective_empty_is_zero () =
+  let p = hand_instance () in
+  let empty = Array.make (Problem.num_servers p) neg_infinity in
+  Alcotest.(check (float 0.)) "empty D = 0" 0. (Ecc.objective p empty);
+  (* One used server: back to the round-trip term immediately. *)
+  let one = Array.copy empty in
+  one.(0) <- 4.;
+  Alcotest.(check (float 1e-9)) "one server" 8. (Ecc.objective p one)
 
 let test_longest_pair_witness () =
   let p = hand_instance () in
@@ -116,6 +130,8 @@ let suite =
     Alcotest.test_case "path lengths including self" `Quick test_path_length_and_self_path;
     Alcotest.test_case "eccentricities" `Quick test_eccentricities;
     Alcotest.test_case "unused servers ignored" `Quick test_unused_server_ignored;
+    Alcotest.test_case "empty configuration normalises to 0" `Quick
+      test_ecc_objective_empty_is_zero;
     Alcotest.test_case "longest pair witness" `Quick test_longest_pair_witness;
     Alcotest.test_case "average interaction path" `Quick test_average_interaction_path;
     QCheck_alcotest.to_alcotest prop_fast_equals_naive;
