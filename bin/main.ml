@@ -90,6 +90,14 @@ let fault_arg =
                  $(b,loss:0.15+crash:3@2.0~5.0) (see the fault mini-DSL; \
                  $(b,reliable) disables).")
 
+let delay_conv =
+  let parse s =
+    match Dia_core.Delay.of_string s with
+    | Ok d -> Ok d
+    | Error m -> Error (`Msg m)
+  in
+  Arg.conv (parse, Dia_core.Delay.pp)
+
 (* A protocol-level Distributed-Greedy run under a fault plan, reported
    against the instance's lower bound. *)
 let protocol_under_faults ~seed ~lb fault p =
@@ -133,7 +141,9 @@ let load_matrix ~matrix_file ~dataset ~profile ~seed =
 let experiment_cmd =
   let figure_arg =
     Arg.(required & pos 0 (some string) None
-         & info [] ~docv:"FIGURE" ~doc:"One of fig7, fig8, fig9, fig10, all.")
+         & info [] ~docv:"FIGURE"
+             ~doc:"One of fig7, fig8, fig9, fig10, all, or load-sweep (D vs \
+                   D_load as utilization ramps; not a paper figure).")
   in
   let csv_arg =
     Arg.(value & opt (some string) None
@@ -167,6 +177,9 @@ let experiment_cmd =
       | "fig10" ->
           let r = Dia_experiments.Fig10.run ~dataset ~profile () in
           Ok (Dia_experiments.Fig10.render r, Dia_experiments.Fig10.csv r)
+      | "load-sweep" ->
+          let r = Dia_experiments.Load_sweep.run ~dataset ~profile () in
+          Ok (Dia_experiments.Load_sweep.render r, Dia_experiments.Load_sweep.csv r)
       | other -> Error (Printf.sprintf "unknown figure %S" other)
     in
     let figures =
@@ -249,7 +262,17 @@ let assign_cmd =
                    |D_reduced - D_full| <= 2r. Requires an uncapacitated \
                    instance; $(docv)=0 dedups co-located clients exactly.")
   in
-  let run dataset profile matrix_file seed k placement algorithm capacity explain jobs fault use_index coreset_eps =
+  let delay_arg =
+    Arg.(value & opt (some delay_conv) None
+         & info [ "delay" ] ~docv:"SPEC"
+             ~doc:"Load-latency model: $(b,constant:C), $(b,linear:BASE,COEFF) \
+                   or $(b,mm1:MU) (M/M/1-style 1/(mu - load), saturating \
+                   smoothly past mu). Runs the load-aware variants of \
+                   Nearest, Greedy and Distributed-Greedy and adds \
+                   $(b,D_load) columns: each hop pays its server's \
+                   load-dependent delay on top of the network path.")
+  in
+  let run dataset profile matrix_file seed k placement algorithm capacity explain jobs fault use_index coreset_eps delay =
     let matrix = load_matrix ~matrix_file ~dataset ~profile ~seed in
     let faulty = not (Dia_sim.Fault.equal fault Dia_sim.Fault.reliable) in
     if faulty && Dia_latency.Matrix.dim matrix > 600 then
@@ -262,6 +285,11 @@ let assign_cmd =
         ( false,
           "--coreset-eps requires an uncapacitated instance (a coreset point \
            stands for a whole client population)" )
+    else if delay <> None && coreset_eps <> None then
+      `Error
+        ( false,
+          "--delay cannot be combined with --coreset-eps (a coreset point \
+           hides the true per-server load from the delay model)" )
     else
     Pool.with_pool ~jobs:(resolve_jobs jobs) @@ fun pool ->
     let servers = Placement.place placement ~seed ~pool matrix ~k in
@@ -323,27 +351,50 @@ let assign_cmd =
     | None ->
     let table =
       Dia_stats.Table.make
-        ~columns:[ "algorithm"; "D (ms)"; "normalized"; "max load"; "used servers" ]
+        ~columns:
+          (match delay with
+          | None ->
+              [ "algorithm"; "D (ms)"; "normalized"; "max load"; "used servers" ]
+          | Some _ ->
+              [
+                "algorithm"; "D (ms)"; "normalized"; "D_load (ms)";
+                "D_load/LB_load"; "max load"; "used servers";
+              ])
     in
     let explanations = Buffer.create 256 in
     List.iter
       (fun algorithm ->
         let a =
-          match (algorithm, index) with
-          | Algorithm.Nearest_server, Some index ->
+          match (algorithm, index, delay) with
+          | _, _, Some dl -> Algorithm.run_load ~seed ~delay:dl algorithm p
+          | Algorithm.Nearest_server, Some index, None ->
               Dia_core.Nearest.assign ~index p
-          | _ -> Algorithm.run ~seed algorithm p
+          | _, _, None -> Algorithm.run ~seed algorithm p
         in
         let d = Objective.max_interaction_path p a in
         let loads = Assignment.loads p a in
+        let load_columns =
+          match delay with
+          | None -> []
+          | Some dl ->
+              let d_load = Objective.max_interaction_path_load p ~delay:dl a in
+              let lb_load = lb +. (2. *. Dia_core.Delay.eval dl 1) in
+              [
+                Printf.sprintf "%.2f" d_load;
+                Printf.sprintf "%.3f" (d_load /. lb_load);
+              ]
+        in
         Dia_stats.Table.add_row table
-          [
-            Algorithm.name algorithm;
-            Printf.sprintf "%.2f" d;
-            Printf.sprintf "%.3f" (d /. lb);
-            string_of_int (Array.fold_left max 0 loads);
-            string_of_int (Array.length (Assignment.used_servers p a));
-          ];
+          ([
+             Algorithm.name algorithm;
+             Printf.sprintf "%.2f" d;
+             Printf.sprintf "%.3f" (d /. lb);
+           ]
+          @ load_columns
+          @ [
+              string_of_int (Array.fold_left max 0 loads);
+              string_of_int (Array.length (Assignment.used_servers p a));
+            ]);
         if explain then begin
           Buffer.add_string explanations
             (Printf.sprintf "\n%s — worst interaction paths:\n" (Algorithm.name algorithm));
@@ -374,6 +425,12 @@ let assign_cmd =
       (Placement.strategy_name placement)
       (match capacity with None -> "unlimited" | Some c -> string_of_int c)
       lb;
+    (match delay with
+    | None -> ()
+    | Some dl ->
+        Printf.printf "delay model: %s (LB_load = %.2f ms)\n"
+          (Dia_core.Delay.to_string dl)
+          (lb +. (2. *. Dia_core.Delay.eval dl 1)));
     Dia_stats.Table.print table;
     print_string (Buffer.contents explanations);
     if faulty then protocol_under_faults ~seed ~lb fault p;
@@ -383,7 +440,8 @@ let assign_cmd =
     (Cmd.info "assign" ~doc:"Assign clients to servers on a data set and report interactivity.")
     Term.(ret (const run $ dataset_arg $ profile_arg $ matrix_file_arg $ seed_arg
                $ servers_arg $ placement_arg $ algorithm_arg $ capacity_arg
-               $ explain_arg $ jobs_arg $ fault_arg $ index_arg $ coreset_eps_arg))
+               $ explain_arg $ jobs_arg $ fault_arg $ index_arg $ coreset_eps_arg
+               $ delay_arg))
 
 (* dia dataset *)
 
@@ -604,10 +662,19 @@ let soak_cmd =
              ~doc:"Write the objective trace (t,objective,ratio per \
                    lower-bound refresh) to $(docv) as CSV.")
   in
+  let soak_delay_arg =
+    Arg.(value & opt (some delay_conv) d.Soak.delay
+         & info [ "delay" ] ~docv:"SPEC"
+             ~doc:"Load-latency model ($(b,constant:C), \
+                   $(b,linear:BASE,COEFF) or $(b,mm1:MU)): the session \
+                   places and repairs against the load-aware $(b,D_load) \
+                   objective and the SLO watches $(b,D_load/LB_load). \
+                   Incompatible with $(b,--coreset-eps).")
+  in
   let run seed nodes servers capacity horizon rate lifetime drift_period
       drift_amplitude fault budget max_queue lb_every checkpoint
       checkpoint_every resume kill_after log_path no_standby standby_bound
-      baseline clients coreset_eps csv_path =
+      baseline clients coreset_eps delay csv_path =
     let scenario =
       {
         Soak.seed;
@@ -622,6 +689,7 @@ let soak_cmd =
         fault;
         clients;
         coreset_eps;
+        delay;
       }
     in
     let config =
@@ -698,7 +766,7 @@ let soak_cmd =
                $ max_queue_arg $ lb_every_arg $ checkpoint_arg
                $ checkpoint_every_arg $ resume_arg $ kill_after_arg $ log_arg
                $ no_standby_arg $ standby_bound_arg $ baseline_arg
-               $ clients_arg $ coreset_eps_arg $ soak_csv_arg))
+               $ clients_arg $ coreset_eps_arg $ soak_delay_arg $ soak_csv_arg))
 
 (* dia competitive *)
 

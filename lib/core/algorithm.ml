@@ -43,3 +43,14 @@ let run ?(seed = 0) algorithm p =
   | Distributed_greedy -> Distributed_greedy.assign p
   | Single_server -> Baselines.best_single_server p
   | Random_assignment -> Baselines.random ~seed p
+
+let run_load ?(seed = 0) ~delay algorithm p =
+  match algorithm with
+  | Nearest_server -> Nearest.assign_load ~delay p
+  | Greedy -> Greedy.assign_load ~delay p
+  | Distributed_greedy -> Distributed_greedy.assign_load ~delay p
+  (* No load-aware variant: the load-blind assignment, which callers
+     still score under D_load. *)
+  | Longest_first_batch -> Longest_first_batch.assign p
+  | Single_server -> Baselines.best_single_server p
+  | Random_assignment -> Baselines.random ~seed p

@@ -31,3 +31,10 @@ val run : ?seed:int -> t -> Problem.t -> Assignment.t
 (** Execute the algorithm. [seed] (default [0]) only affects
     [Random_assignment]. Capacitated variants are selected automatically
     by the instance's capacity. *)
+
+val run_load : ?seed:int -> delay:Delay.t -> t -> Problem.t -> Assignment.t
+(** Execute the algorithm's load-aware variant under the given delay
+    model: {!Nearest.assign_load}, {!Greedy.assign_load} and
+    {!Distributed_greedy.assign_load} for the algorithms that have one;
+    the remaining algorithms return their load-blind assignment (callers
+    score it under [D_load] all the same). *)

@@ -21,3 +21,19 @@ val optimal : ?node_limit:int -> Problem.t -> Assignment.t * float
 
 val optimal_value : ?node_limit:int -> Problem.t -> float
 (** Objective value only. *)
+
+val optimal_load :
+  ?node_limit:int -> delay:Delay.t -> Problem.t -> Assignment.t * float
+(** Exact minimiser of [D_load]
+    ({!Objective.max_interaction_path_load}) by the same
+    branch-and-bound. The partial objective is recomputed at every node
+    (each placement changes its server's load, hence its effective
+    eccentricity), and remains a valid pruning bound because both
+    eccentricity and delay only grow as clients are added. The incumbent
+    is seeded with the better of the load-aware Greedy and
+    Nearest-Server answers.
+
+    @raise Failure if [node_limit] is exceeded. *)
+
+val optimal_load_value : ?node_limit:int -> delay:Delay.t -> Problem.t -> float
+(** [D_load] objective value only. *)

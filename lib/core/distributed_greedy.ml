@@ -134,3 +134,133 @@ let run ?initial p =
   }
 
 let assign p = (run p).assignment
+
+(* Load-aware protocol: the same candidate-driven improvement loop on
+   the D_load objective. A move changes the loads of both endpoints, so
+   a target is judged by a full trial evaluation (the donor's effective
+   eccentricity drops by one unit of delay, the target's rises) rather
+   than the [Ecc.attach] local estimate; every committed move still
+   strictly improves the objective, so the loop terminates. *)
+let run_load ?initial ~delay p =
+  Delay.validate delay;
+  let k = Problem.num_servers p in
+  let capacity = match Problem.capacity p with None -> max_int | Some c -> c in
+  let start =
+    match initial with
+    | None -> Nearest.assign_load ~delay p
+    | Some a ->
+        let a = Assignment.of_array p (Assignment.to_array a) in
+        if not (Assignment.respects_capacity p a) then
+          invalid_arg
+            "Distributed_greedy.run_load: initial assignment violates capacity";
+        a
+  in
+  let assignment = Assignment.to_array start in
+  let load = Array.make k 0 in
+  Array.iter (fun s -> load.(s) <- load.(s) + 1) assignment;
+  let ecc =
+    Array.init k (fun s ->
+        let l = ref neg_infinity in
+        Array.iteri
+          (fun c s' -> if s' = s then l := Float.max !l (Problem.d_cs p c s))
+          assignment;
+        !l)
+  in
+  (* Candidates: clients realising their server's eccentricity, for a
+     server on a longest *effective* pair. The per-server delay term is
+     shared by all of a server's clients, so the eccentricity witnesses
+     are still the clients on a longest load-aware path. *)
+  let eff_candidates d =
+    let eff =
+      Array.mapi
+        (fun s e -> if e > neg_infinity then e +. Delay.eval delay load.(s) else e)
+        ecc
+    in
+    let on_longest = Array.make k false in
+    for s1 = 0 to k - 1 do
+      if eff.(s1) > neg_infinity then
+        for s2 = s1 to k - 1 do
+          if eff.(s2) > neg_infinity
+             && eff.(s1) +. Problem.d_ss p s1 s2 +. eff.(s2) >= d -. 1e-9
+          then begin
+            on_longest.(s1) <- true;
+            on_longest.(s2) <- true
+          end
+        done
+    done;
+    (* The witness filter stays on the raw eccentricity: the delay term
+       is shared by all of a server's clients. *)
+    let candidates = ref [] in
+    Array.iteri
+      (fun c s ->
+        if on_longest.(s) && Problem.d_cs p c s >= ecc.(s) -. 1e-9 then
+          candidates := c :: !candidates)
+      assignment;
+    List.rev !candidates
+  in
+  let broadcasts = ref k and probes = ref (Array.length assignment) in
+  let examined = ref 0 in
+  let trace = ref [ Ecc.objective_load p ~delay ecc ~load ] in
+  let continue = ref true in
+  while !continue do
+    let d = List.hd !trace in
+    let candidates = eff_candidates d in
+    let moved = ref false in
+    let rec try_candidates = function
+      | [] -> ()
+      | c :: rest ->
+          incr examined;
+          let old_s = assignment.(c) in
+          incr broadcasts;
+          probes := !probes + (k - 1);
+          broadcasts := !broadcasts + (k - 1);
+          let l_minus = Ecc.excluding p assignment ~server:old_s ~client:c in
+          let best_target = ref (-1) and best_d = ref infinity in
+          let trial_ecc = Array.copy ecc in
+          let trial_load = Array.copy load in
+          trial_ecc.(old_s) <- l_minus;
+          trial_load.(old_s) <- trial_load.(old_s) - 1;
+          for s' = 0 to k - 1 do
+            if s' <> old_s && load.(s') < capacity then begin
+              let saved_e = trial_ecc.(s') and saved_l = trial_load.(s') in
+              trial_ecc.(s') <- Float.max trial_ecc.(s') (Problem.d_cs p c s');
+              trial_load.(s') <- saved_l + 1;
+              let d' = Ecc.objective_load p ~delay trial_ecc ~load:trial_load in
+              if d' < !best_d then begin
+                best_d := d';
+                best_target := s'
+              end;
+              trial_ecc.(s') <- saved_e;
+              trial_load.(s') <- saved_l
+            end
+          done;
+          if !best_target >= 0 && !best_d < d -. 1e-12 then begin
+            let s' = !best_target in
+            assignment.(c) <- s';
+            load.(old_s) <- load.(old_s) - 1;
+            load.(s') <- load.(s') + 1;
+            ecc.(old_s) <- l_minus;
+            ecc.(s') <- Float.max ecc.(s') (Problem.d_cs p c s');
+            incr broadcasts;
+            trace := !best_d :: !trace;
+            moved := true
+          end
+          else try_candidates rest
+    in
+    try_candidates candidates;
+    if not !moved then continue := false
+  done;
+  {
+    assignment = Assignment.unsafe_of_array assignment;
+    initial = start;
+    trace = Array.of_list (List.rev !trace);
+    stats =
+      {
+        modifications = List.length !trace - 1;
+        examined = !examined;
+        broadcasts = !broadcasts;
+        probes = !probes;
+      };
+  }
+
+let assign_load ~delay p = (run_load ~delay p).assignment

@@ -47,3 +47,20 @@ val run : ?initial:Assignment.t -> Problem.t -> result
 
 val assign : Problem.t -> Assignment.t
 (** [run] and keep only the final assignment. *)
+
+val run_load : ?initial:Assignment.t -> delay:Delay.t -> Problem.t -> result
+(** Load-aware protocol: the same candidate-driven improvement loop run
+    on the [D_load] objective (each hop pays its server's
+    load-dependent delay — see {!Objective.max_interaction_path_load}).
+    A move changes the loads of both endpoint servers, so targets are
+    judged by a full trial evaluation instead of the local
+    {!Ecc.attach} estimate; every committed move still strictly
+    improves [D_load], so the protocol terminates. Starts from
+    {!Nearest.assign_load} unless [initial] is given; the trace records
+    [D_load] after every committed modification.
+
+    @raise Invalid_argument if [initial] is invalid or violates
+    capacity. *)
+
+val assign_load : delay:Delay.t -> Problem.t -> Assignment.t
+(** [run_load] and keep only the final assignment. *)

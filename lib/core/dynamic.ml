@@ -20,6 +20,9 @@ type t = {
   mutable matrix : Matrix.t;  (** == [base] until drift copies it *)
   servers : int array;
   capacity : int;
+  delay : Delay.t option;
+      (** load-latency model; [None] = pure network objective, and every
+          code path is byte-identical to a session without the field *)
   members : (client_id, member) Hashtbl.t;
   load : int array;
   ecc : float array;
@@ -31,6 +34,10 @@ type t = {
   node_count : int array;  (** members per network node (occupancy) *)
   mutable d_cache : float;  (** D(A); valid iff [not d_dirty] *)
   mutable d_dirty : bool;
+  mutable dl_cache : float;
+      (** D_load(A); valid iff [not dl_dirty]; meaningless when
+          [delay = None] *)
+  mutable dl_dirty : bool;
   reach_rows : (int, float array) Hashtbl.t;
       (** per-node [f_u(s') = min_s (d(u,s) +. d(s,s'))] over live
           servers; reset whenever the matrix or the live set changes *)
@@ -48,8 +55,9 @@ type t = {
   mutable moves : int;
 }
 
-let create ?capacity matrix ~servers =
+let create ?capacity ?delay matrix ~servers =
   if Array.length servers = 0 then invalid_arg "Dynamic.create: no servers";
+  Option.iter Delay.validate delay;
   Array.iter
     (fun s ->
       if s < 0 || s >= Matrix.dim matrix then
@@ -64,6 +72,7 @@ let create ?capacity matrix ~servers =
     matrix;
     servers = Array.copy servers;
     capacity = Option.value ~default:max_int capacity;
+    delay;
     members = Hashtbl.create 64;
     load = Array.make k 0;
     ecc = Array.make k neg_infinity;
@@ -74,6 +83,8 @@ let create ?capacity matrix ~servers =
     node_count = Array.make (Matrix.dim matrix) 0;
     d_cache = neg_infinity;
     d_dirty = false;
+    dl_cache = neg_infinity;
+    dl_dirty = false;
     reach_rows = Hashtbl.create 64;
     lb_cache = neg_infinity;
     lb_valid = true;
@@ -144,6 +155,78 @@ let objective_scratch t =
     t.members;
   objective_of t ecc
 
+(* --- incremental D_load(A) ----------------------------------------------
+
+   Same decomposition as D(A), through the {e effective} eccentricity
+   eff(s) = ecc(s) +. delay(load(s)). A join raises eff of exactly one
+   server (eccentricity can only grow and delay is monotone in load), so
+   the O(k) pair refresh stays exact; any load decrease lowers eff even
+   when the eccentricity is untouched, so every removal path marks
+   [dl_dirty] and the next query re-scans in O(k²). The expression
+   grouping [(ecc1 +. δ1) +. d_ss +. (ecc2 +. δ2)] matches
+   {!Ecc.objective_load} and the naive evaluator bit-for-bit. *)
+
+let objective_load_arrays t delay ecc load =
+  let best = ref neg_infinity in
+  for s1 = 0 to k t - 1 do
+    if ecc.(s1) > neg_infinity then begin
+      let e1 = ecc.(s1) +. Delay.eval delay load.(s1) in
+      for s2 = s1 to k t - 1 do
+        if ecc.(s2) > neg_infinity then begin
+          let len = e1 +. d_ss t s1 s2 +. (ecc.(s2) +. Delay.eval delay load.(s2)) in
+          if len > !best then best := len
+        end
+      done
+    end
+  done;
+  !best
+
+(* Effective eccentricity of [s] just rose (member arrived: load bump
+   plus a possible eccentricity raise); fold the k refreshed pairs
+   through [s] into the cached D_load. Called from {!ecc_add} — every
+   arrival path goes through it with the load already incremented. *)
+let bump_objective_load t s =
+  match t.delay with
+  | None -> ()
+  | Some delay ->
+      if not t.dl_dirty then begin
+        let best = ref t.dl_cache in
+        for s' = 0 to k t - 1 do
+          if t.ecc.(s') > neg_infinity then begin
+            let a = if s' < s then s' else s and b = if s' < s then s else s' in
+            let ea = t.ecc.(a) +. Delay.eval delay t.load.(a) in
+            let len = ea +. d_ss t a b +. (t.ecc.(b) +. Delay.eval delay t.load.(b)) in
+            if len > !best then best := len
+          end
+        done;
+        t.dl_cache <- !best
+      end
+
+let objective_load t =
+  match t.delay with
+  | None -> objective t
+  | Some delay ->
+      if t.dl_dirty then begin
+        t.dl_cache <- objective_load_arrays t delay t.ecc t.load;
+        t.dl_dirty <- false
+      end;
+      t.dl_cache
+
+let objective_load_scratch t =
+  match t.delay with
+  | None -> objective_scratch t
+  | Some delay ->
+      let ecc = Array.make (k t) neg_infinity in
+      let load = Array.make (k t) 0 in
+      Hashtbl.iter
+        (fun _ m ->
+          load.(m.server) <- load.(m.server) + 1;
+          ecc.(m.server) <- Float.max ecc.(m.server) (d_ns t m.node m.server))
+        t.members;
+      objective_load_arrays t delay ecc load
+
+let delay t = t.delay
+
 let mset_add t s d =
   t.dists.(s) <-
     Fmap.update d (function None -> Some 1 | Some c -> Some (c + 1)) t.dists.(s)
@@ -159,22 +242,28 @@ let mset_remove t s d =
 let mset_max m =
   match Fmap.max_binding_opt m with Some (d, _) -> d | None -> neg_infinity
 
-(* Record that a member at distance [d] now sits on [s]. *)
+(* Record that a member at distance [d] now sits on [s]. Every caller
+   has already incremented [load.(s)], so the D_load refresh below sees
+   the final arrays. *)
 let ecc_add t s d =
   mset_add t s d;
   if d > t.ecc.(s) then begin
     t.ecc.(s) <- d;
     bump_objective t s
-  end
+  end;
+  bump_objective_load t s
 
-(* Record that a member at distance [d] left [s]. *)
+(* Record that a member at distance [d] left [s]. The load drop lowers
+   eff(s) even when the eccentricity maximum is untouched, so D_load is
+   always dirtied. *)
 let ecc_remove t s d =
   mset_remove t s d;
   let m = mset_max t.dists.(s) in
   if m < t.ecc.(s) then begin
     t.ecc.(s) <- m;
     t.d_dirty <- true
-  end
+  end;
+  t.dl_dirty <- true
 
 (* Eccentricity of [s] with one member at distance [d] discounted —
    the O(log load) replacement for scanning every member. *)
@@ -337,6 +426,21 @@ let lower_bound_scratch t =
   done;
   !best
 
+(* LB_load = LB +. 2 delay(1): in any assignment every serving server
+   hosts at least one client, delay is monotone from load 1 up, and the
+   witness pair of LB pays its two server delays on top of the network
+   path. Exact equality with LB under [Constant 0.]; trivially
+   incremental on top of the cached LB. *)
+let lower_bound_load t =
+  match t.delay with
+  | None -> lower_bound t
+  | Some delay -> lower_bound t +. (2. *. Delay.eval delay 1)
+
+let lower_bound_load_scratch t =
+  match t.delay with
+  | None -> lower_bound_scratch t
+  | Some delay -> lower_bound_scratch t +. (2. *. Delay.eval delay 1)
+
 (* Longest interaction path involving a node attached to server [s],
    given the other servers' eccentricities. *)
 let attach_cost t ecc node s =
@@ -345,6 +449,24 @@ let attach_cost t ecc node s =
   for s'' = 0 to k t - 1 do
     if ecc.(s'') > neg_infinity then begin
       let len = d +. d_ss t s s'' +. ecc.(s'') in
+      if len > !worst then worst := len
+    end
+  done;
+  !worst
+
+(* Load-aware attach cost over trial arrays: the longest D_load path
+   involving [node] if it joined [s] — [s]'s effective eccentricity
+   after the join (eccentricity raised to at least d(node,s), load
+   bumped by one) against every other used server's current effective
+   eccentricity. Still >= 2 d(node,s) because delay >= 0, so the
+   landmark [2 lb] prune in the placement scans stays sound. *)
+let attach_cost_load_arrays t dl ecc load node s =
+  let d = d_ns t node s in
+  let new_eff = Float.max ecc.(s) d +. Delay.eval dl (load.(s) + 1) in
+  let worst = ref (2. *. new_eff) in
+  for s'' = 0 to k t - 1 do
+    if s'' <> s && ecc.(s'') > neg_infinity then begin
+      let len = new_eff +. d_ss t s s'' +. (ecc.(s'') +. Delay.eval dl load.(s'')) in
       if len > !worst then worst := len
     end
   done;
@@ -419,7 +541,13 @@ let select_standby t member =
 let join t ~node =
   if node < 0 || node >= Matrix.dim t.matrix then
     invalid_arg (Printf.sprintf "Dynamic.join: node %d out of range" node);
-  let current = objective t in
+  (* With a delay model installed, the scan minimises the resulting
+     D_load instead of D — the marginal delay the join inflicts on its
+     server is part of every candidate's cost. Both attach costs keep
+     the [2 d(node,s)] floor, so the landmark prune applies to both. *)
+  let current =
+    match t.delay with None -> objective t | Some _ -> objective_load t
+  in
   let lb = query_bounds t node in
   let best = ref (-1) and best_d = ref infinity in
   for s = 0 to k t - 1 do
@@ -428,7 +556,12 @@ let join t ~node =
       && t.load.(s) < t.capacity
       && 2. *. Array.unsafe_get lb s < !best_d
     then begin
-      let resulting = Float.max current (attach_cost t t.ecc node s) in
+      let cost =
+        match t.delay with
+        | None -> attach_cost t t.ecc node s
+        | Some dl -> attach_cost_load_arrays t dl t.ecc t.load node s
+      in
+      let resulting = Float.max current cost in
       if resulting < !best_d then begin
         best_d := resulting;
         best := s
@@ -498,20 +631,46 @@ let rebalance ?(max_moves = max_int) t =
   let moves = ref 0 in
   let continue = ref true in
   while !continue && !moves < max_moves do
-    let d = objective t in
+    (* With a delay model the whole loop runs on D_load: longest pairs
+       are effective-eccentricity pairs and moves are judged by the
+       resulting D_load (a move shifts load off the donor, so the trial
+       arrays carry the decremented load). The member filter below
+       stays on the raw eccentricity — the delay term is shared by all
+       of a server's clients, so the witnesses are unchanged. *)
+    let d = match t.delay with None -> objective t | Some _ -> objective_load t in
     (* Clients realising their server's eccentricity on a longest pair. *)
     let on_longest = Array.make (k t) false in
-    for s1 = 0 to k t - 1 do
-      if t.ecc.(s1) > neg_infinity then
-        for s2 = s1 to k t - 1 do
-          if t.ecc.(s2) > neg_infinity
-             && t.ecc.(s1) +. d_ss t s1 s2 +. t.ecc.(s2) >= d -. 1e-9
-          then begin
-            on_longest.(s1) <- true;
-            on_longest.(s2) <- true
-          end
+    (match t.delay with
+    | None ->
+        for s1 = 0 to k t - 1 do
+          if t.ecc.(s1) > neg_infinity then
+            for s2 = s1 to k t - 1 do
+              if t.ecc.(s2) > neg_infinity
+                 && t.ecc.(s1) +. d_ss t s1 s2 +. t.ecc.(s2) >= d -. 1e-9
+              then begin
+                on_longest.(s1) <- true;
+                on_longest.(s2) <- true
+              end
+            done
         done
-    done;
+    | Some dl ->
+        let eff =
+          Array.mapi
+            (fun s e ->
+              if e > neg_infinity then e +. Delay.eval dl t.load.(s) else e)
+            t.ecc
+        in
+        for s1 = 0 to k t - 1 do
+          if eff.(s1) > neg_infinity then
+            for s2 = s1 to k t - 1 do
+              if eff.(s2) > neg_infinity
+                 && eff.(s1) +. d_ss t s1 s2 +. eff.(s2) >= d -. 1e-9
+              then begin
+                on_longest.(s1) <- true;
+                on_longest.(s2) <- true
+              end
+            done
+        done);
     let candidates =
       Hashtbl.fold
         (fun id member acc ->
@@ -527,11 +686,28 @@ let rebalance ?(max_moves = max_int) t =
       let d_old = d_ns t member.node old_s in
       let trial = Array.copy t.ecc in
       trial.(old_s) <- ecc_without t old_s d_old;
-      let d_rest = objective_of t trial in
+      let trial_load =
+        match t.delay with
+        | None -> t.load
+        | Some _ ->
+            let l = Array.copy t.load in
+            l.(old_s) <- l.(old_s) - 1;
+            l
+      in
+      let d_rest =
+        match t.delay with
+        | None -> objective_of t trial
+        | Some dl -> objective_load_arrays t dl trial trial_load
+      in
       let best = ref (-1) and best_d = ref infinity in
       for s = 0 to k t - 1 do
         if s <> old_s && (not t.failed.(s)) && t.load.(s) < t.capacity then begin
-          let resulting = Float.max d_rest (attach_cost t trial member.node s) in
+          let cost =
+            match t.delay with
+            | None -> attach_cost t trial member.node s
+            | Some dl -> attach_cost_load_arrays t dl trial trial_load member.node s
+          in
+          let resulting = Float.max d_rest cost in
           if resulting < !best_d then begin
             best_d := resulting;
             best := s
@@ -636,6 +812,7 @@ let rebuild_ecc t =
       t.ecc.(m.server) <- Float.max t.ecc.(m.server) d)
     t.members;
   t.d_dirty <- true;
+  t.dl_dirty <- true;
   lb_invalidate t
 
 let drift t s =
@@ -670,9 +847,9 @@ let set_drift t ~server ~factor =
     rebuild_ecc t
   end
 
-let restore ?capacity ?(standbys = []) matrix ~servers ~members:member_list
+let restore ?capacity ?delay ?(standbys = []) matrix ~servers ~members:member_list
     ~next_id ~failed ~drift:drift_list ~stats:(s : stats) =
-  let t = create ?capacity matrix ~servers in
+  let t = create ?capacity ?delay matrix ~servers in
   List.iter
     (fun srv ->
       if srv < 0 || srv >= k t then
@@ -762,6 +939,7 @@ let fail_prologue t s =
   t.ecc.(s) <- neg_infinity;
   t.dists.(s) <- Fmap.empty;
   t.d_dirty <- true;
+  t.dl_dirty <- true;
   lb_invalidate t;
   (orphans, !invalidated)
 
@@ -804,7 +982,11 @@ let fail_server_partial t s =
   let migrated = ref 0 and stranded = ref [] in
   List.iter
     (fun (id, member, sb) ->
-      let current = objective t in
+      (* Same objective switch as the join scan: with a delay model the
+         orphan is re-homed by resulting D_load. *)
+      let current =
+        match t.delay with None -> objective t | Some _ -> objective_load t
+      in
       let lb = query_bounds t member.node in
       let best = ref (-1) and best_d = ref infinity in
       for s' = 0 to k t - 1 do
@@ -814,7 +996,12 @@ let fail_server_partial t s =
           && t.load.(s') + spare < t.capacity
           && 2. *. Array.unsafe_get lb s' < !best_d
         then begin
-          let resulting = Float.max current (attach_cost t t.ecc member.node s') in
+          let cost =
+            match t.delay with
+            | None -> attach_cost t t.ecc member.node s'
+            | Some dl -> attach_cost_load_arrays t dl t.ecc t.load member.node s'
+          in
+          let resulting = Float.max current cost in
           if resulting < !best_d then begin
             best_d := resulting;
             best := s'

@@ -32,12 +32,20 @@ type t
 type client_id = int
 (** Stable handle for a joined client (never reused within a session). *)
 
-val create : ?capacity:int -> Dia_latency.Matrix.t -> servers:int array -> t
+val create :
+  ?capacity:int -> ?delay:Delay.t -> Dia_latency.Matrix.t -> servers:int array -> t
 (** A session over the given network with servers at the given nodes and
-    no clients yet.
+    no clients yet. When a [delay] model is installed, every placement
+    scan (join, failover re-homing, {!rebalance}) minimises the
+    load-aware objective [D_load] ({!objective_load}) instead of the
+    pure network [D]; without one the session is behaviourally
+    identical to earlier versions.
 
-    @raise Invalid_argument on invalid servers or non-positive
-    capacity. *)
+    @raise Invalid_argument on invalid servers, non-positive capacity,
+    or an invalid delay model ({!Delay.validate}). *)
+
+val delay : t -> Delay.t option
+(** The delay model the session was created with. *)
 
 val join : t -> node:int -> client_id
 (** A client at network node [node] joins; it is assigned to the
@@ -92,6 +100,24 @@ val objective_scratch : t -> float
     O(|C| + |S|²), sharing no cached state. Exposed so tests can pin
     the incremental value to the from-scratch one exactly. *)
 
+val objective_load : t -> float
+(** Current load-aware objective [D_load(A)]: the maximum interaction
+    path where each hop pays its server's network distance {e plus} the
+    delay of that server's current load
+    ({!Objective.max_interaction_path_load} of {!snapshot}).
+    [neg_infinity] when empty; equal to {!objective} when the session
+    has no delay model. Maintained with the same cache discipline as
+    {!objective}: arrivals raise exactly one server's effective
+    eccentricity (delay is monotone in load) and fold its pairs in
+    O(|S|); any departure lowers effective eccentricity even when the
+    plain eccentricity is unchanged, so every removal marks the cache
+    dirty and the next call re-scans in O(|S|²). Bit-identical to
+    {!objective_load_scratch}. *)
+
+val objective_load_scratch : t -> float
+(** Reference recompute of {!objective_load} from the member table
+    alone — O(|C| + |S|²), sharing no cached state. *)
+
 val lower_bound : t -> float
 (** Super-optimal lower bound on D(A) over the {e live} servers and the
     currently occupied client nodes ([neg_infinity] when empty) — the
@@ -110,6 +136,18 @@ val lower_bound_scratch : t -> float
 (** Reference recompute of {!lower_bound} sharing no cached state —
     O(m²·|S| + m·|S|²) for m occupied nodes. The incremental value is
     bit-identical to this, which tests enforce. *)
+
+val lower_bound_load : t -> float
+(** Super-optimal lower bound on [D_load]:
+    [lower_bound t +. 2 · delay(1)]. In any assignment every serving
+    server hosts at least one client and delay is monotone in load, so
+    the witness pair of {!lower_bound} pays at least one unit of delay
+    at each end on top of its network path. Equals {!lower_bound} when
+    the session has no delay model, and exactly (bit-for-bit) under
+    [Delay.Constant 0.]. O(1) on top of the cached bound. *)
+
+val lower_bound_load_scratch : t -> float
+(** {!lower_bound_scratch} plus the same [2 · delay(1)] term. *)
 
 val rebalance : ?max_moves:int -> t -> int
 (** Perform up to [max_moves] (default unlimited) strictly improving
@@ -192,6 +230,7 @@ val set_drift : t -> server:int -> factor:float -> unit
 
 val restore :
   ?capacity:int ->
+  ?delay:Delay.t ->
   ?standbys:(client_id * int) list ->
   Dia_latency.Matrix.t ->
   servers:int array ->

@@ -21,6 +21,15 @@ val objective : Problem.t -> float array -> float
     [neg_infinity]-on-empty is part of its protocol and pinned).
     O(|used|²) after an O(|S|) gather. *)
 
+val objective_load :
+  Problem.t -> delay:Delay.t -> float array -> load:int array -> float
+(** [D_load] from an eccentricity array plus a per-server load array:
+    the maximum over used server pairs of
+    [(l(s1) + delay(load s1)) + d(s1, s2) + (l(s2) + delay(load s2))],
+    grouped exactly like {!Objective.max_interaction_path_load} so the
+    two agree bit for bit. [0.] when no server is used, mirroring
+    {!objective}. O(|used|²) after an O(|S|) gather. *)
+
 val excluding : Problem.t -> int array -> server:int -> client:int -> float
 (** Eccentricity of [server] if [client] were removed from it. O(|C|). *)
 

@@ -25,6 +25,16 @@ val assign : Problem.t -> Assignment.t
 (** Runs the capacitated variant automatically when the instance has a
     capacity. *)
 
+val assign_load : delay:Delay.t -> Problem.t -> Assignment.t
+(** Load-aware variant: the same batch selection run on the [D_load]
+    objective. A candidate batch additionally pays the marginal delay it
+    inflicts — the target's effective eccentricity becomes
+    [max(l(s), d) + delay(load s + Δn)] — while other used servers keep
+    [l(s') + delay(load s')]; delay monotonicity makes the running
+    maximum exact. Same amortised [Δl / Δn] cost, cross-product
+    comparison and tie order as {!assign_reference}. O(|S||C|²) per
+    iteration. *)
+
 val assign_reference : Problem.t -> Assignment.t
 (** Textbook implementation without the sorted-list/index bookkeeping:
     every iteration recomputes Δn by scanning all unassigned clients per

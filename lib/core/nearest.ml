@@ -55,3 +55,31 @@ let assign ?index p =
   match Problem.capacity p with
   | None -> assign_uncapacitated ?index p
   | Some cap -> assign_capacitated p cap
+
+(* Load-aware nearest: clients arrive in index order and each picks the
+   server minimising its own marginal hop cost d(c,s) + delay(load+1) —
+   the delay the join itself inflicts — rather than raw distance.
+   Strict < on an ascending scan keeps ties at the lowest index. *)
+let assign_load ~delay p =
+  Delay.validate delay;
+  let k = Problem.num_servers p in
+  let cap = match Problem.capacity p with None -> max_int | Some c -> c in
+  let load = Array.make k 0 in
+  let pick c =
+    let best = ref (-1) and best_cost = ref infinity in
+    for s = 0 to k - 1 do
+      if load.(s) < cap then begin
+        let cost = Problem.d_cs p c s +. Delay.eval delay (load.(s) + 1) in
+        if cost < !best_cost then begin
+          best_cost := cost;
+          best := s
+        end
+      end
+    done;
+    (* make/with_capacity guarantee cap * |S| >= |C|, so a feasible
+       server always exists. *)
+    assert (!best >= 0);
+    load.(!best) <- load.(!best) + 1;
+    !best
+  in
+  Assignment.unsafe_of_array (Array.init (Problem.num_clients p) pick)

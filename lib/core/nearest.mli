@@ -21,3 +21,12 @@ val assign : ?index:Dia_latency.Landmark.t -> Problem.t -> Assignment.t
     falls back to the exhaustive scan on non-metric instances); the
     capacitated path needs full distance orders and ignores it. Raises
     [Invalid_argument] if the index does not match the instance. *)
+
+val assign_load : delay:Delay.t -> Problem.t -> Assignment.t
+(** Load-aware variant: clients arrive in index order and each joins
+    the feasible server minimising its marginal hop cost
+    [d(c,s) + delay(load(s) + 1)] — the delay its own join inflicts —
+    instead of raw distance. Capacity-respecting; ties break to the
+    lowest server index. Under [Delay.Constant c] the cost order equals
+    the distance order, so only capacity tie handling can differ from
+    {!assign}. O(|C| |S|). *)

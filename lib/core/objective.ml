@@ -37,6 +37,62 @@ let max_interaction_path p a =
   done;
   !best
 
+(* -- Load-aware objective: each hop pays d(c,s) + delay(load s) -------- *)
+
+(* Effective eccentricity: l(s) + delay(load s) for used servers,
+   [neg_infinity] (still "unused") otherwise. The load term is constant
+   over a server's clients, so D_load decomposes through [eff] exactly
+   as D does through [l]. *)
+let effective_eccentricities p ~delay a =
+  let ecc = eccentricities p a in
+  let load = Assignment.loads p a in
+  for s = 0 to Array.length ecc - 1 do
+    if ecc.(s) > neg_infinity then
+      ecc.(s) <- ecc.(s) +. Delay.eval delay load.(s)
+  done;
+  ecc
+
+let max_interaction_path_load p ~delay a =
+  let eff = effective_eccentricities p ~delay a in
+  let k = Problem.num_servers p in
+  let best = ref neg_infinity in
+  for s1 = 0 to k - 1 do
+    if eff.(s1) > neg_infinity then
+      for s2 = s1 to k - 1 do
+        if eff.(s2) > neg_infinity then begin
+          let len = eff.(s1) +. Problem.d_ss p s1 s2 +. eff.(s2) in
+          if len > !best then best := len
+        end
+      done
+  done;
+  !best
+
+let naive_max_interaction_path_load p ~delay a =
+  let n = Problem.num_clients p in
+  let load = Assignment.loads p a in
+  let best = ref neg_infinity in
+  for ci = 0 to n - 1 do
+    for cj = ci to n - 1 do
+      let s1 = Assignment.server_of a ci and s2 = Assignment.server_of a cj in
+      (* Same left-to-right grouping AND the same pair orientation as
+         the fast evaluator's [eff(s1) +. d_ss +. eff(s2)] scan (smaller
+         server index on the left): float addition is monotone, so with
+         matching orientation every pair is bounded by its server pair's
+         eccentricity term and the witness pair achieves exact equality
+         — the two evaluators agree bit for bit. *)
+      let sa, ca, sb, cb =
+        if s1 <= s2 then (s1, ci, s2, cj) else (s2, cj, s1, ci)
+      in
+      let len =
+        (Problem.d_cs p ca sa +. Delay.eval delay load.(sa))
+        +. Problem.d_ss p sa sb
+        +. (Problem.d_cs p cb sb +. Delay.eval delay load.(sb))
+      in
+      if len > !best then best := len
+    done
+  done;
+  !best
+
 let path_length p a ci cj =
   let s1 = Assignment.server_of a ci and s2 = Assignment.server_of a cj in
   Problem.d_cs p ci s1 +. Problem.d_ss p s1 s2 +. Problem.d_cs p cj s2

@@ -27,6 +27,28 @@ val naive_max_interaction_path : Problem.t -> Assignment.t -> float
 (** Direct O(|C|²) evaluation of the same quantity, kept as a correctness
     oracle and as the ablation baseline for the [objective] bench. *)
 
+val effective_eccentricities :
+  Problem.t -> delay:Delay.t -> Assignment.t -> float array
+(** Per-server {e effective} eccentricity [l(s) + delay(load s)];
+    [neg_infinity] for servers with no assigned clients. The load term
+    is constant over a server's clients, so [D_load] decomposes through
+    this array exactly as [D] does through {!eccentricities}. *)
+
+val max_interaction_path_load :
+  Problem.t -> delay:Delay.t -> Assignment.t -> float
+(** [D_load(A)]: the maximum over client pairs of the interaction path
+    where each hop additionally pays the server's load-dependent delay —
+    [d(ci,s1) + delay(load s1) + d(s1,s2) + delay(load s2) + d(cj,s2)].
+    Because every delay is [>= 0], [D_load(A) >= D(A)] pointwise, with
+    bit-exact equality under [Delay.Constant 0.]. [neg_infinity] for
+    instances with no clients. O(|C| + |S|²). *)
+
+val naive_max_interaction_path_load :
+  Problem.t -> delay:Delay.t -> Assignment.t -> float
+(** Direct O(|C|²) evaluation of [D_load(A)] — the correctness oracle
+    for the decomposed evaluator (bit-identical: both group each pair
+    as [(d1 + delay1) + d_ss + (d2 + delay2)]). *)
+
 val path_length : Problem.t -> Assignment.t -> int -> int -> float
 (** Interaction-path length between two client indices (equal indices give
     the round-trip [2 d(c, sA(c))]). *)

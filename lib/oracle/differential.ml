@@ -6,6 +6,7 @@ module Algorithm = Dia_core.Algorithm
 module Objective = Dia_core.Objective
 module Lower_bound = Dia_core.Lower_bound
 module Brute_force = Dia_core.Brute_force
+module Delay = Dia_core.Delay
 module Dg = Dia_core.Distributed_greedy
 module Local_search = Dia_core.Local_search
 module Zone_based = Dia_core.Zone_based
@@ -70,6 +71,7 @@ type outcome = {
   sim_checked : bool;
   transport_checked : bool;
   greedy_monotonic : bool option;
+  load_greedy_better : bool;
   index_metric : bool;
 }
 
@@ -217,6 +219,72 @@ let check_instance ~seed =
             in
             Some (greedy_plus <= value "greedy" +. Invariant.eps))
   in
+  (* Load-aware objective: the delay model family cycles with the seed
+     (decorrelated from the brute-force slice, which is [seed mod 4]),
+     so every instance shape meets every family — including deep M/M/1
+     saturation with mu at a quarter of the population. *)
+  let n_clients = Problem.num_clients p in
+  let delay =
+    match seed / 4 mod 4 with
+    | 0 -> Delay.Constant 2.
+    | 1 -> Delay.Linear { base = 0.5; coeff = 0.3 }
+    | 2 -> Delay.Queueing { mu = float_of_int (n_clients + 1) }
+    | _ -> Delay.Queueing { mu = float_of_int (max 1 (n_clients / 4)) }
+  in
+  checked "delay monotone"
+    (Invariant.delay_monotone ~max_load:(n_clients + 2) delay);
+  let load_assignments =
+    List.map
+      (fun (k, algo) -> (k, Algorithm.run_load ~seed ~delay algo p))
+      [
+        ("nearest", Algorithm.Nearest_server);
+        ("greedy", Algorithm.Greedy);
+        ("dgreedy", Algorithm.Distributed_greedy);
+      ]
+  in
+  let load_values =
+    List.map
+      (fun (k, a) -> (k, Objective.max_interaction_path_load p ~delay a))
+      load_assignments
+  in
+  (* Every serving server has load >= 1, so both access hops pay at
+     least delay(1): LB_load = LB + 2*delay(1) stays super-optimal. *)
+  let lb_load = lb +. (2. *. Delay.eval delay 1) in
+  List.iter
+    (fun (k, a) ->
+      checked (k ^ "-load valid") (Invariant.assignment_valid p a);
+      checked (k ^ "-load dominates D")
+        (Invariant.load_dominates ~delay ~label:k p a);
+      checked (k ^ "-load fast = naive")
+        (Invariant.load_fast_naive_agree ~delay ~label:k p a))
+    load_assignments;
+  List.iter
+    (fun (k, v) ->
+      checked (k ^ "-load >= LB_load")
+        (Invariant.dominates_lb ~lb:lb_load ~label:(k ^ "-load") v))
+    load_values;
+  checked "zero-delay identity"
+    (Invariant.load_zero_identity ~label:"greedy"
+       p (List.assoc "greedy" assignments));
+  (* Folk assumption, measured not enforced (see DESIGN §9): load-aware
+     Greedy should beat load-blind Greedy on D_load. *)
+  let load_greedy_better =
+    let blind =
+      Objective.max_interaction_path_load p ~delay
+        (List.assoc "greedy" assignments)
+    in
+    List.assoc "greedy" load_values <= blind +. Invariant.eps
+  in
+  if Gen.brute_sized d then begin
+    let opt_load = Brute_force.optimal_load_value ~delay p in
+    checked "LB_load <= OPT_load"
+      (Invariant.lb_at_most_opt ~lb:lb_load ~opt:opt_load);
+    List.iter
+      (fun (k, v) ->
+        checked (k ^ "-load >= OPT_load")
+          (Invariant.at_least_opt ~opt:opt_load ~label:(k ^ "-load") v))
+      load_values
+  end;
   (* Metamorphic checks: always on the evaluators, on a seed slice for
      the algorithms themselves. *)
   let nearest = List.assoc "nearest" assignments in
@@ -378,5 +446,6 @@ let check_instance ~seed =
     sim_checked;
     transport_checked;
     greedy_monotonic;
+    load_greedy_better;
     index_metric;
   }

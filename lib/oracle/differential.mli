@@ -34,11 +34,22 @@
       per-event by {!Sim_invariant}, and bit-identity of the
       Distributed-Greedy protocol under 15% message loss versus a clean
       network (tie-free instances only — a client equidistant from two
-      servers legitimately resolves the tie by message arrival order).
+      servers legitimately resolves the tie by message arrival order);
+    - the load-aware objective, under a delay-model family cycling with
+      the seed (constant, linear, unsaturated and saturated M/M/1):
+      validity of the load-aware Nearest/Greedy/Distributed-Greedy
+      outputs, [D_load >= D] exactly, the fast effective-eccentricity
+      evaluator against the O(|C|^2) definition bit-for-bit, [D_load]
+      under [Constant 0.] bit-equal to [D], [Delay.eval] monotone
+      through saturation, [D_load >= LB_load = LB + 2*delay(1)], and on
+      brute-force-sized instances the exact sandwich
+      [LB_load <= OPT_load <= D_load] for every load-aware output.
 
     Greedy is {e not} server-monotone (adding a server can worsen its
     [D] — refuted empirically), so that property is tallied as a
-    diagnostic, never enforced. *)
+    diagnostic, never enforced. The same holds for "load-aware Greedy
+    beats load-blind Greedy on [D_load]" — usually true, not always
+    (both are tallied; see DESIGN §9). *)
 
 val algo_keys : string list
 (** The nine algorithm keys, in report order. *)
@@ -60,6 +71,10 @@ type outcome = {
   transport_checked : bool;
   greedy_monotonic : bool option;
       (** diagnostic only: did adding a server not worsen Greedy here? *)
+  load_greedy_better : bool;
+      (** diagnostic only: was load-aware Greedy no worse than
+          load-blind Greedy on [D_load] under this instance's delay
+          model? *)
   index_metric : bool;
       (** did the landmark index's triangle bounds verify on this
           instance's matrix? (Its nearest-server answers are checked

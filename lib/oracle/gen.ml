@@ -13,12 +13,13 @@ type kind =
   | Duplicate_coords
   | Weighted_stacked
   | Clustered_scale
+  | Load_heavy
 
 let kinds =
   [
     Metric_euclidean; Metric_grid; Internet; Uniform_nonmetric;
     Clustered_zipf; Single_server; Server_heavy; Duplicate_coords;
-    Weighted_stacked; Clustered_scale;
+    Weighted_stacked; Clustered_scale; Load_heavy;
   ]
 
 let kind_name = function
@@ -32,6 +33,7 @@ let kind_name = function
   | Duplicate_coords -> "duplicate-coords"
   | Weighted_stacked -> "weighted-stacked"
   | Clustered_scale -> "clustered-scale"
+  | Load_heavy -> "load-heavy"
 
 (* Euclidean embeddings (including duplicated or clustered points) are
    pseudometrics, so the triangle inequality — the 3-approximation
@@ -40,7 +42,7 @@ let kind_name = function
 let is_metric = function
   | Metric_euclidean | Metric_grid | Duplicate_coords | Clustered_scale -> true
   | Internet | Uniform_nonmetric | Clustered_zipf | Single_server
-  | Server_heavy | Weighted_stacked -> false
+  | Server_heavy | Weighted_stacked | Load_heavy -> false
 
 type descriptor = {
   kind : kind;
@@ -72,6 +74,9 @@ let counts d =
     | Server_heavy ->
         let clients = clamp 1 nodes d.clients in
         clamp clients nodes (max d.servers clients)
+    (* Few servers under a big population: utilisation per server is
+       high, so load-dependent delay dominates the network term. *)
+    | Load_heavy -> clamp 1 (min 4 nodes) d.servers
     | _ -> clamp 1 nodes d.servers
   in
   let n_clients =
@@ -81,6 +86,7 @@ let counts d =
     (* Population well beyond the node count: many clients per node is
        the weighted/coreset regime. *)
     | Weighted_stacked | Clustered_scale -> clamp 8 160 (d.clients * 5)
+    | Load_heavy -> clamp 8 120 (d.clients * 4)
     | _ -> nodes
   in
   let capacity =
@@ -158,7 +164,7 @@ let matrix_of d nodes =
       let rows = max 2 (int_of_float (sqrt (float_of_int nodes))) in
       let cols = max 2 (nodes / rows) in
       Synthetic.grid ~rows ~cols ~spacing:10.
-  | Internet | Clustered_zipf | Single_server | Weighted_stacked ->
+  | Internet | Clustered_zipf | Single_server | Weighted_stacked | Load_heavy ->
       Synthetic.internet_like ~seed:d.seed nodes
   | Uniform_nonmetric ->
       Synthetic.uniform_random ~seed:d.seed ~n:nodes ~lo:1. ~hi:300.
@@ -217,6 +223,25 @@ let instantiate d =
       Problem.make ?capacity ~latency:matrix ~servers:server_nodes ~clients ()
   | Clustered_scale ->
       let clients = Array.init n_clients (fun _ -> Random.State.int rng nodes) in
+      Problem.make ?capacity ~latency:matrix ~servers:server_nodes ~clients ()
+  | Load_heavy ->
+      (* Most of the population crowds the server nodes themselves (a
+         Zipf-ish skew across servers), so the network term of [D_load]
+         is small and the queueing term decides — the regime where
+         load-blind and load-aware assignment disagree hardest. *)
+      let clients =
+        Array.init n_clients (fun _ ->
+            if Random.State.int rng 5 = 0 then Random.State.int rng nodes
+            else begin
+              let r = Random.State.int rng (servers * (servers + 1) / 2) in
+              let rec pick s acc =
+                let acc = acc + (servers - s) in
+                if r < acc || s = servers - 1 then server_nodes.(s)
+                else pick (s + 1) acc
+              in
+              pick 0 0
+            end)
+      in
       Problem.make ?capacity ~latency:matrix ~servers:server_nodes ~clients ()
   | _ ->
       Problem.all_nodes_clients ?capacity matrix ~servers:server_nodes

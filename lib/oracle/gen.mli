@@ -32,6 +32,11 @@ type kind =
   | Clustered_scale
       (** tight Euclidean clusters with clients beyond the node count;
           metric, and the geometry a coreset collapses best *)
+  | Load_heavy
+      (** a big population crowding the nodes of at most four servers
+          (Internet-like matrix): per-server utilisation is high and the
+          queueing term of [D_load] dominates the network term — the
+          regime where load-blind and load-aware assignment disagree *)
 
 val kinds : kind list
 val kind_name : kind -> string

@@ -162,6 +162,59 @@ let evaluator_scale_invariant p a =
     else Ok ()
   end
 
+(* -- Load-aware objective (lib/core/delay) ------------------------------- *)
+
+(* [D_load >= D] is exact, not approximate: every pair's load-aware path
+   adds two non-negative delay terms to the plain path, so the max can
+   only move up. Checked without epsilon on purpose — a single-ulp
+   regression here means the shared pair scan drifted. *)
+let load_dominates ~delay ~label p a =
+  let d = Objective.max_interaction_path p a in
+  let d_load = Objective.max_interaction_path_load p ~delay a in
+  if d_load >= d then Ok ()
+  else
+    Error
+      (Printf.sprintf "%s: D_load = %.17g < D = %.17g" label d_load d)
+
+(* Under [Constant 0.] the delay terms are exact float zeros, so the two
+   objectives must agree bit for bit. *)
+let load_zero_identity ~label p a =
+  let d = Objective.max_interaction_path p a in
+  let d0 =
+    Objective.max_interaction_path_load p ~delay:(Dia_core.Delay.Constant 0.) a
+  in
+  if d0 = d then Ok ()
+  else
+    Error
+      (Printf.sprintf "%s: D_load under Constant 0. = %.17g <> D = %.17g" label
+         d0 d)
+
+(* The fast evaluator (per-server effective eccentricities) against the
+   O(|C|^2) definition — bit-identical, same term grouping. *)
+let load_fast_naive_agree ~delay ~label p a =
+  let fast = Objective.max_interaction_path_load p ~delay a in
+  let naive = Objective.naive_max_interaction_path_load p ~delay a in
+  if fast = naive then Ok ()
+  else
+    Error
+      (Printf.sprintf "%s: fast D_load = %.17g <> naive = %.17g" label fast
+         naive)
+
+let delay_monotone ~max_load delay =
+  let bad = ref None in
+  for load = 1 to max_load do
+    if !bad = None && Dia_core.Delay.eval delay load < Dia_core.Delay.eval delay (load - 1)
+    then bad := Some load
+  done;
+  match !bad with
+  | None -> Ok ()
+  | Some load ->
+      Error
+        (Printf.sprintf "delay(%d) = %.17g < delay(%d) = %.17g" load
+           (Dia_core.Delay.eval delay load)
+           (load - 1)
+           (Dia_core.Delay.eval delay (load - 1)))
+
 (* -- Coreset additive bound (lib/coreset) -------------------------------- *)
 
 let coreset_bound ~resolution ~seed p =

@@ -86,6 +86,35 @@ val evaluator_scale_invariant :
 (** [D(scale p 2) = 2 * D(p)] and [LB(scale p 2) = 2 * LB(p)], exactly
     (doubling is exact in binary floating point). *)
 
+(** {2 Load-aware objective (lib/core/delay)} *)
+
+val load_dominates :
+  delay:Dia_core.Delay.t ->
+  label:string ->
+  Dia_core.Problem.t ->
+  Dia_core.Assignment.t ->
+  check
+(** [D_load(A) >= D(A)], exactly (no epsilon): every pair's load-aware
+    path adds two non-negative delay terms, so the max only moves up. *)
+
+val load_zero_identity :
+  label:string -> Dia_core.Problem.t -> Dia_core.Assignment.t -> check
+(** Under [Constant 0.] the delay terms are exact float zeros —
+    [D_load] must equal [D] bit for bit. *)
+
+val load_fast_naive_agree :
+  delay:Dia_core.Delay.t ->
+  label:string ->
+  Dia_core.Problem.t ->
+  Dia_core.Assignment.t ->
+  check
+(** The per-server effective-eccentricity evaluator against the
+    O(|C|^2) definition — bit-identical (same term grouping). *)
+
+val delay_monotone : max_load:int -> Dia_core.Delay.t -> check
+(** [Delay.eval] is non-decreasing over loads [0..max_load] — in
+    particular across the M/M/1 saturation boundary. *)
+
 (** {2 Coreset bound (lib/coreset)} *)
 
 val coreset_bound : resolution:float -> seed:int -> Dia_core.Problem.t -> check

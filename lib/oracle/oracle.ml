@@ -18,6 +18,7 @@ type report = {
   normalized_instances : int;
   greedy_monotonic_violations : int;
   greedy_monotonic_total : int;
+  load_greedy_losses : int;
   index_metric : int;
 }
 
@@ -192,6 +193,7 @@ let run ?jobs ?(count = 200) ~seed () =
       and transport = ref 0
       and mono_bad = ref 0
       and mono_total = ref 0
+      and load_losses = ref 0
       and metric_idx = ref 0
       and norm_n = ref 0 in
       let sums = List.map (fun k -> (k, ref 0.)) Differential.algo_keys in
@@ -209,6 +211,7 @@ let run ?jobs ?(count = 200) ~seed () =
               incr mono_total;
               if not ok then incr mono_bad
           | None -> ());
+          if not o.Differential.load_greedy_better then incr load_losses;
           if o.Differential.index_metric then incr metric_idx;
           if o.Differential.lb > 1e-9 && not o.Differential.capacitated then begin
             incr norm_n;
@@ -244,6 +247,7 @@ let run ?jobs ?(count = 200) ~seed () =
         normalized_instances = !norm_n;
         greedy_monotonic_violations = !mono_bad;
         greedy_monotonic_total = !mono_total;
+        load_greedy_losses = !load_losses;
         index_metric = !metric_idx;
       })
 
@@ -272,6 +276,10 @@ let render r =
       (Printf.sprintf
          "diagnostic: adding a server worsened Greedy on %d/%d instances (not a theorem; not enforced)\n"
          r.greedy_monotonic_violations r.greedy_monotonic_total);
+  Buffer.add_string b
+    (Printf.sprintf
+       "diagnostic: load-aware Greedy lost to load-blind Greedy on D_load on %d/%d instances (not a theorem; not enforced)\n"
+       r.load_greedy_losses r.instances);
   (match r.failures with
   | [] -> Buffer.add_string b "all checks passed\n"
   | failures ->

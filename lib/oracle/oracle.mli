@@ -41,6 +41,9 @@ type report = {
   greedy_monotonic_violations : int;
       (** diagnostic: instances where one more server worsened Greedy *)
   greedy_monotonic_total : int;
+  load_greedy_losses : int;
+      (** diagnostic: instances where load-aware Greedy was worse than
+          load-blind Greedy on [D_load] (measured over every instance) *)
   index_metric : int;
       (** instances whose landmark index verified its triangle bounds
           (the rest exercised the exhaustive fallback) *)

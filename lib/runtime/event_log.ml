@@ -11,7 +11,12 @@ type kind =
   | Standby_breach of { ratio : float; bound : float }
   | Recover of { server : int }
   | Drift of { server : int; factor : float }
-  | Transition of { from_ : Slo.level; to_ : Slo.level; ratio : float }
+  | Transition of {
+      from_ : Slo.level;
+      to_ : Slo.level;
+      ratio : float;
+      objective : string;  (** which objective drove it: "d" or "d_load" *)
+    }
   | Repair of { moves : int; budget : int; before : float; after : float }
   | Protocol_repair of {
       attempt : int;
@@ -56,9 +61,9 @@ let kind_to_string = function
   | Recover { server } -> Printf.sprintf "recover server=%d" server
   | Drift { server; factor } ->
       Printf.sprintf "drift server=%d factor=%s" server (Codec.float_str factor)
-  | Transition { from_; to_; ratio } ->
-      Printf.sprintf "slo from=%s to=%s ratio=%s" (level_str from_)
-        (level_str to_) (Codec.float_str ratio)
+  | Transition { from_; to_; ratio; objective } ->
+      Printf.sprintf "slo from=%s to=%s ratio=%s objective=%s" (level_str from_)
+        (level_str to_) (Codec.float_str ratio) objective
   | Repair { moves; budget; before; after } ->
       Printf.sprintf "repair moves=%d budget=%d before=%s after=%s" moves budget
         (Codec.float_str before) (Codec.float_str after)
@@ -140,6 +145,9 @@ let kind_of ~tag fields =
           from_ = level_of_str (field fields "from");
           to_ = level_of_str (field fields "to");
           ratio = float_field fields "ratio";
+          (* Absent in logs written before load-aware objectives
+             existed; those transitions were all driven by plain D. *)
+          objective = Option.value ~default:"d" (List.assoc_opt "objective" fields);
         }
   | "repair" ->
       Repair

@@ -34,7 +34,16 @@ type kind =
           budgeted repair follows immediately *)
   | Recover of { server : int }
   | Drift of { server : int; factor : float }
-  | Transition of { from_ : Slo.level; to_ : Slo.level; ratio : float }
+  | Transition of {
+      from_ : Slo.level;
+      to_ : Slo.level;
+      ratio : float;
+      objective : string;
+          (** which objective drove the transition: ["d"] (pure network
+              [D/LB]) or ["d_load"] (load-aware [D_load/LB_load], when
+              the scenario carries a delay model). Logs written before
+              this field existed parse as ["d"]. *)
+    }
   | Repair of { moves : int; budget : int; before : float; after : float }
   | Protocol_repair of {
       attempt : int;

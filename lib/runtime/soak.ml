@@ -21,6 +21,7 @@ type scenario = {
   fault : Fault.plan;
   clients : int;
   coreset_eps : float option;
+  delay : Dia_core.Delay.t option;
 }
 
 let default_scenario =
@@ -40,6 +41,7 @@ let default_scenario =
       | Error m -> failwith m);
     clients = 0;
     coreset_eps = None;
+    delay = None;
   }
 
 type config = {
@@ -96,6 +98,14 @@ let validate scenario config =
         "Soak: coreset_eps requires an uncapacitated scenario (a coreset \
          point stands for an unbounded population)"
   | _ -> ());
+  (match scenario.delay with
+  | Some d ->
+      Dia_core.Delay.validate d;
+      if scenario.coreset_eps <> None then
+        invalid_arg
+          "Soak: delay requires classic mode (coreset buckets hide the true \
+           per-server load from the delay model)"
+  | None -> ());
   Slo.validate_config config.slo;
   if config.budget < 0 then invalid_arg "Soak: budget must be non-negative";
   if config.max_queue < 0 then invalid_arg "Soak: max_queue must be non-negative";
@@ -138,6 +148,14 @@ let digest scenario config =
       ^ Printf.sprintf " clients=%d coreset_eps=%s" s.clients
           (match s.coreset_eps with None -> "none" | Some e -> fs e)
   in
+  (* Same deal for the delay model: delay-less scenarios keep their
+     historical digests. *)
+  let canonical =
+    match s.delay with
+    | None -> canonical
+    | Some d ->
+        canonical ^ Printf.sprintf " delay=%s" (Dia_core.Delay.to_string d)
+  in
   Digest.to_hex (Digest.string canonical)
 
 (* Distinct random server nodes — a deterministic function of the seed,
@@ -179,6 +197,7 @@ type report = {
   horizon : float;
   clients : int;
   weighted : bool;
+  delay_model : string option;
   coreset_points : int;
   prepop_seconds : float;
   loop_seconds : float;
@@ -242,7 +261,8 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
   let session, sessions, admission, slo, start_cursor =
     match resume_from with
     | None ->
-        ( Dynamic.create ?capacity:scenario.capacity matrix ~servers:server_nodes,
+        ( Dynamic.create ?capacity:scenario.capacity ?delay:scenario.delay matrix
+            ~servers:server_nodes,
           Hashtbl.create 256,
           Admission.create ~max_queue:config.max_queue,
           Slo.create config.slo,
@@ -253,6 +273,7 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
             "Soak.run: checkpoint digest mismatch (different scenario/config)";
         let session =
           Dynamic.restore ?capacity:st.Checkpoint.capacity
+            ?delay:scenario.delay
             ?standbys:
               (if st.Checkpoint.version >= 2 then Some st.Checkpoint.standbys
                else None)
@@ -403,6 +424,24 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
         in
         Some (p, live)
   in
+  (* With a delay model the control plane watches the load-aware pair —
+     D_load(A) against LB_load — the same objective the session's
+     placement scans minimise; without one, everything below reduces to
+     the historical D/LB and is byte-identical to earlier versions. *)
+  let objective_name =
+    match scenario.delay with None -> "d" | Some _ -> "d_load"
+  in
+  let objective_now () =
+    match scenario.delay with
+    | None -> Dynamic.objective session
+    | Some _ -> Dynamic.objective_load session
+  in
+  let resolve_now p =
+    match scenario.delay with
+    | None -> Objective.max_interaction_path p (Greedy.assign p)
+    | Some delay ->
+        Objective.max_interaction_path_load p ~delay (Greedy.assign_load ~delay p)
+  in
   let recompute_lb now =
     events_since_lb := 0;
     (* The session maintains the bound incrementally (node-level, live
@@ -410,8 +449,12 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
        problem up to float association, at amortized O(|S|) instead of
        O(n²·|S|) per refresh. *)
     if Dynamic.num_clients session = 0 then lb := nan
-    else lb := Dynamic.lower_bound session;
-    let obj = Dynamic.objective session in
+    else
+      lb :=
+        (match scenario.delay with
+        | None -> Dynamic.lower_bound session
+        | Some _ -> Dynamic.lower_bound_load session);
+    let obj = objective_now () in
     let ratio = if !lb > 0. && Float.is_finite obj then obj /. !lb else nan in
     trace_points := (now, obj, ratio) :: !trace_points;
     (* Competitive-ratio sampling: at every refresh point, pit the online
@@ -422,11 +465,11 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
       match survivor_problem () with
       | None -> ()
       | Some (p, _) ->
-          let resolve = Objective.max_interaction_path p (Greedy.assign p) in
+          let resolve = resolve_now p in
           baseline_points := (now, obj, resolve) :: !baseline_points
   in
   let current_ratio () =
-    let obj = Dynamic.objective session in
+    let obj = objective_now () in
     if !lb > 0. && Float.is_finite obj then obj /. !lb else nan
   in
   (* Protocol-level repair epoch: run Distributed-Greedy over the
@@ -527,14 +570,14 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
   in
   let repair now to_ =
     let epoch_moves = ref 0 in
-    let before = Dynamic.objective session in
+    let before = objective_now () in
     let moves = Dynamic.rebalance ~max_moves:config.budget session in
     epoch_moves := moves;
     incr repairs;
     repair_moves := !repair_moves + moves;
     log_event now
       (Event_log.Repair
-         { moves; budget = config.budget; before; after = Dynamic.objective session });
+         { moves; budget = config.budget; before; after = objective_now () });
     if to_ = Slo.Critical && config.protocol_repair then
       protocol_epoch now epoch_moves;
     if !epoch_moves > !max_epoch_moves then max_epoch_moves := !epoch_moves
@@ -740,7 +783,8 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
     | None -> ()
     | Some (from_, to_) ->
         log_event now
-          (Event_log.Transition { from_; to_; ratio = current_ratio () });
+          (Event_log.Transition
+             { from_; to_; ratio = current_ratio (); objective = objective_name });
         if level_rank to_ > level_rank from_ then repair now to_);
     drain now;
     if config.checkpoint_every > 0 && (i + 1) mod config.checkpoint_every = 0
@@ -781,7 +825,7 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
   | () ->
       let loop_seconds = Sys.time () -. loop_start in
       recompute_lb !last_now;
-      let final_objective = Dynamic.objective session in
+      let final_objective = objective_now () in
       let final_ratio =
         if !lb > 0. && Float.is_finite final_objective then
           final_objective /. !lb
@@ -790,7 +834,7 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
       let resolve_objective =
         match survivor_problem () with
         | None -> nan
-        | Some (p, _) -> Objective.max_interaction_path p (Greedy.assign p)
+        | Some (p, _) -> resolve_now p
       in
       let steady_ratio =
         if resolve_objective > 0. && Float.is_finite final_objective then
@@ -843,6 +887,7 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
           horizon = scenario.horizon;
           clients = connected ();
           weighted = weighted <> None;
+          delay_model = Option.map Dia_core.Delay.to_string scenario.delay;
           coreset_points = Dynamic.num_clients session;
           prepop_seconds = !prepop_seconds;
           loop_seconds;
@@ -896,6 +941,10 @@ let render r =
   if r.weighted then
     line "  coreset             %d points carry the %d weighted sessions"
       r.coreset_points r.clients;
+  (match r.delay_model with
+  | None -> ()
+  | Some d ->
+      line "  delay model         %s (objective and bound are D_load / LB_load)" d);
   line "  objective D(A)      %s" (fs r.final_objective);
   line "  lower bound LB      %s" (fs r.final_lb);
   line "  ratio D/LB          %s (slo %s)" (fs r.final_ratio)

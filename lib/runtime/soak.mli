@@ -71,13 +71,21 @@ type scenario = {
           steady-state per-event cost is independent of the session
           count. Requires [capacity = None]. [Some 0.] still dedups
           co-located sessions exactly. *)
+  delay : Dia_core.Delay.t option;
+      (** load-latency model: the session places and repairs against the
+          load-aware [D_load] objective, the SLO watches
+          [D_load / LB_load], and every [Transition] log entry records
+          ["d_load"] as its driving objective. Requires classic mode
+          ([coreset_eps = None] — coreset buckets hide the true
+          per-server load). [None] keeps the run byte-identical to
+          earlier versions. *)
 }
 
 val default_scenario : scenario
 (** 120 nodes, 8 servers, uncapacitated, horizon 300 at one join per
     unit time (mean lifetime 80), drift every 20 units at ±30%, fault
     plan [loss:0.1+crash:2@60~180]; no pre-population, classic
-    (unweighted) mode. *)
+    (unweighted) mode, no delay model. *)
 
 type config = {
   slo : Slo.config;
@@ -115,6 +123,10 @@ type report = {
   horizon : float;
   clients : int;  (** sessions connected at the end (weighted included) *)
   weighted : bool;  (** ran through a coreset bucket layer *)
+  delay_model : string option;
+      (** the scenario's delay model as a spec string; when present,
+          [final_objective], [final_lb], [resolve_objective] and every
+          ratio are load-aware ([D_load] / [LB_load]) *)
   coreset_points : int;
       (** members of the underlying Dynamic — equals [clients] in
           classic mode, occupied coreset cells in weighted mode *)

@@ -287,6 +287,120 @@ let prop_random_operation_sequences_stay_consistent =
         objective_ok && capacity_ok && no_failed_hosting
       end)
 
+let prop_load_objective_bit_identical_to_scratch =
+  (* The incremental D_load/LB_load cache: after every operation of a
+     random join/leave/move/fail/promote/recover/drift/rebalance
+     sequence, the cached load-aware objective and bound must be
+     bit-identical (=, not within epsilon) to a from-scratch recompute
+     over the member table; a restore round-trip must reproduce both;
+     and under [Constant 0.] the load-aware objective must collapse to
+     the plain one bit-for-bit. *)
+  let delay_of = function
+    | 0 -> Dia_core.Delay.Constant 0.
+    | 1 -> Dia_core.Delay.Constant 2.
+    | 2 -> Dia_core.Delay.Linear { base = 0.5; coeff = 0.25 }
+    | 3 -> Dia_core.Delay.Queueing { mu = 40. }
+    (* mu = 6 saturates routinely under this churn — the total-order
+       convention past the pole is exercised, not just defined. *)
+    | _ -> Dia_core.Delay.Queueing { mu = 6. }
+  in
+  QCheck.Test.make
+    ~name:"incremental D_load/LB_load bit-identical to scratch" ~count:25
+    QCheck.(
+      triple (int_bound 1_000_000) (int_range 10 120) (int_bound 4))
+    (fun (seed, steps, model) ->
+      let delay = delay_of model in
+      let rng = Random.State.make [| seed; 0x10ad |] in
+      let t = Dynamic.create ~capacity:30 ~delay matrix ~servers in
+      let live = ref [] in
+      let failed = ref [] in
+      let consistent () =
+        Dynamic.objective_load t = Dynamic.objective_load_scratch t
+        && Dynamic.lower_bound_load t = Dynamic.lower_bound_load_scratch t
+        && (model <> 0 || Dynamic.objective_load t = Dynamic.objective t)
+      in
+      let ok = ref true in
+      for _ = 1 to steps do
+        (match Random.State.int rng 13 with
+        | 0 | 1 | 2 | 3 ->
+            (try live := Dynamic.join t ~node:(Random.State.int rng 80) :: !live
+             with Failure _ -> ())
+        | 4 | 5 -> (
+            match !live with
+            | [] -> ()
+            | id :: rest ->
+                Dynamic.leave t id;
+                live := rest)
+        | 6 -> (
+            match !live with
+            | [] -> ()
+            | id :: _ -> (
+                let s = Random.State.int rng 6 in
+                try Dynamic.move t id s with Invalid_argument _ | Failure _ -> ()))
+        | 7 -> ignore (Dynamic.rebalance ~max_moves:3 t)
+        | 8 ->
+            let s = Random.State.int rng 6 in
+            if not (List.mem s !failed) && List.length !failed < 4 then (
+              try
+                (* Stranded orphans leave the session silently here —
+                   the report already accounts for them. *)
+                ignore (Dynamic.fail_server_report t s);
+                failed := s :: !failed;
+                live :=
+                  List.filter
+                    (fun id ->
+                      match Dynamic.server_of t id with
+                      | _ -> true
+                      | exception Invalid_argument _ -> false)
+                    !live
+              with Invalid_argument _ -> ())
+        | 9 ->
+            (* Standby promotion: arm the canonical map, then O(1)-fail
+               a random live server through it. *)
+            let s = Random.State.int rng 6 in
+            if not (List.mem s !failed) && List.length !failed < 4 then (
+              ignore (Dynamic.refresh_standbys t);
+              try
+                ignore (Dynamic.promote_standby t s);
+                failed := s :: !failed;
+                live :=
+                  List.filter
+                    (fun id ->
+                      match Dynamic.server_of t id with
+                      | _ -> true
+                      | exception Invalid_argument _ -> false)
+                    !live
+              with Invalid_argument _ -> ())
+        | 10 -> (
+            match !failed with
+            | [] -> ()
+            | s :: rest ->
+                Dynamic.recover_server t s;
+                failed := rest)
+        | _ ->
+            let s = Random.State.int rng 6 in
+            Dynamic.set_drift t ~server:s
+              ~factor:(0.5 +. Random.State.float rng 1.5));
+        if not (consistent ()) then ok := false
+      done;
+      (* Restore round-trip: the rebuilt session must reproduce the
+         load-aware numbers bit-for-bit. *)
+      let drift =
+        List.filter_map
+          (fun s ->
+            let f = Dynamic.drift t s in
+            if f <> 1.0 then Some (s, f) else None)
+          (List.init 6 Fun.id)
+      in
+      let t' =
+        Dynamic.restore ~capacity:30 ~delay matrix ~servers
+          ~members:(Dynamic.members t) ~next_id:(Dynamic.next_id t)
+          ~failed:(Dynamic.failed_servers t) ~drift ~stats:(Dynamic.stats t)
+      in
+      !ok
+      && Dynamic.objective_load t' = Dynamic.objective_load t
+      && Dynamic.lower_bound_load t' = Dynamic.lower_bound_load t)
+
 let test_rebalance_zero_budget_noop () =
   let t = fresh () in
   for node = 0 to 29 do
@@ -466,4 +580,5 @@ let suite =
       test_fail_server_capacity_exhaustion;
     Alcotest.test_case "server recovery" `Quick test_recover_server;
     QCheck_alcotest.to_alcotest prop_random_operation_sequences_stay_consistent;
+    QCheck_alcotest.to_alcotest prop_load_objective_bit_identical_to_scratch;
   ]

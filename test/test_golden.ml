@@ -66,8 +66,14 @@ let test_fig10 () =
   check_csv ~name:"fig10" ~golden_path:"golden/fig10.csv"
     (Dia_experiments.Fig10.csv r)
 
+let test_load_sweep () =
+  let r = Dia_experiments.Load_sweep.run ~profile:tiny () in
+  check_csv ~name:"load_sweep" ~golden_path:"golden/load_sweep.csv"
+    (Dia_experiments.Load_sweep.csv r)
+
 let suite =
   [
     Alcotest.test_case "fig9 csv matches golden" `Slow test_fig9;
     Alcotest.test_case "fig10 csv matches golden" `Slow test_fig10;
+    Alcotest.test_case "load sweep csv matches golden" `Slow test_load_sweep;
   ]

@@ -95,6 +95,78 @@ let test_slo_validate () =
       { slo_config with Slo.recover_margin = 1.5 };
     ]
 
+let test_slo_exact_threshold_edges () =
+  (* Escalation bands are closed on the left: a ratio exactly at a
+     threshold argues for the worse level, one just below stays put.
+     Pinned here because the load-aware objective routinely parks the
+     ratio exactly on a threshold (saturated M/M/1 plateaus). *)
+  let t = Slo.create slo_config in
+  for _ = 1 to 5 do
+    Alcotest.(check bool) "just below degraded_at stays healthy" true
+      (Slo.observe t (slo_config.Slo.degraded_at -. 1e-9) = None)
+  done;
+  Alcotest.(check bool) "still healthy" true (Slo.level t = Slo.Healthy);
+  ignore (Slo.observe t slo_config.Slo.degraded_at);
+  ignore (Slo.observe t slo_config.Slo.degraded_at);
+  Alcotest.(check bool) "exactly degraded_at escalates" true
+    (Slo.observe t slo_config.Slo.degraded_at
+    = Some (Slo.Healthy, Slo.Degraded));
+  ignore (Slo.observe t slo_config.Slo.critical_at);
+  ignore (Slo.observe t slo_config.Slo.critical_at);
+  Alcotest.(check bool) "exactly critical_at escalates" true
+    (Slo.observe t slo_config.Slo.critical_at
+    = Some (Slo.Degraded, Slo.Critical))
+
+let test_slo_recover_margin_exact_edge () =
+  (* De-escalation is strict: exactly threshold * margin never recovers,
+     anything below does. *)
+  let t = Slo.create slo_config in
+  for _ = 1 to 3 do
+    ignore (Slo.observe t 2.0)
+  done;
+  Alcotest.(check bool) "critical" true (Slo.level t = Slo.Critical);
+  let edge = slo_config.Slo.critical_at *. slo_config.Slo.recover_margin in
+  for _ = 1 to 6 do
+    Alcotest.(check bool) "exactly at the margin stays critical" true
+      (Slo.observe t edge = None)
+  done;
+  Alcotest.(check bool) "still critical" true (Slo.level t = Slo.Critical);
+  let below = edge -. 1e-9 in
+  ignore (Slo.observe t below);
+  ignore (Slo.observe t below);
+  Alcotest.(check bool) "below the margin steps down exactly one level" true
+    (Slo.observe t below = Some (Slo.Critical, Slo.Degraded));
+  let edge_d = slo_config.Slo.degraded_at *. slo_config.Slo.recover_margin in
+  for _ = 1 to 4 do
+    Alcotest.(check bool) "degraded margin is strict too" true
+      (Slo.observe t edge_d = None)
+  done;
+  Alcotest.(check bool) "still degraded" true (Slo.level t = Slo.Degraded)
+
+let test_slo_pending_switch_resets_streak () =
+  (* A change of candidate target restarts the hysteresis count — two
+     ticks toward Degraded plus one toward Critical is not a completed
+     transition of either kind. *)
+  let t = Slo.create slo_config in
+  ignore (Slo.observe t 1.3);
+  ignore (Slo.observe t 1.3);
+  Alcotest.(check bool) "switching target restarts the count" true
+    (Slo.observe t 1.9 = None);
+  Alcotest.(check bool) "second critical tick still pending" true
+    (Slo.observe t 1.9 = None);
+  Alcotest.(check bool) "third completes, jumping straight to critical" true
+    (Slo.observe t 1.9 = Some (Slo.Healthy, Slo.Critical));
+  (* An in-band tick wipes any pending escalation entirely. *)
+  let t2 = Slo.create slo_config in
+  ignore (Slo.observe t2 1.3);
+  ignore (Slo.observe t2 1.3);
+  Alcotest.(check bool) "healthy tick clears pending" true
+    (Slo.observe t2 1.0 = None);
+  ignore (Slo.observe t2 1.3);
+  ignore (Slo.observe t2 1.3);
+  Alcotest.(check bool) "streak restarted from zero" true
+    (Slo.observe t2 1.3 = Some (Slo.Healthy, Slo.Degraded))
+
 (* --- Admission --- *)
 
 let test_admission_policy () =
@@ -192,7 +264,7 @@ let all_kinds =
     Event_log.Recover { server = 2 };
     Event_log.Drift { server = 1; factor = 1.3740000000000001 };
     Event_log.Transition
-      { from_ = Slo.Healthy; to_ = Slo.Critical; ratio = 1.52 };
+      { from_ = Slo.Healthy; to_ = Slo.Critical; ratio = 1.52; objective = "d" };
     Event_log.Repair { moves = 4; budget = 8; before = 210.5; after = 180.25 };
     Event_log.Protocol_repair
       { attempt = 2; stalled = true; moves = 6; applied = false };
@@ -357,6 +429,81 @@ let test_soak_last_server_crash_refused () =
   Alcotest.(check int) "refusal recorded" 1 r.Soak.crashes_skipped;
   Alcotest.(check int) "one server still live" 1 r.Soak.live_servers
 
+(* --- Soak under a load-latency model --- *)
+
+let delay_scenario =
+  { small_scenario with Soak.delay = Some (Dia_core.Delay.Queueing { mu = 12. }) }
+
+let test_soak_delay_reports_load_objective () =
+  (* With a delay model the session places and repairs against D_load,
+     and every SLO transition in the event log says so. An SLO that is
+     always breached guarantees at least one transition to look at. *)
+  let config =
+    {
+      small_config with
+      Soak.slo =
+        { Slo.degraded_at = 1.0; critical_at = 1.5; hysteresis = 1; recover_margin = 1.0 };
+    }
+  in
+  let r = complete delay_scenario config in
+  Alcotest.(check (option string))
+    "report names the delay model" (Some "mm1:12") r.Soak.delay_model;
+  let objectives log =
+    List.filter_map
+      (fun e ->
+        match e.Event_log.kind with
+        | Event_log.Transition { objective; _ } -> Some objective
+        | _ -> None)
+      log
+  in
+  let objs = objectives r.Soak.log in
+  Alcotest.(check bool) "at least one transition logged" true (objs <> []);
+  List.iter
+    (Alcotest.(check string) "transition driven by the load objective" "d_load")
+    objs;
+  (* ... and without a delay model the same scenario logs plain "d". *)
+  let blind = complete small_scenario config in
+  Alcotest.(check (option string)) "no delay model" None blind.Soak.delay_model;
+  let blind_objs = objectives blind.Soak.log in
+  Alcotest.(check bool) "blind run also transitions" true (blind_objs <> []);
+  List.iter
+    (Alcotest.(check string) "blind transition driven by D" "d")
+    blind_objs
+
+let test_soak_delay_kill_resume_identical () =
+  (* The delay-bearing digest extension must survive the checkpoint
+     codec: kill/resume stays bit-identical under a queueing model. *)
+  let base = complete delay_scenario small_config in
+  Alcotest.(check (option string))
+    "delay model survives to the report" (Some "mm1:12") base.Soak.delay_model;
+  List.iter
+    (fun kill_after ->
+      match Soak.run ~kill_after delay_scenario small_config with
+      | Soak.Completed _ -> Alcotest.fail "kill_after ignored"
+      | Soak.Killed st -> (
+          match Checkpoint.decode (Checkpoint.encode st) with
+          | Error m -> Alcotest.fail m
+          | Ok st -> (
+              match Soak.run ~resume_from:st delay_scenario small_config with
+              | Soak.Killed _ -> Alcotest.fail "resumed run killed"
+              | Soak.Completed resumed ->
+                  Alcotest.(check string)
+                    (Printf.sprintf "report identical after kill %d" kill_after)
+                    (Soak.render base) (Soak.render resumed);
+                  Alcotest.(check string)
+                    (Printf.sprintf "event log identical after kill %d" kill_after)
+                    (Event_log.render base.Soak.log)
+                    (Event_log.render resumed.Soak.log))))
+    [ 1; 2 ]
+
+let test_soak_delay_rejects_coreset () =
+  (* Coreset buckets hide the true per-server load, so a delay model in
+     weighted mode must be refused up front, not silently mis-scored. *)
+  let scenario = { delay_scenario with Soak.coreset_eps = Some 0.1 } in
+  match Soak.run scenario small_config with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "delay + coreset accepted"
+
 (* --- qcheck: determinism under random kill points --- *)
 
 let prop_soak_deterministic_under_random_kills =
@@ -400,6 +547,12 @@ let suite =
       test_slo_ignores_non_finite;
     Alcotest.test_case "slo state codec round-trips" `Quick test_slo_codec_roundtrip;
     Alcotest.test_case "slo config validation" `Quick test_slo_validate;
+    Alcotest.test_case "slo thresholds are closed on the left" `Quick
+      test_slo_exact_threshold_edges;
+    Alcotest.test_case "slo recover margin is strict" `Quick
+      test_slo_recover_margin_exact_edge;
+    Alcotest.test_case "slo pending-target switch resets streak" `Quick
+      test_slo_pending_switch_resets_streak;
     Alcotest.test_case "admission policy and counters" `Quick test_admission_policy;
     Alcotest.test_case "churn trace deterministic and well-formed" `Quick
       test_trace_deterministic_and_well_formed;
@@ -422,5 +575,11 @@ let suite =
       test_soak_capacitated_strands_and_recovers;
     Alcotest.test_case "last-server crash refused" `Quick
       test_soak_last_server_crash_refused;
+    Alcotest.test_case "delay soak logs the load objective" `Quick
+      test_soak_delay_reports_load_objective;
+    Alcotest.test_case "delay soak kill/resume is bit-identical" `Quick
+      test_soak_delay_kill_resume_identical;
+    Alcotest.test_case "delay soak rejects coreset mode" `Quick
+      test_soak_delay_rejects_coreset;
     QCheck_alcotest.to_alcotest prop_soak_deterministic_under_random_kills;
   ]
