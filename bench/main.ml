@@ -271,6 +271,36 @@ let make_weighted_churn_kernel ~clients ~eps =
 let coreset_build_clients =
   Array.init 10_000 (fun i -> i mod churn_nodes)
 
+(* Durability kernels. journal/append measures the write-ahead hot path
+   the soak loop pays per event batch — record framing, CRC-32 and the
+   batched flush — against the null device, so the number is the
+   journalling cost itself, not the disk. recovery/replay measures the
+   read side: parsing and CRC-verifying a 10k-record journal, the work
+   `--resume --state-dir` does before the deterministic re-execution. *)
+let journal_payload =
+  "t=12.5 join session=421 client=87 server=3\nt=12.5 drained session=17 \
+   client=88 server=1\n"
+
+let make_journal_append_kernel ~batch =
+  let w =
+    Dia_runtime.Journal.create ~path:Filename.null ~digest:"bench" ~base:0 ()
+  in
+  let cursor = ref 0 in
+  fun () ->
+    for _ = 1 to batch do
+      Dia_runtime.Journal.append w ~cursor:!cursor journal_payload;
+      incr cursor
+    done
+
+let replay_journal_path =
+  let path = Filename.temp_file "dia_bench_journal" ".wal" in
+  let w = Dia_runtime.Journal.create ~path ~digest:"bench" ~base:0 () in
+  for cursor = 0 to 9_999 do
+    Dia_runtime.Journal.append w ~cursor journal_payload
+  done;
+  Dia_runtime.Journal.close w;
+  path
+
 let make_failover_kernel ~clients ~promote =
   let session = Dia_core.Dynamic.create churn_matrix ~servers:churn_servers in
   for i = 0 to clients - 1 do
@@ -345,6 +375,13 @@ let tests =
       (Staged.stage (fun () ->
            Dia_coreset.Coreset.build ~seed:6 ~eps:0.1 churn_matrix
              ~servers:churn_servers ~clients:coreset_build_clients));
+    Test.make ~name:"journal/append(batch=50)"
+      (Staged.stage (make_journal_append_kernel ~batch:50));
+    Test.make ~name:"recovery/replay(n=10k)"
+      (Staged.stage (fun () ->
+           match Dia_runtime.Journal.read replay_journal_path with
+           | Ok j -> List.length j.Dia_runtime.Journal.records
+           | Error m -> failwith m));
     Test.make ~name:"failover/promote(clients=1000)"
       (Staged.stage (make_failover_kernel ~clients:1_000 ~promote:true));
     Test.make ~name:"failover/resolve(clients=1000)"

@@ -14,10 +14,12 @@
 module Problem = Dia_core.Problem
 module Placement = Dia_placement.Placement
 
-let usage = "speedup [--seed-json PATH] [--min FACTOR] [--runs N]"
+let usage =
+  "speedup [--seed-json PATH] [--min FACTOR] [--runs N] [--journal-max-overhead F]"
 let seed_json = ref "bench/BENCH.seed.json"
 let min_factor = ref 3.0
 let runs = ref 12
+let journal_max_overhead = ref 0.10
 
 let () =
   Arg.parse
@@ -25,6 +27,10 @@ let () =
       ("--seed-json", Arg.Set_string seed_json, "seed BENCH.json to compare against");
       ("--min", Arg.Set_float min_factor, "minimum acceptable speedup factor");
       ("--runs", Arg.Set_int runs, "timed repetitions (best-of)");
+      ( "--journal-max-overhead",
+        Arg.Set_float journal_max_overhead,
+        "max tolerated write-ahead-journal overhead on the churn kernel \
+         (fraction, default 0.10)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     usage
@@ -115,5 +121,77 @@ let () =
     Printf.eprintf
       "speedup: a kernel fell below the %.1fx gate (refactor target: 5x)\n"
       !min_factor;
+    exit 1
+  end
+
+(* Journal-overhead gate: the durability layer's per-event tax on the
+   churn/steady-state kernel — the same steady Dynamic session the
+   bechamel suite holds, with and without a write-ahead append per
+   event. Buffered framing + CRC against the null device, exactly what
+   the soak loop pays between flushes; the gate fails if it costs more
+   than --journal-max-overhead of the plain batch. *)
+let () =
+  let nodes = 400 in
+  let matrix = Dia_latency.Synthetic.internet_like ~seed:6 nodes in
+  let servers = Placement.random ~seed:6 ~k:10 ~n:nodes in
+  let make_kernel ~journal =
+    let session = Dia_core.Dynamic.create matrix ~servers in
+    let live = Queue.create () in
+    for i = 0 to 999 do
+      Queue.add (Dia_core.Dynamic.join session ~node:(i mod nodes)) live
+    done;
+    let w =
+      if journal then
+        Some
+          (Dia_runtime.Journal.create ~path:Filename.null ~digest:"gate"
+             ~base:0 ())
+      else None
+    in
+    let cursor = ref 0 in
+    fun () ->
+      for _ = 1 to 50 do
+        Dia_core.Dynamic.leave session (Queue.pop live);
+        let node = !cursor mod nodes in
+        incr cursor;
+        Queue.add (Dia_core.Dynamic.join session ~node) live;
+        match w with
+        | Some w ->
+            Dia_runtime.Journal.append w ~cursor:!cursor
+              "t=12.5 join session=421 client=87 server=3\n"
+        | None -> ()
+      done;
+      ignore (Dia_core.Dynamic.rebalance ~max_moves:8 session)
+  in
+  (* The verdict is a ratio of two close numbers, so the kernels are
+     timed in interleaved rounds: frequency drift or a noisy neighbour
+     lands on both mins instead of skewing one side of the ratio. *)
+  let plain_kernel = make_kernel ~journal:false in
+  let journal_kernel = make_kernel ~journal:true in
+  for _ = 1 to 3 do
+    ignore (Sys.opaque_identity (plain_kernel ()));
+    ignore (Sys.opaque_identity (journal_kernel ()))
+  done;
+  let plain = ref infinity and journaled = ref infinity in
+  for _ = 1 to 3 * !runs do
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (plain_kernel ()));
+    let t1 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (journal_kernel ()));
+    let t2 = Unix.gettimeofday () in
+    if t1 -. t0 < !plain then plain := t1 -. t0;
+    if t2 -. t1 < !journaled then journaled := t2 -. t1
+  done;
+  let plain = !plain *. 1e9 and journaled = !journaled *. 1e9 in
+  let overhead = (journaled -. plain) /. plain in
+  let verdict = if overhead <= !journal_max_overhead then "OK" else "TOO SLOW" in
+  Printf.printf
+    "%-32s plain %9.0f ns   journaled %9.0f ns   overhead %+5.1f%%   [%s]\n"
+    "churn/steady-state+journal" plain journaled (100. *. overhead) verdict;
+  if overhead > !journal_max_overhead then begin
+    Printf.eprintf
+      "speedup: write-ahead journalling costs %.1f%% on the churn kernel \
+       (gate: %.0f%%)\n"
+      (100. *. overhead)
+      (100. *. !journal_max_overhead);
     exit 1
   end

@@ -615,6 +615,39 @@ let soak_cmd =
              ~doc:"Stop (exit 137) right after the $(docv)-th checkpoint of \
                    this process — a deterministic kill -9 for tests and CI.")
   in
+  let state_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "state-dir" ] ~docv:"DIR"
+             ~doc:"Durable-recovery state directory: write-ahead journal of \
+                   event-log lines plus numbered checkpoint generations \
+                   ($(b,ckpt.N)), all written through the storage fault \
+                   injector (disk atoms in $(b,--fault) apply). With \
+                   $(b,--resume), restore lands on the newest generation \
+                   that verifies, rolling back over corrupt ones.")
+  in
+  let keep_arg =
+    Arg.(value & opt int 3
+         & info [ "keep" ] ~docv:"G"
+             ~doc:"Checkpoint generations retained in $(b,--state-dir).")
+  in
+  let kill_event_arg =
+    Arg.(value & opt (some int) None
+         & info [ "kill-event" ] ~docv:"N"
+             ~doc:"Stop (exit 137) right after processing trace event $(docv) \
+                   — any event index, not just a checkpoint boundary. \
+                   Resume from $(b,--state-dir) replays to a bit-identical \
+                   report.")
+  in
+  let verify_recovery_arg =
+    Arg.(value & flag
+         & info [ "verify-recovery" ]
+             ~doc:"Audit the whole durability story: run uninterrupted, \
+                   re-run into $(b,--state-dir) with the plan's disk faults \
+                   live and a kill at $(b,--kill-event), restore, resume, \
+                   and assert the recovered report, event log and journal \
+                   are byte-identical to the uninterrupted run. Exits \
+                   non-zero on any divergence.")
+  in
   let log_arg =
     Arg.(value & opt (some string) None
          & info [ "log" ] ~docv:"FILE"
@@ -673,8 +706,9 @@ let soak_cmd =
   in
   let run seed nodes servers capacity horizon rate lifetime drift_period
       drift_amplitude fault budget max_queue lb_every checkpoint
-      checkpoint_every resume kill_after log_path no_standby standby_bound
-      baseline clients coreset_eps delay csv_path =
+      checkpoint_every resume kill_after state_dir keep kill_event
+      verify_recovery log_path no_standby standby_bound baseline clients
+      coreset_eps delay csv_path =
     let scenario =
       {
         Soak.seed;
@@ -706,8 +740,8 @@ let soak_cmd =
     in
     let proceed resume_from =
       match
-        Soak.run ?checkpoint_path:checkpoint ?resume_from ?kill_after scenario
-          config
+        Soak.run ?checkpoint_path:checkpoint ?state_dir ~keep ?resume_from
+          ?kill_after ?kill_at_event:kill_event scenario config
       with
       | exception Invalid_argument m -> `Error (false, m)
       | Soak.Completed r ->
@@ -737,20 +771,59 @@ let soak_cmd =
       | Soak.Killed st ->
           Printf.printf "killed after checkpoint %d (event %d of the trace)%s\n"
             st.Checkpoint.checkpoints st.Checkpoint.cursor
-            (match checkpoint with
-            | Some path ->
+            (match (state_dir, checkpoint) with
+            | Some dir, _ ->
+                Printf.sprintf "; resume with: dia soak --resume --state-dir %s"
+                  dir
+            | None, Some path ->
                 Printf.sprintf "; resume with: dia soak --resume --checkpoint %s"
                   path
-            | None -> "");
+            | None, None -> "");
           exit 137
     in
-    if resume then
-      match checkpoint with
-      | None -> `Error (false, "--resume requires --checkpoint FILE")
-      | Some path -> (
+    if verify_recovery then
+      match (state_dir, kill_event) with
+      | Some dir, Some kill_at_event ->
+          let v =
+            Dia_runtime.Recovery.verify ~keep ~state_dir:dir ~kill_at_event
+              scenario config
+          in
+          List.iter print_endline v.Dia_runtime.Recovery.lines;
+          if v.Dia_runtime.Recovery.ok then begin
+            print_endline "recovery verified: bit-identical to the uninterrupted run";
+            `Ok ()
+          end
+          else `Error (false, "recovery verification failed")
+      | _ ->
+          `Error
+            (false, "--verify-recovery requires --state-dir DIR and --kill-event N")
+    else if resume then
+      match (state_dir, checkpoint) with
+      | Some dir, _ -> (
+          let r =
+            Dia_runtime.Recovery.restore ~dir
+              ~digest:(Soak.digest scenario config)
+          in
+          List.iter
+            (fun (g, m) -> Printf.printf "(skipping corrupt ckpt.%d: %s)\n" g m)
+            r.Dia_runtime.Recovery.skipped;
+          match r.Dia_runtime.Recovery.generation with
+          | Some (g, st) ->
+              Printf.printf
+                "(restored generation ckpt.%d at event %d; %d journal records \
+                 cover the tail)\n"
+                g st.Checkpoint.cursor r.Dia_runtime.Recovery.replayed;
+              proceed (Some st)
+          | None ->
+              print_endline
+                "(no verifying checkpoint generation; restarting from scratch)";
+              proceed None)
+      | None, Some path -> (
           match Checkpoint.load path with
           | Ok st -> proceed (Some st)
           | Error m -> `Error (false, "cannot resume: " ^ m))
+      | None, None ->
+          `Error (false, "--resume requires --checkpoint FILE or --state-dir DIR")
     else proceed None
   in
   Cmd.v
@@ -764,9 +837,11 @@ let soak_cmd =
                $ horizon_arg $ rate_arg $ lifetime_arg $ drift_period_arg
                $ drift_amplitude_arg $ soak_fault_arg $ budget_arg
                $ max_queue_arg $ lb_every_arg $ checkpoint_arg
-               $ checkpoint_every_arg $ resume_arg $ kill_after_arg $ log_arg
-               $ no_standby_arg $ standby_bound_arg $ baseline_arg
-               $ clients_arg $ coreset_eps_arg $ soak_delay_arg $ soak_csv_arg))
+               $ checkpoint_every_arg $ resume_arg $ kill_after_arg
+               $ state_dir_arg $ keep_arg $ kill_event_arg
+               $ verify_recovery_arg $ log_arg $ no_standby_arg
+               $ standby_bound_arg $ baseline_arg $ clients_arg
+               $ coreset_eps_arg $ soak_delay_arg $ soak_csv_arg))
 
 (* dia competitive *)
 

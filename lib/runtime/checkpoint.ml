@@ -1,4 +1,4 @@
-let version = 2
+let version = 3
 
 type state = {
   version : int;
@@ -42,54 +42,91 @@ type state = {
 
 let fs = Codec.float_str
 
+(* v3 splits the file into checksummed sections: the scalar block and
+   one section per list kind. Every section gets a [crc=NAME:HEX] line
+   (even when empty — a wholesale-deleted section must not verify). *)
+let list_sections =
+  [ "member"; "standby"; "session"; "drift"; "queue"; "trace"; "baseline"; "log" ]
+
+let section_names = "scalars" :: list_sections
+
 let encode s =
-  let b = Buffer.create 4096 in
-  let line fmt = Printf.ksprintf (fun l -> Buffer.add_string b (l ^ "\n")) fmt in
-  line "dia-soak-checkpoint v%d" version;
-  line "digest=%s" s.digest;
-  line "cursor=%d" s.cursor;
-  line "now=%s" (fs s.now);
-  line "capacity=%s"
+  let line b fmt = Printf.ksprintf (fun l -> Buffer.add_string b (l ^ "\n")) fmt in
+  let scalars = Buffer.create 1024 in
+  let sline fmt = line scalars fmt in
+  sline "digest=%s" s.digest;
+  sline "cursor=%d" s.cursor;
+  sline "now=%s" (fs s.now);
+  sline "capacity=%s"
     (match s.capacity with None -> "none" | Some c -> string_of_int c);
-  line "next_id=%d" s.next_id;
-  line "failed=%s" (String.concat "," (List.map string_of_int s.failed));
-  line "stats=%d,%d,%d" s.session_stats.Dia_core.Dynamic.joins
+  sline "next_id=%d" s.next_id;
+  sline "failed=%s" (String.concat "," (List.map string_of_int s.failed));
+  sline "stats=%d,%d,%d" s.session_stats.Dia_core.Dynamic.joins
     s.session_stats.Dia_core.Dynamic.leaves s.session_stats.Dia_core.Dynamic.moves;
-  line "slo=%s" s.slo;
-  line "admitted=%d" s.admitted;
-  line "queued=%d" s.queued;
-  line "shed=%d" s.shed;
-  line "drained=%d" s.drained;
-  line "abandoned=%d" s.abandoned;
-  line "leaves=%d" s.leaves;
-  line "crashes=%d" s.crashes;
-  line "crashes_skipped=%d" s.crashes_skipped;
-  line "recoveries=%d" s.recoveries;
-  line "drifts=%d" s.drifts;
-  line "stranded=%d" s.stranded;
-  line "repairs=%d" s.repairs;
-  line "repair_moves=%d" s.repair_moves;
-  line "max_epoch_moves=%d" s.max_epoch_moves;
-  line "protocol_epochs=%d" s.protocol_epochs;
-  line "protocol_stalls=%d" s.protocol_stalls;
-  line "rng_cursor=%d" s.rng_cursor;
-  line "lb=%s" (fs s.lb);
-  line "events_since_lb=%d" s.events_since_lb;
-  line "checkpoints=%d" s.checkpoints;
-  List.iter (fun (id, node, server) -> line "member=%d,%d,%d" id node server) s.members;
-  List.iter (fun (id, standby) -> line "standby=%d,%d" id standby) s.standbys;
-  List.iter (fun (session, client) -> line "session=%d,%d" session client) s.sessions;
-  List.iter (fun (server, factor) -> line "drift=%d,%s" server (fs factor)) s.drift;
-  List.iter (fun (session, node) -> line "queue=%d,%d" session node) s.queue;
+  sline "slo=%s" s.slo;
+  sline "admitted=%d" s.admitted;
+  sline "queued=%d" s.queued;
+  sline "shed=%d" s.shed;
+  sline "drained=%d" s.drained;
+  sline "abandoned=%d" s.abandoned;
+  sline "leaves=%d" s.leaves;
+  sline "crashes=%d" s.crashes;
+  sline "crashes_skipped=%d" s.crashes_skipped;
+  sline "recoveries=%d" s.recoveries;
+  sline "drifts=%d" s.drifts;
+  sline "stranded=%d" s.stranded;
+  sline "repairs=%d" s.repairs;
+  sline "repair_moves=%d" s.repair_moves;
+  sline "max_epoch_moves=%d" s.max_epoch_moves;
+  sline "protocol_epochs=%d" s.protocol_epochs;
+  sline "protocol_stalls=%d" s.protocol_stalls;
+  sline "rng_cursor=%d" s.rng_cursor;
+  sline "lb=%s" (fs s.lb);
+  sline "events_since_lb=%d" s.events_since_lb;
+  sline "checkpoints=%d" s.checkpoints;
+  let section name =
+    let b = Buffer.create 256 in
+    (match name with
+    | "member" ->
+        List.iter
+          (fun (id, node, server) -> line b "member=%d,%d,%d" id node server)
+          s.members
+    | "standby" ->
+        List.iter (fun (id, standby) -> line b "standby=%d,%d" id standby) s.standbys
+    | "session" ->
+        List.iter
+          (fun (session, client) -> line b "session=%d,%d" session client)
+          s.sessions
+    | "drift" ->
+        List.iter
+          (fun (server, factor) -> line b "drift=%d,%s" server (fs factor))
+          s.drift
+    | "queue" ->
+        List.iter (fun (session, node) -> line b "queue=%d,%d" session node) s.queue
+    | "trace" ->
+        List.iter
+          (fun (t, objective, ratio) ->
+            line b "trace=%s,%s,%s" (fs t) (fs objective) (fs ratio))
+          s.trace_points
+    | "baseline" ->
+        List.iter
+          (fun (t, online, resolve) ->
+            line b "baseline=%s,%s,%s" (fs t) (fs online) (fs resolve))
+          s.baseline_points
+    | "log" ->
+        List.iter
+          (fun e -> line b "log=%s" (Codec.escape (Event_log.to_line e)))
+          s.log
+    | _ -> assert false);
+    b
+  in
+  let bodies = ("scalars", scalars) :: List.map (fun n -> (n, section n)) list_sections in
+  let b = Buffer.create 4096 in
+  line b "dia-soak-checkpoint v%d" version;
+  List.iter (fun (_, body) -> Buffer.add_buffer b body) bodies;
   List.iter
-    (fun (t, objective, ratio) ->
-      line "trace=%s,%s,%s" (fs t) (fs objective) (fs ratio))
-    s.trace_points;
-  List.iter
-    (fun (t, online, resolve) ->
-      line "baseline=%s,%s,%s" (fs t) (fs online) (fs resolve))
-    s.baseline_points;
-  List.iter (fun e -> line "log=%s" (Codec.escape (Event_log.to_line e))) s.log;
+    (fun (name, body) -> line b "crc=%s:%s" name (Crc.hex (Buffer.contents body)))
+    bodies;
   Buffer.add_string b "end\n";
   Buffer.contents b
 
@@ -112,109 +149,201 @@ let split3 what s =
   let b, c = split2 what rest in
   (a, b, c)
 
+(* Which checksummed section a content line belongs to — the same
+   classification [encode] used to write it, so order-preserving
+   re-concatenation reproduces the exact checksummed bytes. *)
+let section_of_key key = if List.mem key list_sections then key else "scalars"
+
+(* Verify every v3 section checksum before trusting a single byte of
+   content: rebuild each section from the file's lines in order and
+   compare with its [crc=] declaration. Corruption is named by section;
+   a bad or missing crc line is named by line position. *)
+let verify_sections numbered_lines =
+  let bodies = Hashtbl.create 16 in
+  List.iter (fun name -> Hashtbl.replace bodies name (Buffer.create 256)) section_names;
+  let declared = Hashtbl.create 16 in
+  List.iter
+    (fun (ln, l) ->
+      match String.index_opt l '=' with
+      | None -> fail "checkpoint: line %d: malformed line %S" ln l
+      | Some i -> (
+          let key = String.sub l 0 i in
+          let value = String.sub l (i + 1) (String.length l - i - 1) in
+          if key = "crc" then
+            match String.index_opt value ':' with
+            | None -> fail "checkpoint: line %d: malformed crc line %S" ln l
+            | Some j ->
+                let name = String.sub value 0 j in
+                let hex = String.sub value (j + 1) (String.length value - j - 1) in
+                if not (List.mem name section_names) then
+                  fail "checkpoint: line %d: crc for unknown section %S" ln name;
+                if Hashtbl.mem declared name then
+                  fail "checkpoint: line %d: duplicate crc for section %s" ln name;
+                Hashtbl.replace declared name hex
+          else
+            let body = Hashtbl.find bodies (section_of_key key) in
+            Buffer.add_string body (l ^ "\n")))
+    numbered_lines;
+  List.iter
+    (fun name ->
+      let body = Buffer.contents (Hashtbl.find bodies name) in
+      match Hashtbl.find_opt declared name with
+      | None -> fail "checkpoint: missing crc for section %s" name
+      | Some hex ->
+          let actual = Crc.hex body in
+          if actual <> hex then
+            fail "checkpoint: section %s corrupt (crc %s, file declares %s)"
+              name actual hex)
+    section_names
+
 let decode text =
   try
-    let lines =
+    let numbered =
       String.split_on_char '\n' text
-      |> List.filter (fun l -> String.trim l <> "")
+      |> List.mapi (fun i l -> (i + 1, l))
+      |> List.filter (fun (_, l) -> String.trim l <> "")
     in
-    match lines with
+    match numbered with
     | [] -> Error "checkpoint: empty"
-    | header :: rest ->
+    | (_, header) :: rest ->
         (* v1 files (no standby/baseline lines) stay readable: the
            missing lists decode to [] and the soak rebuilds the standby
-           map canonically on restore. *)
+           map canonically on restore. v2 files predate the per-section
+           checksums and are trusted as-is. *)
         let file_version =
           match header with
           | "dia-soak-checkpoint v1" -> 1
           | "dia-soak-checkpoint v2" -> 2
-          | _ -> fail "checkpoint: unsupported header %S" header
+          | "dia-soak-checkpoint v3" -> 3
+          | _ -> fail "checkpoint: line 1: unsupported header %S" header
         in
+        (* A checksummed file must end with exactly the end marker:
+           anything after it, or a truncation anywhere before it (which
+           necessarily removes the final newline), is corruption. *)
+        if file_version >= 3 then begin
+          let n = String.length text in
+          if not (n >= 4 && String.sub text (n - 4) 4 = "end\n") then
+            fail "checkpoint: truncated (file must end with the end marker)"
+        end;
         (match List.rev rest with
-        | "end" :: _ -> ()
+        | (_, "end") :: _ -> ()
         | _ -> fail "checkpoint: truncated (missing end marker)");
-        let rest = List.filter (fun l -> l <> "end") rest in
+        let rest = List.filter (fun (_, l) -> l <> "end") rest in
+        if file_version >= 3 then verify_sections rest;
         let scalars = Hashtbl.create 32 in
         let members = ref [] and standbys = ref [] in
         let sessions = ref [] and drift = ref [] in
         let queue = ref [] and trace_points = ref [] in
         let baseline_points = ref [] and log = ref [] in
         List.iter
-          (fun l ->
-            match String.index_opt l '=' with
-            | None -> fail "checkpoint: malformed line %S" l
-            | Some i -> (
-                let key = String.sub l 0 i in
-                let value = String.sub l (i + 1) (String.length l - i - 1) in
-                match key with
-                | "member" ->
-                    let a, b, c = split3 "member" value in
-                    members :=
-                      (int_of "member" a, int_of "member" b, int_of "member" c)
-                      :: !members
-                | "standby" ->
-                    let a, b = split2 "standby" value in
-                    standbys := (int_of "standby" a, int_of "standby" b) :: !standbys
-                | "session" ->
-                    let a, b = split2 "session" value in
-                    sessions := (int_of "session" a, int_of "session" b) :: !sessions
-                | "drift" ->
-                    let a, b = split2 "drift" value in
-                    drift := (int_of "drift" a, Codec.float_of_str b) :: !drift
-                | "queue" ->
-                    let a, b = split2 "queue" value in
-                    queue := (int_of "queue" a, int_of "queue" b) :: !queue
-                | "trace" ->
-                    let a, b, c = split3 "trace" value in
-                    trace_points :=
-                      (Codec.float_of_str a, Codec.float_of_str b, Codec.float_of_str c)
-                      :: !trace_points
-                | "baseline" ->
-                    let a, b, c = split3 "baseline" value in
-                    baseline_points :=
-                      (Codec.float_of_str a, Codec.float_of_str b, Codec.float_of_str c)
-                      :: !baseline_points
-                | "log" -> (
-                    match Event_log.of_line (Codec.unescape value) with
-                    | Ok entry -> log := entry :: !log
-                    | Error m -> fail "checkpoint: bad log line: %s" m)
-                | _ -> Hashtbl.replace scalars key value))
+          (fun (ln, l) ->
+            let located = function
+              | Bad m -> Bad (Printf.sprintf "%s [line %d]" m ln)
+              | e -> e
+            in
+            try
+              match String.index_opt l '=' with
+              | None -> fail "checkpoint: line %d: malformed line %S" ln l
+              | Some i -> (
+                  let key = String.sub l 0 i in
+                  let value = String.sub l (i + 1) (String.length l - i - 1) in
+                  match key with
+                  | "member" ->
+                      let a, b, c = split3 "member" value in
+                      members :=
+                        (int_of "member" a, int_of "member" b, int_of "member" c)
+                        :: !members
+                  | "standby" ->
+                      let a, b = split2 "standby" value in
+                      standbys := (int_of "standby" a, int_of "standby" b) :: !standbys
+                  | "session" ->
+                      let a, b = split2 "session" value in
+                      sessions := (int_of "session" a, int_of "session" b) :: !sessions
+                  | "drift" ->
+                      let a, b = split2 "drift" value in
+                      drift := (int_of "drift" a, Codec.float_of_str b) :: !drift
+                  | "queue" ->
+                      let a, b = split2 "queue" value in
+                      queue := (int_of "queue" a, int_of "queue" b) :: !queue
+                  | "trace" ->
+                      let a, b, c = split3 "trace" value in
+                      trace_points :=
+                        (Codec.float_of_str a, Codec.float_of_str b,
+                         Codec.float_of_str c)
+                        :: !trace_points
+                  | "baseline" ->
+                      let a, b, c = split3 "baseline" value in
+                      baseline_points :=
+                        (Codec.float_of_str a, Codec.float_of_str b,
+                         Codec.float_of_str c)
+                        :: !baseline_points
+                  | "log" -> (
+                      match Event_log.of_line (Codec.unescape value) with
+                      | Ok entry -> log := entry :: !log
+                      | Error m -> fail "checkpoint: bad log line: %s" m)
+                  | "crc" when file_version >= 3 -> ()  (* verified above *)
+                  | _ -> Hashtbl.replace scalars key (ln, value))
+            with
+            | Bad _ as e -> raise (located e)
+            | Failure m -> raise (located (Bad m)))
           rest;
         let scalar key =
           match Hashtbl.find_opt scalars key with
-          | Some v -> v
+          | Some lv -> lv
           | None -> fail "checkpoint: missing field %S" key
         in
-        let int key = int_of key (scalar key) in
+        let int key =
+          let ln, v = scalar key in
+          match int_of_string_opt v with
+          | Some i -> i
+          | None ->
+              fail "checkpoint: %s is not an integer (%S) [line %d]" key v ln
+        in
+        let str key = snd (scalar key) in
+        let flt key =
+          let ln, v = scalar key in
+          match float_of_string_opt (String.trim v) with
+          | Some f -> f
+          | None -> fail "checkpoint: %s is not a float (%S) [line %d]" key v ln
+        in
         let stats =
-          let a, b, c = split3 "stats" (scalar "stats") in
-          {
-            Dia_core.Dynamic.joins = int_of "stats" a;
-            leaves = int_of "stats" b;
-            moves = int_of "stats" c;
-          }
+          let ln, v = scalar "stats" in
+          match
+            let a, b, c = split3 "stats" v in
+            {
+              Dia_core.Dynamic.joins = int_of "stats" a;
+              leaves = int_of "stats" b;
+              moves = int_of "stats" c;
+            }
+          with
+          | stats -> stats
+          | exception Bad m -> fail "%s [line %d]" m ln
         in
         Ok
           {
             version = file_version;
-            digest = scalar "digest";
+            digest = str "digest";
             cursor = int "cursor";
-            now = Codec.float_of_str (scalar "now");
+            now = flt "now";
             capacity =
-              (match scalar "capacity" with
+              (match str "capacity" with
               | "none" -> None
-              | c -> Some (int_of "capacity" c));
+              | _ -> Some (int "capacity"));
             members = List.rev !members;
             standbys = List.rev !standbys;
             next_id = int "next_id";
             failed =
-              (match scalar "failed" with
-              | "" -> []
-              | f -> List.map (int_of "failed") (String.split_on_char ',' f));
+              (let ln, v = scalar "failed" in
+               match v with
+               | "" -> []
+               | f -> (
+                   match List.map (int_of "failed") (String.split_on_char ',' f) with
+                   | l -> l
+                   | exception Bad m -> fail "%s [line %d]" m ln));
             drift = List.rev !drift;
             session_stats = stats;
             sessions = List.rev !sessions;
-            slo = scalar "slo";
+            slo = str "slo";
             queue = List.rev !queue;
             admitted = int "admitted";
             queued = int "queued";
@@ -233,7 +362,7 @@ let decode text =
             protocol_epochs = int "protocol_epochs";
             protocol_stalls = int "protocol_stalls";
             rng_cursor = int "rng_cursor";
-            lb = Codec.float_of_str (scalar "lb");
+            lb = flt "lb";
             events_since_lb = int "events_since_lb";
             checkpoints = int "checkpoints";
             trace_points = List.rev !trace_points;
@@ -243,10 +372,36 @@ let decode text =
   with
   | Bad m -> Error m
   | Failure m -> Error m
+  | Invalid_argument m -> Error ("checkpoint: " ^ m)
+
+(* The format version a file on disk claims, if it can be read at all.
+   Used by [save] to refuse clobbering a file written by a newer binary. *)
+let file_version path =
+  if not (Sys.file_exists path) then None
+  else
+    match open_in_bin path with
+    | exception Sys_error _ -> None
+    | ic -> (
+        let header = try input_line ic with End_of_file | Sys_error _ -> "" in
+        close_in ic;
+        match String.split_on_char ' ' header with
+        | [ "dia-soak-checkpoint"; v ]
+          when String.length v > 1 && v.[0] = 'v' ->
+            int_of_string_opt (String.sub v 1 (String.length v - 1))
+        | _ -> None)
 
 let save path state =
+  (match file_version path with
+  | Some v when v > version ->
+      invalid_arg
+        (Printf.sprintf
+           "Checkpoint.save: %s is a v%d checkpoint; refusing to overwrite it \
+            with the older v%d format (downgrade would silently discard state \
+            a newer binary persisted)"
+           path v version)
+  | _ -> ());
   let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
+  let oc = open_out_bin tmp in
   output_string oc (encode state);
   close_out oc;
   Sys.rename tmp path

@@ -20,13 +20,25 @@
     guards against resuming under a different configuration.
 
     {b Versioning.} Format v2 adds the standby map ([standby=] lines)
-    and the offline-baseline samples ([baseline=] lines) to v1. Both
-    versions decode: a v1 file yields empty lists and [version = 1], and
-    the soak rebuilds the standby map canonically on restore
+    and the offline-baseline samples ([baseline=] lines) to v1. Format
+    v3 adds per-section integrity: a [crc=SECTION:HEX] line (CRC-32 of
+    the section's lines, in file order) for the scalar block and each
+    list kind — written even for empty sections, so wholesale deletion
+    is detected — plus a strict truncation guard (the file must end with
+    exactly the [end] marker). All three versions decode: a v1 file
+    yields empty lists and [version = 1], and the soak rebuilds the
+    standby map canonically on restore
     ({!Dia_core.Dynamic.refresh_standbys} in ascending client-id order —
     the same order the soak re-arms standbys at every checkpoint
     boundary), so resuming a v1 checkpoint stays bit-identical to the
-    uninterrupted run. {!encode} always writes the current version. *)
+    uninterrupted run. v2 files predate the checksums and are trusted
+    as-is. {!encode} always writes the current version.
+
+    {b Hardening.} {!decode} never raises and never yields a partial
+    state: any corrupted, truncated or garbage input — including every
+    single-bit flip and every proper truncation of a v3 file, which the
+    qcheck mutation fuzzer pins — comes back as [Error] naming the
+    failing section and, where one exists, the line position. *)
 
 val version : int
 
@@ -79,12 +91,19 @@ type state = {
 val encode : state -> string
 val decode : string -> (state, string) result
 (** [decode (encode s) = Ok s] bit-exactly for current-version states.
-    v1 files also decode (with [version = 1] and empty standby/baseline
-    lists); unknown versions are rejected. *)
+    v1/v2 files also decode (with their [version] and, for v1, empty
+    standby/baseline lists); unknown versions are rejected. v3 input is
+    verified section-by-section against its [crc=] lines before any
+    field is trusted. Never raises. *)
 
 val save : string -> state -> unit
 (** Atomic write: the state is written to [path ^ ".tmp"] and renamed
-    over [path]. *)
+    over [path].
+
+    @raise Invalid_argument if [path] already holds a checkpoint whose
+    header claims a {e newer} format version than this writer produces —
+    an old binary must never silently clobber state persisted by a newer
+    one. *)
 
 val load : string -> (state, string) result
 (** Read and {!decode} a checkpoint file; I/O errors come back as

@@ -1,0 +1,50 @@
+(** The storage fault injector: the write path of the durability layer,
+    with the disk rules of a {!Dia_sim.Fault.plan} wired in.
+
+    Every durable write the recovery layer performs goes through one of
+    two streams, each with its own 1-based write-op counter:
+
+    - {b checkpoint writes} ({!write_file}): full-file tmp + rename
+      replacements, targeted by [torn:]/[flip:]/[fsync:]/[rename:]
+      rules;
+    - {b journal flushes} ({!journal_chunk}): appended chunks, targeted
+      by [jtorn:] rules (a tear also wedges the device — every later
+      flush is lost, the crashed-mid-append tail).
+
+    Faults fire when a stream's counter reaches a rule's [op] index, so
+    a faulted run is replay-identical by construction and consumes no
+    randomness — composing disk atoms into a plan never perturbs the
+    network decision stream. An injector built from a plan with no disk
+    rules degenerates to a plain atomic write path. *)
+
+type t
+
+val create : Dia_sim.Fault.plan -> t
+(** An injector interpreting the plan's {!Dia_sim.Fault.disk_schedule}.
+    Counters start at zero; the first write on each stream is op 1. *)
+
+val none : unit -> t
+(** A fault-free injector (fresh counters, plain atomic writes). *)
+
+val active : t -> bool
+(** Whether the plan carried any disk rules at all. *)
+
+val faults_fired : t -> int
+(** How many disk rules have fired so far — lets harnesses assert the
+    planned corruption actually happened. *)
+
+val write_file : t -> path:string -> string -> unit
+(** Write [data] to [path] via tmp + rename, with this op's faults
+    applied: flips and tears corrupt what reaches the tmp file, a
+    rename crash leaves only [path ^ ".tmp"], a lost fsync truncates
+    the renamed file. Fault-free ops are exactly an atomic replace. *)
+
+val journal_passthrough : t -> bool
+(** True when the plan carries no [jtorn:] rules at all — the journal
+    writer may then bypass {!journal_chunk} (whose op counter could
+    never fire anything) and stream its buffer straight to the file. *)
+
+val journal_chunk : t -> string -> string option
+(** Pass one journal flush through the injector: [Some chunk'] is what
+    reaches the file (possibly truncated by a tear); [None] means the
+    device is wedged and the chunk is lost entirely. *)

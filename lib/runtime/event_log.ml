@@ -25,6 +25,7 @@ type kind =
       applied : bool;
     }
   | Checkpoint of { id : int }
+  | Recovery of { generation : int; skipped : int; replayed : int }
 
 type entry = { time : float; kind : kind }
 
@@ -71,6 +72,9 @@ let kind_to_string = function
       Printf.sprintf "protocol-repair attempt=%d stalled=%b moves=%d applied=%b"
         attempt stalled moves applied
   | Checkpoint { id } -> Printf.sprintf "checkpoint id=%d" id
+  | Recovery { generation; skipped; replayed } ->
+      Printf.sprintf "recovery generation=%d skipped=%d replayed=%d" generation
+        skipped replayed
 
 let to_line e = Printf.sprintf "t=%s %s" (Codec.float_str e.time) (kind_to_string e.kind)
 
@@ -166,6 +170,13 @@ let kind_of ~tag fields =
           applied = bool_field fields "applied";
         }
   | "checkpoint" -> Checkpoint { id = int_field fields "id" }
+  | "recovery" ->
+      Recovery
+        {
+          generation = int_field fields "generation";
+          skipped = int_field fields "skipped";
+          replayed = int_field fields "replayed";
+        }
   | other -> failwith (Printf.sprintf "Event_log: unknown record %S" other)
 
 let of_line line =

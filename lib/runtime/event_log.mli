@@ -52,6 +52,14 @@ type kind =
       applied : bool;  (** false when the plan exceeded the move budget *)
     }
   | Checkpoint of { id : int }
+  | Recovery of { generation : int; skipped : int; replayed : int }
+      (** a restore landed on checkpoint generation [generation] after
+          skipping [skipped] newer corrupt generations, with [replayed]
+          committed journal records covering the tail. Written to the
+          recovery side-channel log (never the canonical soak log, whose
+          bytes must stay identical to the uninterrupted run's) — a
+          non-primary restore is an operator-visible event, not part of
+          the replayed history. *)
 
 type entry = { time : float; kind : kind }
 

@@ -247,8 +247,16 @@ exception Kill of Checkpoint.state
 
 let level_rank = function Slo.Healthy -> 0 | Slo.Degraded -> 1 | Slo.Critical -> 2
 
-let run ?checkpoint_path ?resume_from ?kill_after scenario config =
+let run ?checkpoint_path ?state_dir ?(keep = 3) ?disk ?resume_from ?kill_after
+    ?kill_at_event scenario config =
   validate scenario config;
+  if keep < 1 then invalid_arg "Soak: keep must be >= 1";
+  (match kill_at_event with
+  | Some n when n < 0 -> invalid_arg "Soak: kill_at_event must be >= 0"
+  | _ -> ());
+  let disk =
+    match disk with Some d -> d | None -> Disk.create scenario.fault
+  in
   let dg = digest scenario config in
   let matrix =
     Dia_latency.Synthetic.internet_like ~seed:scenario.seed scenario.nodes
@@ -482,7 +490,12 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
     | None -> ()
     | Some (p, live) ->
         let base_tuning = Dgreedy_protocol.default_tuning p in
-        let ambient = not (Fault.equal scenario.fault Fault.reliable) in
+        (* Disk rules are not network weather: a plan that only injects
+           storage faults must leave protocol-repair epochs running over
+           a reliable network, byte-identical to the disk-fault-free run. *)
+        let ambient =
+          not (Fault.equal (Fault.network_rules scenario.fault) Fault.reliable)
+        in
         let rec attempt n tuning =
           let seed = scenario.seed + 0x5eed + (7919 * !rng_cursor) in
           incr rng_cursor;
@@ -758,11 +771,24 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
       log = List.rev !log;
     }
   in
+  (* Durable-recovery state: a write-ahead journal of the log lines each
+     event appends, plus numbered checkpoint generations, both under
+     [state_dir] and both written through the storage fault injector. *)
+  let journal =
+    match state_dir with
+    | None -> None
+    | Some dir ->
+        Generation.ensure_dir dir;
+        Some
+          (Journal.create ~disk ~path:(Filename.concat dir "journal") ~digest:dg
+             ~base:start_cursor ())
+  in
   let last_now = ref 0. in
   let step i =
     let ev = trace.(i) in
     let now = ev.Trace.time in
     last_now := now;
+    let log_mark = !log in
     let structural = dispatch now ev.Trace.kind in
     incr events_since_lb;
     if structural || !events_since_lb >= config.lb_every then recompute_lb now;
@@ -787,8 +813,10 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
              { from_; to_; ratio = current_ratio (); objective = objective_name });
         if level_rank to_ > level_rank from_ then repair now to_);
     drain now;
-    if config.checkpoint_every > 0 && (i + 1) mod config.checkpoint_every = 0
-    then begin
+    let boundary =
+      config.checkpoint_every > 0 && (i + 1) mod config.checkpoint_every = 0
+    in
+    if boundary then begin
       (* Canonical standby re-arm at the boundary, *before* capture: the
          persisted map is then exactly what a restore-and-refresh would
          rebuild, which is what keeps v1-checkpoint upgrades
@@ -798,22 +826,44 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
         log_event now (Event_log.Standby_refresh { changed })
       end;
       incr checkpoints;
-      log_event now (Event_log.Checkpoint { id = !checkpoints });
+      log_event now (Event_log.Checkpoint { id = !checkpoints })
+    end;
+    (* Journal this event's log lines before any checkpoint that covers
+       them is written — the write-ahead discipline recovery audits. *)
+    (match journal with
+    | None -> ()
+    | Some w ->
+        let rec fresh acc l =
+          if l == log_mark then acc
+          else match l with [] -> acc | e :: tl -> fresh (e :: acc) tl
+        in
+        (match fresh [] !log with
+        | [] -> ()
+        | entries -> Journal.append w ~cursor:i (Event_log.render entries)));
+    if boundary then begin
       (* Materialising the state is O(sessions) — with a million
          weighted sessions it would dwarf the events themselves — so
          only capture when someone consumes it. The boundary itself
          (refresh + log entry + counter) is identical either way, which
          is what the determinism contract hashes. *)
-      if checkpoint_path <> None || kill_after <> None then begin
+      if checkpoint_path <> None || state_dir <> None || kill_after <> None
+      then begin
         let st = capture ~cursor:(i + 1) ~now in
+        (match journal with Some w -> Journal.flush w | None -> ());
         (match checkpoint_path with
         | Some path -> Checkpoint.save path st
+        | None -> ());
+        (match state_dir with
+        | Some dir -> ignore (Generation.save ~disk ~dir ~keep st)
         | None -> ());
         match kill_after with
         | Some n when !checkpoints >= n -> raise (Kill st)
         | _ -> ()
       end
-    end
+    end;
+    match kill_at_event with
+    | Some n when n = i -> raise (Kill (capture ~cursor:(i + 1) ~now))
+    | _ -> ()
   in
   let loop_start = Sys.time () in
   match
@@ -821,8 +871,15 @@ let run ?checkpoint_path ?resume_from ?kill_after scenario config =
       step i
     done
   with
-  | exception Kill st -> Killed st
+  | exception Kill st ->
+      (* The deterministic kill is graceful about the journal: buffered
+         records are flushed so the audit has full coverage up to the
+         kill point. Losing the buffer to a real SIGKILL is modeled
+         explicitly by [jtorn:] plans instead. *)
+      (match journal with Some w -> Journal.close w | None -> ());
+      Killed st
   | () ->
+      (match journal with Some w -> Journal.close w | None -> ());
       let loop_seconds = Sys.time () -. loop_start in
       recompute_lb !last_now;
       let final_objective = objective_now () in

@@ -187,8 +187,12 @@ type outcome =
 
 val run :
   ?checkpoint_path:string ->
+  ?state_dir:string ->
+  ?keep:int ->
+  ?disk:Disk.t ->
   ?resume_from:Checkpoint.state ->
   ?kill_after:int ->
+  ?kill_at_event:int ->
   scenario ->
   config ->
   outcome
@@ -198,8 +202,22 @@ val run :
     immediately after the [n]-th checkpoint of {e this} process — used
     by tests and CI to exercise the kill/resume path deterministically.
 
-    @raise Invalid_argument on invalid scenario/config values or a
-    digest mismatch on resume. *)
+    {b Durable recovery.} [state_dir] turns on the durability layer: a
+    write-ahead {!Journal} of each event's log lines (appended {e
+    before} any checkpoint covering them is written, flushed in batches
+    and before every generation save) plus numbered {!Generation}
+    checkpoints at every boundary, keeping the last [keep] (default 3).
+    Both streams are written through [disk] — by default an injector
+    interpreting the scenario fault plan's disk rules, so storage-fault
+    atoms in [scenario.fault] corrupt exactly the writes they name.
+    [kill_at_event i] stops the run right after processing trace event
+    [i] — {e any} event index, not just a checkpoint boundary — with the
+    captured state; combined with {!Recovery.restore} this is the
+    boundary-free kill/resume path. The scenario digest is unchanged by
+    any of these options.
+
+    @raise Invalid_argument on invalid scenario/config values, a digest
+    mismatch on resume, [keep < 1], or a negative [kill_at_event]. *)
 
 val render : report -> string
 (** Deterministic human-readable report. Two runs are considered

@@ -6,6 +6,15 @@ type rule =
   | Spike of { src : int option; dst : int option; rate : float; extra : float }
   | Partition of { at : float; until : float; side : int list }
   | Crash of { actor : int; at : float; recover_at : float option }
+  (* Storage faults. These target the durable-state write path (numbered
+     by write operation, not by time), never the message plane: [decide],
+     [down] and [crash_schedule] all ignore them, so a plan that mixes
+     network and disk atoms perturbs each layer independently. *)
+  | Torn of { op : int; at : int }
+  | Flip of { op : int; at : int }
+  | Fsync_loss of { op : int; at : int }
+  | Rename_crash of { op : int }
+  | Journal_torn of { op : int; at : int }
 
 type plan = rule list
 
@@ -43,6 +52,63 @@ let crash ?recover_at ~at actor =
       invalid_arg (Printf.sprintf "Fault.crash: recovery %g not after crash %g" r at)
   | _ -> ());
   [ Crash { actor; at; recover_at } ]
+
+let check_op label op =
+  if op < 1 then
+    invalid_arg (Printf.sprintf "Fault.%s: write-op index %d must be >= 1" label op)
+
+let check_offset label at =
+  if at < 0 then
+    invalid_arg (Printf.sprintf "Fault.%s: byte offset %d must be >= 0" label at)
+
+let torn_write ~op ~at =
+  check_op "torn_write" op;
+  check_offset "torn_write" at;
+  [ Torn { op; at } ]
+
+let bit_flip ~op ~at =
+  check_op "bit_flip" op;
+  check_offset "bit_flip" at;
+  [ Flip { op; at } ]
+
+let fsync_loss ~op ~at =
+  check_op "fsync_loss" op;
+  check_offset "fsync_loss" at;
+  [ Fsync_loss { op; at } ]
+
+let rename_crash ~op =
+  check_op "rename_crash" op;
+  [ Rename_crash { op } ]
+
+let journal_torn ~op ~at =
+  check_op "journal_torn" op;
+  check_offset "journal_torn" at;
+  [ Journal_torn { op; at } ]
+
+let is_disk_rule = function
+  | Torn _ | Flip _ | Fsync_loss _ | Rename_crash _ | Journal_torn _ -> true
+  | Loss _ | Dup _ | Spike _ | Partition _ | Crash _ -> false
+
+let disk_rules plan = List.filter is_disk_rule plan
+let network_rules plan = List.filter (fun r -> not (is_disk_rule r)) plan
+
+type disk_rule =
+  | Torn_write of { op : int; at : int }
+  | Bit_flip of { op : int; at : int }
+  | Lost_fsync of { op : int; at : int }
+  | Crashed_rename of { op : int }
+  | Torn_journal of { op : int; at : int }
+
+let disk_schedule plan =
+  List.filter_map
+    (function
+      | Torn { op; at } -> Some (Torn_write { op; at })
+      | Flip { op; at } -> Some (Bit_flip { op; at })
+      | Fsync_loss { op; at } -> Some (Lost_fsync { op; at })
+      | Rename_crash { op } -> Some (Crashed_rename { op })
+      | Journal_torn { op; at } -> Some (Torn_journal { op; at })
+      | Loss _ | Dup _ | Spike _ | Partition _ | Crash _ -> None)
+    plan
 
 let all plans = List.concat plans
 
@@ -101,6 +167,11 @@ let rule_to_string = function
         (match recover_at with
         | None -> ""
         | Some r -> Printf.sprintf "~%s" (float_str r))
+  | Torn { op; at } -> Printf.sprintf "torn:%d@%d" op at
+  | Flip { op; at } -> Printf.sprintf "flip:%d@%d" op at
+  | Fsync_loss { op; at } -> Printf.sprintf "fsync:%d@%d" op at
+  | Rename_crash { op } -> Printf.sprintf "rename:%d" op
+  | Journal_torn { op; at } -> Printf.sprintf "jtorn:%d@%d" op at
 
 let to_string = function
   | [] -> "reliable"
@@ -201,7 +272,21 @@ let parse_rule atom =
           | Some (at, recover) ->
               crash ~recover_at:(parse_float atom recover)
                 ~at:(parse_float atom at) actor))
-  | other -> parse_error "unknown rule %S (loss|dup|spike|part|crash)" other
+  | "torn" | "flip" | "fsync" | "jtorn" -> (
+      match split_once ~on:'@' body with
+      | None -> parse_error "%s: expected OP@BYTE" atom
+      | Some (op, at) -> (
+          let op = parse_int atom op and at = parse_int atom at in
+          match name with
+          | "torn" -> torn_write ~op ~at
+          | "flip" -> bit_flip ~op ~at
+          | "fsync" -> fsync_loss ~op ~at
+          | _ -> journal_torn ~op ~at))
+  | "rename" -> rename_crash ~op:(parse_int atom body)
+  | other ->
+      parse_error
+        "unknown rule %S (loss|dup|spike|part|crash|torn|flip|fsync|rename|jtorn)"
+        other
 
 let of_string spec =
   let spec = String.trim spec in
@@ -281,7 +366,9 @@ let decide t ~now ~src ~dst =
               let in_side a = List.mem a side in
               if in_side src <> in_side dst then dropped := true
             end
-        | Crash _ -> ())
+        | Crash _ | Torn _ | Flip _ | Fsync_loss _ | Rename_crash _
+        | Journal_torn _ ->
+            ())
       t.rules;
     if !dropped then Drop
     else if !copies > 0 then Duplicate !copies

@@ -60,6 +60,71 @@ val crash : ?recover_at:float -> at:float -> int -> plan
 
     @raise Invalid_argument if [at] is negative or [recover_at <= at]. *)
 
+(** {2 Storage faults}
+
+    These rules target the {e durable-state write path} — the journal
+    appends and checkpoint-generation writes performed by the runtime's
+    recovery layer ({!Dia_runtime.Disk} interprets them) — never the
+    message plane. Each rule names a 1-based {e write-op index} on its
+    target stream: checkpoint writes and journal flushes are counted
+    separately, and the rule fires when its stream's counter reaches
+    [op]. Targeting by operation count (not by time or probability)
+    makes every disk-faulted run trivially replay-identical, and the
+    rules consume no randomness, so adding a disk atom to a plan never
+    perturbs the network decision stream of {!decide}. *)
+
+val torn_write : op:int -> at:int -> plan
+(** The [op]-th checkpoint write is torn: only the first [at] bytes
+    reach the file (the rename still lands — a classic partial write).
+
+    @raise Invalid_argument if [op < 1] or [at < 0]. *)
+
+val bit_flip : op:int -> at:int -> plan
+(** The [op]-th checkpoint write lands with the low bit of the byte at
+    offset [at] flipped (no-op if the file is shorter).
+
+    @raise Invalid_argument if [op < 1] or [at < 0]. *)
+
+val fsync_loss : op:int -> at:int -> plan
+(** The [op]-th checkpoint write loses its suffix: the rename lands but
+    every byte past offset [at] never reaches the platter — the
+    lost-fsync failure mode of a rename without a preceding data sync.
+
+    @raise Invalid_argument if [op < 1] or [at < 0]. *)
+
+val rename_crash : op:int -> plan
+(** The [op]-th checkpoint write crashes inside the rename window: the
+    temp file is fully written but the destination never appears.
+
+    @raise Invalid_argument if [op < 1]. *)
+
+val journal_torn : op:int -> at:int -> plan
+(** The [op]-th journal flush is torn after its first [at] bytes and the
+    journal device is wedged from then on (later flushes are lost) — the
+    canonical crashed-mid-append tail.
+
+    @raise Invalid_argument if [op < 1] or [at < 0]. *)
+
+val disk_rules : plan -> plan
+(** Just the storage rules of a plan, in order. *)
+
+val network_rules : plan -> plan
+(** The plan with every storage rule removed — what the message plane
+    (and any "is the network faulty at all?" test) should consult. *)
+
+(** The storage rules of a plan as concrete data — read by the runtime's
+    write-path injector the way {!crash_schedule} is read by membership
+    supervisors. *)
+type disk_rule =
+  | Torn_write of { op : int; at : int }
+  | Bit_flip of { op : int; at : int }
+  | Lost_fsync of { op : int; at : int }
+  | Crashed_rename of { op : int }
+  | Torn_journal of { op : int; at : int }
+
+val disk_schedule : plan -> disk_rule list
+(** The plan's storage rules, in rule order. *)
+
 val all : plan list -> plan
 (** Compose plans. Rules apply in order; the first [Drop] wins, then
     duplication, then accumulated delay (a dropped message is never also
@@ -85,6 +150,11 @@ val crash_schedule : plan -> (int * float * float option) list
     spike:R~E[@S>D]       add E ms of latency with probability R
     part:AT~UNTIL@A,B,C   partition actors {A,B,C} from the rest
     crash:ACTOR@AT[~REC]  crash ACTOR at AT, recovering at REC
+    torn:OP@B             OP-th checkpoint write truncated at byte B
+    flip:OP@B             OP-th checkpoint write, bit flip at byte B
+    fsync:OP@B            OP-th checkpoint write loses bytes past B
+    rename:OP             OP-th checkpoint write crashes in the rename
+    jtorn:OP@B            OP-th journal flush torn at byte B, then wedged
     v}
 
     e.g. ["loss:0.15+crash:3@2.0~5.0"]. The empty spec, ["reliable"] and

@@ -60,6 +60,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("runtime", Test_runtime.suite);
       ("standby", Test_standby.suite);
+      ("durability", Test_durability.suite);
       ("coreset", Test_coreset.suite);
       ("substrate", Test_substrate.suite);
       ("golden", Test_golden.suite);

@@ -272,6 +272,7 @@ let all_kinds =
     Event_log.Promote { server = 2; promoted = 5; fallback = 1; stranded = 0 };
     Event_log.Standby_refresh { changed = 7 };
     Event_log.Standby_breach { ratio = 3.25; bound = 3.0 };
+    Event_log.Recovery { generation = 2; skipped = 1; replayed = 14 };
   ]
 
 let test_event_log_roundtrip () =

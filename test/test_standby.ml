@@ -1,6 +1,6 @@
 (* Tests for the standby-replica layer: the reservation discipline on
    live sessions, O(1) failover promotion and its promise, graceful
-   stranding under saturation, checkpoint format v2, the v1 -> v2
+   stranding under saturation, checkpoint format v3, the v1 -> v3
    upgrade path, and the competitive-ratio harness. *)
 
 module Dynamic = Dia_core.Dynamic
@@ -254,20 +254,20 @@ let test_soak_no_standby_falls_back_to_resolve () =
     (Soak.digest small_scenario config
     <> Soak.digest small_scenario small_config)
 
-(* --- Checkpoint v2 and the v1 upgrade --- *)
+(* --- Checkpoint v3 and the v1 upgrade --- *)
 
 let killed scenario config =
   match Soak.run ~kill_after:1 scenario config with
   | Soak.Completed _ -> Alcotest.fail "kill_after ignored"
   | Soak.Killed st -> st
 
-let test_checkpoint_v2_roundtrip_with_standbys () =
+let test_checkpoint_v3_roundtrip_with_standbys () =
   let st = killed small_scenario small_config in
-  Alcotest.(check int) "current version" 2 st.Checkpoint.version;
+  Alcotest.(check int) "current version" 3 st.Checkpoint.version;
   Alcotest.(check bool) "standbys captured" true (st.Checkpoint.standbys <> []);
   let text = Checkpoint.encode st in
-  Alcotest.(check bool) "v2 header" true
-    (String.length text >= 22 && String.sub text 0 22 = "dia-soak-checkpoint v2");
+  Alcotest.(check bool) "v3 header" true
+    (String.length text >= 22 && String.sub text 0 22 = "dia-soak-checkpoint v3");
   match Checkpoint.decode text with
   | Error m -> Alcotest.fail m
   | Ok st' ->
@@ -276,16 +276,20 @@ let test_checkpoint_v2_roundtrip_with_standbys () =
       Alcotest.(check bool) "standby map survives" true
         (st'.Checkpoint.standbys = st.Checkpoint.standbys)
 
-(* Rewrite a v2 checkpoint as the v1 format an old binary would have
-   written: the v1 header, no standby= and no baseline= lines. *)
+(* Rewrite a current checkpoint as the v1 format an old binary would
+   have written: the v1 header, no standby=, baseline= or crc= lines. *)
 let downgrade_to_v1 text =
+  let has_prefix p line =
+    String.length line >= String.length p && String.sub line 0 (String.length p) = p
+  in
   String.split_on_char '\n' text
   |> List.filter (fun line ->
          not
-           (String.length line >= 8 && String.sub line 0 8 = "standby="
-           || (String.length line >= 9 && String.sub line 0 9 = "baseline=")))
+           (has_prefix "standby=" line || has_prefix "baseline=" line
+           || has_prefix "crc=" line))
   |> List.map (fun line ->
-         if line = "dia-soak-checkpoint v2" then "dia-soak-checkpoint v1"
+         if line = Printf.sprintf "dia-soak-checkpoint v%d" Checkpoint.version
+         then "dia-soak-checkpoint v1"
          else line)
   |> String.concat "\n"
 
@@ -374,8 +378,8 @@ let suite =
       test_soak_promotes_instead_of_resolving;
     Alcotest.test_case "soak without standbys uses the resolve path" `Quick
       test_soak_no_standby_falls_back_to_resolve;
-    Alcotest.test_case "checkpoint v2 round-trips the standby map" `Quick
-      test_checkpoint_v2_roundtrip_with_standbys;
+    Alcotest.test_case "checkpoint v3 round-trips the standby map" `Quick
+      test_checkpoint_v3_roundtrip_with_standbys;
     Alcotest.test_case "v1 checkpoint upgrades and resumes bit-identically"
       `Quick test_v1_checkpoint_upgrade_resumes_identically;
     QCheck_alcotest.to_alcotest prop_v1_upgrade_bit_identical_at_any_kill;
